@@ -1,0 +1,243 @@
+package coplot
+
+// Benchmark harness: one benchmark per table and figure of the paper,
+// plus the design-choice ablations called out in DESIGN.md. Each
+// experiment benchmark regenerates the complete artifact (logs,
+// statistics, Co-plot map) and reports the headline goodness-of-fit
+// number as a custom metric, so `go test -bench=.` doubles as a
+// reproduction run.
+
+import (
+	"math"
+	"testing"
+
+	"coplot/internal/core"
+	"coplot/internal/experiments"
+	"coplot/internal/fgn"
+	"coplot/internal/mds"
+	"coplot/internal/rng"
+)
+
+// benchCfg scales the experiments down enough for iteration while
+// keeping all calibrations in tolerance.
+func benchCfg() experiments.Config {
+	return experiments.Config{Jobs: 4096, ModelJobs: 3000, PeriodJobs: 2048, Seed: 5}
+}
+
+func reportChecks(b *testing.B, checks []experiments.Check) {
+	b.Helper()
+	passed := 0
+	for _, c := range checks {
+		if c.Pass {
+			passed++
+		}
+	}
+	b.ReportMetric(float64(passed), "checks-passed")
+	b.ReportMetric(float64(len(checks)), "checks-total")
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportChecks(b, res.Checks)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportChecks(b, res.Checks)
+		}
+	}
+}
+
+func benchFigure(b *testing.B, run func(experiments.Config) (*experiments.FigureResult, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fig, err := run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(fig.Analysis.Alienation, "alienation")
+			b.ReportMetric(fig.Analysis.AvgCorr, "avg-corr")
+			reportChecks(b, fig.Checks)
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) { benchFigure(b, experiments.Figure1) }
+func BenchmarkFigure2(b *testing.B) { benchFigure(b, experiments.Figure2) }
+func BenchmarkFigure3(b *testing.B) { benchFigure(b, experiments.Figure3) }
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, experiments.Figure4) }
+func BenchmarkParams3(b *testing.B) { benchFigure(b, experiments.Params3) }
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, experiments.Figure5) }
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportChecks(b, res.Checks)
+		}
+	}
+}
+
+// Extension studies (DESIGN.md: load-scaling, moment-stability,
+// parametric round trip, self-similar models, map stability).
+
+func benchNamed(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		o, err := experiments.Run(name, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportChecks(b, o.Checks)
+		}
+	}
+}
+
+func BenchmarkPaperFigures(b *testing.B)      { benchNamed(b, "paper") }
+func BenchmarkMomentStability(b *testing.B)   { benchNamed(b, "moments") }
+func BenchmarkMapStability(b *testing.B)      { benchNamed(b, "stability") }
+func BenchmarkLoadScaling(b *testing.B)       { benchNamed(b, "loadscale") }
+func BenchmarkParametricModel(b *testing.B)   { benchNamed(b, "parametric") }
+func BenchmarkSelfSimilarModels(b *testing.B) { benchNamed(b, "selfsim-models") }
+
+// ---- Ablations -------------------------------------------------------
+
+// ablationDataset builds a reproducible workload-shaped dataset for the
+// MDS and distance ablations.
+func ablationDataset() *Dataset {
+	r := rng.New(99)
+	n, p := 15, 9
+	ds := &Dataset{}
+	for j := 0; j < p; j++ {
+		ds.Variables = append(ds.Variables, string(rune('a'+j)))
+	}
+	for i := 0; i < n; i++ {
+		ds.Observations = append(ds.Observations, string(rune('A'+i)))
+		u, v := r.Norm(), r.Norm()
+		row := make([]float64, p)
+		for j := range row {
+			switch j % 3 {
+			case 0:
+				row[j] = u + 0.3*r.Norm()
+			case 1:
+				row[j] = v + 0.3*r.Norm()
+			default:
+				row[j] = -u + 0.3*r.Norm()
+			}
+		}
+		ds.X = append(ds.X, row)
+	}
+	return ds
+}
+
+// benchMDSMethod measures one disparity method of the SSA solver and
+// reports the alienation it achieves (DESIGN.md ablation: rank image vs
+// monotone regression vs pure metric fitting).
+func benchMDSMethod(b *testing.B, method mds.DisparityMethod) {
+	b.Helper()
+	ds := ablationDataset()
+	z := core.Normalize(ds)
+	d := core.CityBlock(z)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := mds.SSA(d, mds.Options{Method: method, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Alienation
+	}
+	b.ReportMetric(last, "alienation")
+}
+
+func BenchmarkAblationMDSRankImage(b *testing.B) { benchMDSMethod(b, mds.RankImage) }
+func BenchmarkAblationMDSMonotone(b *testing.B)  { benchMDSMethod(b, mds.Monotone) }
+func BenchmarkAblationMDSMetric(b *testing.B)    { benchMDSMethod(b, mds.Metric) }
+
+// BenchmarkAblationMDSClassicalOnly measures Torgerson scaling alone —
+// the configuration SSA starts from — as the no-iteration baseline.
+func BenchmarkAblationMDSClassicalOnly(b *testing.B) {
+	ds := ablationDataset()
+	d := core.CityBlock(core.Normalize(ds))
+	var last float64
+	for i := 0; i < b.N; i++ {
+		x, err := mds.Classical(d, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = mds.Alienation(d, x)
+	}
+	b.ReportMetric(last, "alienation")
+}
+
+// Distance ablation: the paper's city-block choice versus Euclidean.
+func benchDistance(b *testing.B, euclidean bool) {
+	b.Helper()
+	ds := ablationDataset()
+	z := core.Normalize(ds)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		d := core.CityBlock(z)
+		if euclidean {
+			// Rebuild with Euclidean distances.
+			for r := 0; r < z.Rows; r++ {
+				for c := r + 1; c < z.Rows; c++ {
+					s := 0.0
+					for k := 0; k < z.Cols; k++ {
+						df := z.At(r, k) - z.At(c, k)
+						s += df * df
+					}
+					d.Set(r, c, math.Sqrt(s))
+					d.Set(c, r, math.Sqrt(s))
+				}
+			}
+		}
+		res, err := mds.SSA(d, mds.Options{Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Alienation
+	}
+	b.ReportMetric(last, "alienation")
+}
+
+func BenchmarkAblationDistanceCityBlock(b *testing.B) { benchDistance(b, false) }
+func BenchmarkAblationDistanceEuclidean(b *testing.B) { benchDistance(b, true) }
+
+// fGn generator ablation: exact O(n²) Hosking versus O(n log n)
+// Davies–Harte at the same length.
+func BenchmarkAblationFGNHosking(b *testing.B) {
+	r := rng.New(4)
+	for i := 0; i < b.N; i++ {
+		if _, err := fgn.Hosking(r, 0.8, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFGNDaviesHarte(b *testing.B) {
+	r := rng.New(4)
+	for i := 0; i < b.N; i++ {
+		if _, err := fgn.DaviesHarte(r, 0.8, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3CI(b *testing.B) { benchNamed(b, "table3ci") }

@@ -1,0 +1,160 @@
+// Command coplot runs the Co-plot method on a CSV data matrix or on a
+// set of SWF workload logs.
+//
+// CSV input: the first row holds variable names (first cell ignored),
+// each following row holds an observation name and its values.
+//
+//	coplot -csv data.csv [-prune 0.7] [-svg out.svg]
+//
+// SWF input: each log becomes one observation characterized by the
+// paper's Table-1 variables (computed against -procs/-sched/-alloc):
+//
+//	coplot -procs 128 a.swf b.swf c.swf ...
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"coplot/internal/core"
+	"coplot/internal/machine"
+	"coplot/internal/mds"
+	"coplot/internal/swf"
+	"coplot/internal/workload"
+)
+
+func main() {
+	csvPath := flag.String("csv", "", "CSV data matrix input")
+	svgPath := flag.String("svg", "", "write the map as SVG to this file")
+	shepardPath := flag.String("shepard", "", "write the Shepard diagram as SVG to this file")
+	prune := flag.Float64("prune", 0, "prune variables with max correlation below this (0 = keep all)")
+	vars := flag.String("vars", "", "comma-separated variable subset to analyze")
+	seed := flag.Uint64("seed", 7, "MDS restart seed")
+	procs := flag.Int("procs", 128, "machine size for SWF inputs")
+	flag.Parse()
+
+	ds, err := loadDataset(*csvPath, flag.Args(), *procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coplot:", err)
+		os.Exit(1)
+	}
+	if *vars != "" {
+		ds, err = ds.Select(strings.Split(*vars, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coplot:", err)
+			os.Exit(1)
+		}
+	}
+	res, err := core.Analyze(ds, core.Options{
+		MDS:            mds.Options{Seed: *seed},
+		PruneThreshold: *prune,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coplot:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Report())
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(res.SVG(720, 540)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "coplot:", err)
+			os.Exit(1)
+		}
+	}
+	if *shepardPath != "" {
+		svg, err := res.ShepardSVG()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coplot:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*shepardPath, []byte(svg), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "coplot:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func loadDataset(csvPath string, swfPaths []string, procs int) (*core.Dataset, error) {
+	switch {
+	case csvPath != "" && len(swfPaths) > 0:
+		return nil, fmt.Errorf("choose either -csv or SWF files, not both")
+	case csvPath != "":
+		return loadCSV(csvPath)
+	case len(swfPaths) >= 3:
+		return loadSWF(swfPaths, procs)
+	}
+	return nil, fmt.Errorf("need -csv FILE or at least 3 SWF logs")
+}
+
+func loadCSV(path string) (*core.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 4 || len(rows[0]) < 2 {
+		return nil, fmt.Errorf("%s: need a header row and at least 3 observations", path)
+	}
+	ds := &core.Dataset{Variables: rows[0][1:]}
+	for _, row := range rows[1:] {
+		if len(row) != len(rows[0]) {
+			return nil, fmt.Errorf("%s: ragged row %q", path, row[0])
+		}
+		ds.Observations = append(ds.Observations, row[0])
+		vals := make([]float64, len(row)-1)
+		for j, cell := range row[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: row %q column %d: %v", path, row[0], j+2, err)
+			}
+			vals[j] = v
+		}
+		ds.X = append(ds.X, vals)
+	}
+	return ds, nil
+}
+
+// swfVars are the log-derived variables used for SWF inputs (machine
+// configuration variables are uniform across CLI inputs and excluded).
+var swfVars = []string{
+	workload.VarRuntimeLoad,
+	workload.VarRuntimeMedian, workload.VarRuntimeInterval,
+	workload.VarProcsMedian, workload.VarProcsInterval,
+	workload.VarWorkMedian, workload.VarWorkInterval,
+	workload.VarInterArrMedian, workload.VarInterArrInterval,
+}
+
+func loadSWF(paths []string, procs int) (*core.Dataset, error) {
+	m := machine.Machine{Name: "cli", Procs: procs,
+		Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorUnlimited}
+	var rows []workload.Variables
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		log, err := swf.Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		v, err := workload.Compute(path, log, m)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, v)
+	}
+	tab, err := workload.BuildTable(rows, swfVars)
+	if err != nil {
+		return nil, err
+	}
+	ds := &core.Dataset{Observations: tab.Observations, Variables: tab.Codes, X: tab.Data}
+	return ds, nil
+}

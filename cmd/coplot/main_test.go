@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCSV(t *testing.T) {
+	path := writeFile(t, "d.csv", "name,x,y\na,1,2\nb,3,4\nc,5,6\nd,7,9\n")
+	ds, err := loadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Observations) != 4 || len(ds.Variables) != 2 {
+		t.Fatalf("shape %dx%d", len(ds.Observations), len(ds.Variables))
+	}
+	if ds.X[3][1] != 9 {
+		t.Fatalf("cell = %v", ds.X[3][1])
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	tooFew := writeFile(t, "few.csv", "name,x\na,1\nb,2\n")
+	if _, err := loadCSV(tooFew); err == nil {
+		t.Fatal("too few rows accepted")
+	}
+	garbage := writeFile(t, "bad.csv", "name,x\na,1\nb,two\nc,3\nd,4\n")
+	if _, err := loadCSV(garbage); err == nil {
+		t.Fatal("non-numeric cell accepted")
+	}
+	if _, err := loadCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadSWFDataset(t *testing.T) {
+	row := "1 0 0 100 4 -1 -1 4 -1 -1 1 1 1 1 1 -1 -1 -1\n" +
+		"2 50 0 200 2 -1 -1 2 -1 -1 1 2 1 2 1 -1 -1 -1\n" +
+		"3 90 0 50 8 -1 -1 8 -1 -1 1 1 1 1 1 -1 -1 -1\n"
+	var paths []string
+	for _, n := range []string{"a.swf", "b.swf", "c.swf"} {
+		paths = append(paths, writeFile(t, n, row))
+	}
+	ds, err := loadSWF(paths, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Observations) != 3 {
+		t.Fatalf("observations = %d", len(ds.Observations))
+	}
+	if len(ds.Variables) != len(swfVars) {
+		t.Fatalf("variables = %d", len(ds.Variables))
+	}
+}
+
+func TestLoadDatasetDispatch(t *testing.T) {
+	if _, err := loadDataset("", nil, 128); err == nil {
+		t.Fatal("no input accepted")
+	}
+	csv := writeFile(t, "d.csv", "name,x\na,1\nb,2\nc,3\n")
+	if _, err := loadDataset(csv, []string{"x.swf"}, 128); err == nil {
+		t.Fatal("both inputs accepted")
+	}
+}

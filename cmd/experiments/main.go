@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run NAME|all] [-out DIR] [-seed N]
+//	            [-jobs N] [-modeljobs N] [-periodjobs N]
+//
+// NAME is one of the paper's artifacts — table1, fig1, fig2, table2,
+// fig3, fig4, params3, table3, fig5 — or an extension study: paper (the
+// published-data validation), table3ci (bootstrap confidence intervals),
+// seeds (robustness sweep across master seeds), moments, stability,
+// loadscale, parametric, selfsim-models.
+//
+// Text renderings go to stdout; with -out, per-experiment .txt (and .svg
+// for figures) artifacts are written under DIR. "-run all" runs
+// everything except the seeds sweep (which re-runs the headline
+// experiments five times; invoke it explicitly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coplot/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (or 'all')")
+	out := flag.String("out", "", "directory for .txt/.svg artifacts (optional)")
+	seed := flag.Uint64("seed", 0, "master seed (0 = paper default)")
+	jobs := flag.Int("jobs", 0, "jobs per production-site log (0 = default)")
+	modelJobs := flag.Int("modeljobs", 0, "jobs per synthetic-model log (0 = default)")
+	periodJobs := flag.Int("periodjobs", 0, "jobs per half-year period log (0 = default)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed: *seed, Jobs: *jobs, ModelJobs: *modelJobs, PeriodJobs: *periodJobs,
+	}
+
+	var outs []*experiments.Output
+	var err error
+	if *run == "all" {
+		outs, err = experiments.RunAll(cfg)
+	} else {
+		var o *experiments.Output
+		o, err = experiments.Run(*run, cfg)
+		if o != nil {
+			outs = []*experiments.Output{o}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	for _, o := range outs {
+		fmt.Printf("==== %s ====\n%s\n", o.Name, o.Text)
+	}
+	if len(outs) > 1 {
+		fmt.Println("==== summary ====")
+		fmt.Print(experiments.Summary(outs))
+	}
+	if *out != "" {
+		if err := experiments.WriteOutputs(*out, outs); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: writing artifacts:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("artifacts written to %s\n", *out)
+	}
+}

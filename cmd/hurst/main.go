@@ -1,0 +1,94 @@
+// Command hurst estimates the Hurst parameter of the four per-workload
+// series of the paper's Table 3 — used processors, runtime, total CPU
+// work, and inter-arrival times — with the three estimators of the
+// appendix: R/S analysis, variance-time plots, and the periodogram.
+//
+// Usage:
+//
+//	hurst [-svgdir DIR] FILE.swf...
+//
+// With -svgdir, the three diagnostic plots (pox plot, variance-time
+// plot, periodogram) of each series are written as SVG files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"coplot/internal/selfsim"
+	"coplot/internal/swf"
+)
+
+func main() {
+	svgDir := flag.String("svgdir", "", "write diagnostic plots as SVG under this directory")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "hurst: no input files")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := estimate(path, *svgDir); err != nil {
+			fmt.Fprintf(os.Stderr, "hurst: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func estimate(path, svgDir string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := swf.Parse(f)
+	if err != nil {
+		return err
+	}
+	series := selfsim.SeriesFromLog(log)
+	fmt.Printf("%s (%d jobs)\n", path, len(log.Jobs))
+	fmt.Printf("  %-14s %6s %6s %6s\n", "series", "R/S", "V-T", "Per.")
+	for _, name := range selfsim.SeriesNames {
+		e := selfsim.EstimateAll(series[name])
+		fmt.Printf("  %-14s %6.2f %6.2f %6.2f\n", name, e.RS, e.VT, e.Per)
+		if svgDir != "" {
+			if err := writeDiagnostics(svgDir, path, name, series[name]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeDiagnostics(dir, logPath, seriesName string, x []float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(filepath.Base(logPath), filepath.Ext(logPath))
+	for _, d := range []struct {
+		name string
+		data func([]float64) (selfsim.FitData, error)
+	}{
+		{"pox", selfsim.RSData},
+		{"vt", selfsim.VarianceTimeData},
+		{"per", selfsim.PeriodogramData},
+	} {
+		fit, err := d.data(x)
+		if err != nil {
+			continue // short or degenerate series: skip the plot
+		}
+		svg, err := fit.SVG(fmt.Sprintf("%s %s %s", base, seriesName, d.name))
+		if err != nil {
+			continue
+		}
+		out := filepath.Join(dir, fmt.Sprintf("%s-%s-%s.svg", base, seriesName, d.name))
+		if err := os.WriteFile(out, []byte(svg), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coplot/internal/models"
+	"coplot/internal/rng"
+	"coplot/internal/swf"
+)
+
+func writeTestLog(t *testing.T) string {
+	t.Helper()
+	log := models.NewLublin(128).Generate(rng.New(1), 2000)
+	path := filepath.Join(t.TempDir(), "test.swf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := swf.Write(f, log); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestEstimateWritesDiagnostics(t *testing.T) {
+	path := writeTestLog(t)
+	svgDir := t.TempDir()
+	if err := estimate(path, svgDir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(svgDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 series × 3 diagnostics.
+	if len(entries) != 12 {
+		t.Fatalf("diagnostic files = %d, want 12", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".svg") {
+			t.Fatalf("unexpected file %s", e.Name())
+		}
+	}
+}
+
+func TestEstimateMissingFile(t *testing.T) {
+	if err := estimate(filepath.Join(t.TempDir(), "none.swf"), ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,110 @@
+// Command swfcheck audits SWF workload logs for the validity problems
+// the paper's introduction warns about: jobs exceeding the system's
+// limits, undocumented downtime, dedication of the machine to single
+// users, and corrupt records. Exit status 1 means at least one
+// error-severity issue was found.
+//
+// Usage:
+//
+//	swfcheck [-procs N] [-sched nqs|easy|gang] [-alloc pow2|limited|unlimited]
+//	         [-downtime-factor F] [-top-user F] FILE.swf...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coplot/internal/experiments"
+	"coplot/internal/machine"
+	"coplot/internal/swf"
+	"coplot/internal/validate"
+)
+
+func main() {
+	procs := flag.Int("procs", 128, "number of processors in the machine")
+	schedName := flag.String("sched", "easy", "scheduler: nqs, easy or gang")
+	allocName := flag.String("alloc", "unlimited", "allocator: pow2, limited or unlimited")
+	downtime := flag.Float64("downtime-factor", 0, "gap threshold as multiple of the p99 gap (0 = default)")
+	topUser := flag.Float64("top-user", 0, "warn when one user exceeds this job fraction (0 = default)")
+	homogeneity := flag.Int("homogeneity", 0, "split the log into N periods and run the section-6 Co-plot audit (0 = off)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "swfcheck: no input files")
+		os.Exit(2)
+	}
+
+	m := machine.Machine{Name: "cli", Procs: *procs}
+	switch *schedName {
+	case "nqs":
+		m.Scheduler = machine.SchedulerNQS
+	case "easy":
+		m.Scheduler = machine.SchedulerEASY
+	case "gang":
+		m.Scheduler = machine.SchedulerGang
+	default:
+		fmt.Fprintf(os.Stderr, "swfcheck: unknown scheduler %q\n", *schedName)
+		os.Exit(2)
+	}
+	switch *allocName {
+	case "pow2":
+		m.Allocator = machine.AllocatorPow2
+	case "limited":
+		m.Allocator = machine.AllocatorLimited
+	case "unlimited":
+		m.Allocator = machine.AllocatorUnlimited
+	default:
+		fmt.Fprintf(os.Stderr, "swfcheck: unknown allocator %q\n", *allocName)
+		os.Exit(2)
+	}
+	opts := validate.Options{DowntimeFactor: *downtime, TopUserWarn: *topUser}
+
+	exit := 0
+	for _, path := range flag.Args() {
+		errs, err := checkFile(path, m, opts, *homogeneity)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swfcheck: %s: %v\n", path, err)
+			exit = 2
+			continue
+		}
+		if errs > 0 && exit == 0 {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func checkFile(path string, m machine.Machine, opts validate.Options, homogeneity int) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	log, err := swf.Parse(f)
+	if err != nil {
+		return 0, err
+	}
+	rep := validate.Check(log, m, opts)
+	fmt.Printf("%s: %d jobs, %d issues (%d errors)\n",
+		path, len(log.Jobs), len(rep.Issues), rep.Errors())
+	for _, issue := range rep.Issues {
+		if issue.JobID > 0 {
+			fmt.Printf("  [%s] %s job %d: %s\n", issue.Severity, issue.Code, issue.JobID, issue.Message)
+		} else {
+			fmt.Printf("  [%s] %s: %s\n", issue.Severity, issue.Code, issue.Message)
+		}
+	}
+	for code, n := range rep.Counts {
+		if n > len(rep.Issues) {
+			fmt.Printf("  (%s occurred %d times; output capped)\n", code, n)
+		}
+	}
+	if homogeneity > 1 {
+		res, err := experiments.Homogeneity(log, m, homogeneity, experiments.Config{})
+		if err != nil {
+			return rep.Errors(), err
+		}
+		fmt.Print(res.Text)
+	}
+	return rep.Errors(), nil
+}

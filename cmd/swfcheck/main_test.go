@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"coplot/internal/machine"
+	"coplot/internal/validate"
+)
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.swf")
+	content := "; test\n" +
+		"1 0 0 10 4 8 -1 4 20 -1 1 1 1 1 1 -1 -1 -1\n" +
+		"2 30 0 10 500 -1 -1 500 20 -1 1 2 1 2 1 -1 -1 -1\n" // oversized
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := machine.Machine{Name: "t", Procs: 128,
+		Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorUnlimited}
+	errs, err := checkFile(path, m, validate.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs == 0 {
+		t.Fatal("oversized job not counted as error")
+	}
+}
+
+func TestCheckFileMissing(t *testing.T) {
+	m := machine.Machine{Name: "t", Procs: 128,
+		Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorUnlimited}
+	if _, err := checkFile(filepath.Join(t.TempDir(), "none.swf"), m, validate.Options{}, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

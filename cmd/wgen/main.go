@@ -1,0 +1,153 @@
+// Command wgen generates a synthetic workload in Standard Workload
+// Format, either from one of the five published models or from a
+// calibrated production-site generator.
+//
+// Usage:
+//
+//	wgen -model feitelson96|feitelson97|downey|jann|lublin|session [-procs N] [-n N] [-seed N] [-o FILE]
+//	wgen -model ss-lublin      # any model prefixed "ss-" gets the §9 self-similarity injection
+//	wgen -site CTC|KTH|LANL|LANLi|LANLb|LLNL|NASA|SDSC|SDSCi|SDSCb|L1..L4|S1..S4 [-n N] [-seed N] [-o FILE]
+//	wgen -clone FILE.swf [-procs N]  # measure an existing log and generate a synthetic twin
+//	wgen -model lublin -simulate     # run the stream through the site scheduler
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coplot/internal/machine"
+	"coplot/internal/models"
+	"coplot/internal/rng"
+	"coplot/internal/sched"
+	"coplot/internal/sites"
+	"coplot/internal/swf"
+)
+
+func main() {
+	model := flag.String("model", "", "synthetic model to run")
+	site := flag.String("site", "", "calibrated production-site generator to run")
+	clone := flag.String("clone", "", "SWF log to measure and clone")
+	procs := flag.Int("procs", 128, "machine size for -model")
+	n := flag.Int("n", 10000, "number of jobs")
+	seed := flag.Uint64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	simulate := flag.Bool("simulate", false, "replay the stream through the machine's scheduler to obtain wait times")
+	flag.Parse()
+
+	log, m, err := generate(*model, *site, *clone, *procs, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wgen:", err)
+		os.Exit(1)
+	}
+	if *simulate {
+		log, err = replay(log, m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wgen:", err)
+			os.Exit(1)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := swf.Write(w, log); err != nil {
+		fmt.Fprintln(os.Stderr, "wgen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(model, site, clone string, procs, n int, seed uint64) (*swf.Log, machine.Machine, error) {
+	selected := 0
+	for _, s := range []string{model, site, clone} {
+		if s != "" {
+			selected++
+		}
+	}
+	if selected > 1 {
+		return nil, machine.Machine{}, fmt.Errorf("choose exactly one of -model, -site or -clone")
+	}
+	switch {
+	case clone != "":
+		return cloneLog(clone, procs, n, seed)
+	case model != "":
+		name := strings.ToLower(model)
+		// An "ss-" prefix wraps the base model with the self-similarity
+		// injector (section 9 extension).
+		selfSim := strings.HasPrefix(name, "ss-")
+		name = strings.TrimPrefix(name, "ss-")
+		var gen models.Model
+		switch name {
+		case "feitelson96":
+			gen = models.NewFeitelson96(procs)
+		case "feitelson97":
+			gen = models.NewFeitelson97(procs)
+		case "downey":
+			gen = models.NewDowney(procs)
+		case "jann":
+			gen = models.NewJann(procs)
+		case "lublin":
+			gen = models.NewLublin(procs)
+		case "session":
+			gen = models.NewSession(procs)
+		default:
+			return nil, machine.Machine{}, fmt.Errorf("unknown model %q", model)
+		}
+		if selfSim {
+			gen = models.NewSelfSimilar(gen, 0.85)
+		}
+		m := machine.Machine{Name: "synthetic", Procs: procs,
+			Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorUnlimited}
+		return gen.Generate(rng.New(seed), n), m, nil
+	case site != "":
+		for _, spec := range append(sites.Table1Specs(n), sites.Table2Specs(n)...) {
+			if spec.Name == site {
+				spec.Jobs = n
+				log, err := spec.Generate(seed)
+				return log, spec.Machine, err
+			}
+		}
+		return nil, machine.Machine{}, fmt.Errorf("unknown site %q", site)
+	}
+	return nil, machine.Machine{}, fmt.Errorf("one of -model, -site or -clone is required")
+}
+
+// cloneLog measures an existing log and generates a synthetic twin.
+func cloneLog(path string, procs, n int, seed uint64) (*swf.Log, machine.Machine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, machine.Machine{}, err
+	}
+	defer f.Close()
+	src, err := swf.Parse(f)
+	if err != nil {
+		return nil, machine.Machine{}, fmt.Errorf("%s: %v", path, err)
+	}
+	m := machine.Machine{Name: "clone", Procs: procs,
+		Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorUnlimited}
+	spec, err := sites.SpecFromLog("clone", src, m, n)
+	if err != nil {
+		return nil, machine.Machine{}, err
+	}
+	out, err := spec.Generate(seed)
+	return out, m, err
+}
+
+// replay pushes the pure job stream through the machine's scheduler so
+// the output log carries realistic wait times and allocation rounding.
+func replay(log *swf.Log, m machine.Machine) (*swf.Log, error) {
+	opts := sched.Options{}
+	if m.Allocator == machine.AllocatorPow2 && m.Procs >= 1024 {
+		opts.MinPartition = 32
+	}
+	out, _, err := sched.ReplayLog(log, m, opts)
+	return out, err
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"coplot/internal/machine"
+	"coplot/internal/swf"
+)
+
+func TestGenerateModels(t *testing.T) {
+	for _, name := range []string{"feitelson96", "feitelson97", "downey", "jann", "lublin", "session", "ss-lublin"} {
+		log, m, err := generate(name, "", "", 64, 500, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(log.Jobs) != 500 {
+			t.Fatalf("%s: %d jobs", name, len(log.Jobs))
+		}
+		if m.Procs != 64 {
+			t.Fatalf("%s: machine procs %d", name, m.Procs)
+		}
+	}
+}
+
+func TestGenerateSites(t *testing.T) {
+	log, m, err := generate("", "NASA", "", 0, 800, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Jobs) != 800 {
+		t.Fatalf("jobs = %d", len(log.Jobs))
+	}
+	if m != machine.NASA {
+		t.Fatalf("machine = %+v", m)
+	}
+	// Period generators are reachable too.
+	if _, _, err := generate("", "L3", "", 0, 600, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, _, err := generate("", "", "", 64, 10, 1); err == nil {
+		t.Fatal("no selection accepted")
+	}
+	if _, _, err := generate("lublin", "CTC", "", 64, 10, 1); err == nil {
+		t.Fatal("both selections accepted")
+	}
+	if _, _, err := generate("nope", "", "", 64, 10, 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, _, err := generate("", "XYZ", "", 64, 10, 1); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+}
+
+func TestReplayThroughScheduler(t *testing.T) {
+	log, m, err := generate("lublin", "", "", 64, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := replay(log, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != len(log.Jobs) {
+		t.Fatalf("replay lost jobs: %d vs %d", len(out.Jobs), len(log.Jobs))
+	}
+	waited := false
+	for _, j := range out.Jobs {
+		if j.Wait > 0 {
+			waited = true
+		}
+		if j.Wait < 0 {
+			t.Fatal("negative wait after replay")
+		}
+	}
+	if !waited {
+		t.Log("note: no queueing occurred at this load (acceptable)")
+	}
+}
+
+func TestGenerateClone(t *testing.T) {
+	// Write a source log, then clone it.
+	src, _, err := generate("lublin", "", "", 64, 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/src.swf"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := swf.Write(f, src); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	twin, m, err := generate("", "", path, 64, 1500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(twin.Jobs) != 1500 {
+		t.Fatalf("twin jobs = %d", len(twin.Jobs))
+	}
+	if m.Procs != 64 {
+		t.Fatalf("machine procs = %d", m.Procs)
+	}
+	if _, _, err := generate("", "", dir+"/missing.swf", 64, 100, 1); err == nil {
+		t.Fatal("missing clone source accepted")
+	}
+	if _, _, err := generate("lublin", "", path, 64, 100, 1); err == nil {
+		t.Fatal("model+clone accepted")
+	}
+}

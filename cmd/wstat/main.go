@@ -1,0 +1,88 @@
+// Command wstat computes the paper's Table-1 workload variables for SWF
+// logs: loads, normalized user/executable counts, completion rate, and
+// the median and 90% interval of runtimes, parallelism, normalized
+// parallelism, total CPU work, and inter-arrival times.
+//
+// Usage:
+//
+//	wstat [-procs N] [-sched nqs|easy|gang] [-alloc pow2|limited|unlimited] FILE...
+//
+// The machine description defaults to a 128-processor EASY system with
+// unlimited allocation; pass the real configuration for meaningful
+// flexibility ranks and normalized parallelism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coplot/internal/machine"
+	"coplot/internal/swf"
+	"coplot/internal/workload"
+)
+
+func main() {
+	procs := flag.Int("procs", 128, "number of processors in the machine")
+	schedName := flag.String("sched", "easy", "scheduler: nqs, easy or gang")
+	allocName := flag.String("alloc", "unlimited", "allocator: pow2, limited or unlimited")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "wstat: no input files")
+		os.Exit(2)
+	}
+
+	m := machine.Machine{Name: "cli", Procs: *procs}
+	switch *schedName {
+	case "nqs":
+		m.Scheduler = machine.SchedulerNQS
+	case "easy":
+		m.Scheduler = machine.SchedulerEASY
+	case "gang":
+		m.Scheduler = machine.SchedulerGang
+	default:
+		fmt.Fprintf(os.Stderr, "wstat: unknown scheduler %q\n", *schedName)
+		os.Exit(2)
+	}
+	switch *allocName {
+	case "pow2":
+		m.Allocator = machine.AllocatorPow2
+	case "limited":
+		m.Allocator = machine.AllocatorLimited
+	case "unlimited":
+		m.Allocator = machine.AllocatorUnlimited
+	default:
+		fmt.Fprintf(os.Stderr, "wstat: unknown allocator %q\n", *allocName)
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := statFile(path, m); err != nil {
+			fmt.Fprintf(os.Stderr, "wstat: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func statFile(path string, m machine.Machine) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := swf.Parse(f)
+	if err != nil {
+		return err
+	}
+	v, err := workload.Compute(path, log, m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%d jobs)\n", path, len(log.Jobs))
+	for _, code := range workload.AllVariables {
+		fmt.Printf("  %-3s %g\n", code, v.Get(code))
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+// Package coplot is the public API of this repository: a Go
+// implementation of the Co-plot multivariate analysis method and of the
+// parallel-workload toolkit built around it in "Comparing Logs and
+// Models of Parallel Workloads Using the Co-plot Method" (Talby,
+// Feitelson, Raveh; IPPS 1999).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - the Co-plot pipeline (Analyze): z-normalization, city-block
+//     dissimilarities, Guttman Smallest Space Analysis, and variable
+//     arrows with maximal correlations;
+//   - Standard Workload Format logs (ParseSWF / WriteSWF) and the
+//     paper's Table-1 workload variables (WorkloadVariables);
+//   - the five synthetic workload models (Models) and the calibrated
+//     production-site generators (ProductionSites);
+//   - Hurst-parameter estimation (EstimateHurst) with R/S analysis,
+//     variance-time plots, and the periodogram;
+//   - fractional Gaussian noise generation (FGN) for building
+//     long-range-dependent workloads.
+//
+// The experiment harness that regenerates every table and figure of the
+// paper lives in cmd/experiments; runnable walkthroughs live under
+// examples/.
+package coplot
+
+import (
+	"fmt"
+	"io"
+
+	"coplot/internal/core"
+	"coplot/internal/fgn"
+	"coplot/internal/loadctl"
+	"coplot/internal/machine"
+	"coplot/internal/models"
+	"coplot/internal/parametric"
+	"coplot/internal/rng"
+	"coplot/internal/selfsim"
+	"coplot/internal/sites"
+	"coplot/internal/swf"
+	"coplot/internal/validate"
+	"coplot/internal/workload"
+)
+
+// Dataset is a labeled observation×variable matrix, the input of the
+// Co-plot method.
+type Dataset = core.Dataset
+
+// Options tune an analysis; the zero value uses sensible defaults.
+type Options = core.Options
+
+// Result is a fitted Co-plot map: observation points, variable arrows,
+// and the goodness-of-fit measures (coefficient of alienation, per-arrow
+// maximal correlations).
+type Result = core.Result
+
+// Point is a mapped observation.
+type Point = core.Point
+
+// Arrow is a variable's direction of maximal correlation.
+type Arrow = core.Arrow
+
+// Analyze runs the four-stage Co-plot pipeline on the dataset.
+func Analyze(ds *Dataset, opts Options) (*Result, error) {
+	return core.Analyze(ds, opts)
+}
+
+// ClusterArrows groups arrows whose angles lie within maxAngle radians,
+// recovering the paper's variable clusters.
+func ClusterArrows(arrows []Arrow, maxAngle float64) [][]Arrow {
+	return core.ClusterArrows(arrows, maxAngle)
+}
+
+// Job is one Standard Workload Format record.
+type Job = swf.Job
+
+// Log is an SWF workload log.
+type Log = swf.Log
+
+// ParseSWF reads a log in Standard Workload Format.
+func ParseSWF(r io.Reader) (*Log, error) { return swf.Parse(r) }
+
+// WriteSWF serializes a log in Standard Workload Format.
+func WriteSWF(w io.Writer, l *Log) error { return swf.Write(w, l) }
+
+// Machine describes the system a workload ran on.
+type Machine = machine.Machine
+
+// WorkloadVariables holds one observation row of the paper's Table-1
+// variables.
+type WorkloadVariables = workload.Variables
+
+// ComputeVariables derives the Table-1 variables from a log and its
+// machine, applying the paper's missing-value rules.
+func ComputeVariables(name string, l *Log, m Machine) (WorkloadVariables, error) {
+	return workload.Compute(name, l, m)
+}
+
+// Model generates synthetic parallel workloads.
+type Model = models.Model
+
+// Models returns the five synthetic models of the paper (Feitelson '96,
+// Feitelson '97, Downey, Jann, Lublin) sized for maxProcs processors.
+func Models(maxProcs int) []Model { return models.All(maxProcs) }
+
+// GenerateWorkload runs a model for n jobs from a seed. It exists
+// because Model.Generate takes this repository's internal random source,
+// which external callers cannot construct.
+func GenerateWorkload(m Model, seed uint64, n int) *Log {
+	return m.Generate(rng.New(seed), n)
+}
+
+// SelfSimilar wraps a model so its output carries long-range dependence
+// with Hurst parameter h while preserving every marginal statistic (the
+// paper's section-9 requirement for future models).
+func SelfSimilar(m Model, h float64) Model { return models.NewSelfSimilar(m, h) }
+
+// SiteSpec calibrates a synthetic "production" workload generator.
+type SiteSpec = sites.Spec
+
+// ProductionSites returns generators for the paper's ten production
+// observations, calibrated to Table 1, each emitting jobs jobs.
+func ProductionSites(jobs int) []SiteSpec { return sites.Table1Specs(jobs) }
+
+// HurstEstimates bundles the three estimators' results for one series.
+type HurstEstimates = selfsim.Estimates
+
+// EstimateHurst runs R/S analysis, the variance-time plot, and the
+// periodogram estimator on a series; failed estimators yield NaN.
+func EstimateHurst(series []float64) HurstEstimates {
+	return selfsim.EstimateAll(series)
+}
+
+// WorkloadSeries extracts the four per-workload series of the paper's
+// Table 3 (used processors, runtime, total CPU work, inter-arrival
+// times) from a log, keyed by the selfsim series names.
+func WorkloadSeries(l *Log) map[string][]float64 {
+	return selfsim.SeriesFromLog(l)
+}
+
+// FGN generates n points of unit-variance fractional Gaussian noise with
+// Hurst parameter h, using the Davies–Harte method.
+func FGN(seed uint64, h float64, n int) ([]float64, error) {
+	return fgn.DaviesHarte(rng.New(seed), h, n)
+}
+
+// ValidationIssue is one anomaly detected in a log audit.
+type ValidationIssue = validate.Issue
+
+// ValidationReport aggregates the anomalies of one log.
+type ValidationReport = validate.Report
+
+// ValidateLog audits a log for the paper's section-1 validity concerns:
+// jobs exceeding the system's limits, undocumented downtime, user
+// dedication, and corrupt records.
+func ValidateLog(l *Log, m Machine) *ValidationReport {
+	return validate.Check(l, m, validate.Options{})
+}
+
+// ParametricParams are the three inputs of the paper's section-8
+// generalized workload model.
+type ParametricParams = parametric.Params
+
+// ParametricModel predicts a full workload description from the three
+// section-8 parameters and generates matching, long-range-dependent
+// workloads.
+type ParametricModel = parametric.Model
+
+// NewParametricModel fits the section-8 model for a machine of maxProcs
+// processors.
+func NewParametricModel(maxProcs int) (*ParametricModel, error) {
+	return parametric.New(maxProcs)
+}
+
+// ScaleLoad raises or lowers a workload's load by the given factor with
+// one of the section-8 operators. Method names: "scale-interarrival",
+// "scale-runtime", "scale-parallelism", "combined" (the paper-informed
+// operator that leaves runtimes untouched).
+func ScaleLoad(l *Log, methodName string, factor float64, maxProcs int) (*Log, error) {
+	for _, m := range loadctl.Methods {
+		if m.String() == methodName {
+			return loadctl.Apply(l, m, factor, maxProcs)
+		}
+	}
+	return nil, fmt.Errorf("coplot: unknown load-scaling method %q", methodName)
+}

@@ -1,0 +1,175 @@
+package coplot
+
+// Integration tests of the public facade: the workflows a downstream
+// user would run, wired through the exported surface only.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeAnalyzeWorkflow(t *testing.T) {
+	ds := &Dataset{
+		Observations: []string{"a", "b", "c", "d", "e"},
+		Variables:    []string{"x", "y"},
+		X: [][]float64{
+			{1, 10}, {2, 20}, {3, 28}, {4, 41}, {5, 52},
+		},
+	}
+	res, err := Analyze(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 || len(res.Arrows) != 2 {
+		t.Fatalf("points=%d arrows=%d", len(res.Points), len(res.Arrows))
+	}
+	// x and y are nearly perfectly correlated: their arrows coincide.
+	clusters := ClusterArrows(res.Arrows, 0.5)
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(clusters))
+	}
+	if res.Alienation > 0.05 {
+		t.Fatalf("alienation = %v on 1-D data", res.Alienation)
+	}
+}
+
+func TestFacadeModelToVariablesWorkflow(t *testing.T) {
+	// Generate → characterize → SWF round trip, all through the facade.
+	ms := Models(128)
+	if len(ms) != 5 {
+		t.Fatalf("models = %d", len(ms))
+	}
+	var lublin Model
+	for _, m := range ms {
+		if m.Name() == "Lublin" {
+			lublin = m
+		}
+	}
+	log := GenerateWorkload(lublin, 7, 2000)
+	mach := Machine{Name: "test", Procs: 128, Scheduler: 2, Allocator: 3}
+	v, err := ComputeVariables("lublin", log, mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Get("Rm") <= 0 {
+		t.Fatalf("runtime median = %v", v.Get("Rm"))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != len(log.Jobs) {
+		t.Fatal("SWF round trip lost jobs")
+	}
+}
+
+func TestFacadeSelfSimilarWrapper(t *testing.T) {
+	base := Models(128)[4] // Lublin
+	wrapped := SelfSimilar(base, 0.85)
+	plain := GenerateWorkload(base, 9, 8192)
+	ss := GenerateWorkload(wrapped, 9, 8192)
+	hPlain := EstimateHurst(WorkloadSeries(plain)["interarrival"])
+	hSS := EstimateHurst(WorkloadSeries(ss)["interarrival"])
+	if !(hSS.VT > hPlain.VT) {
+		t.Fatalf("wrapper did not raise H: %v vs %v", hSS.VT, hPlain.VT)
+	}
+}
+
+func TestFacadeHurstWorkflow(t *testing.T) {
+	x, err := FGN(3, 0.85, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := EstimateHurst(x)
+	if math.IsNaN(e.VT) || e.VT < 0.7 {
+		t.Fatalf("H estimate = %+v, want ~0.85", e)
+	}
+	white, err := FGN(4, 0.5, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew := EstimateHurst(white)
+	if ew.VT > e.VT {
+		t.Fatal("white noise estimated more self-similar than fGn(0.85)")
+	}
+}
+
+func TestFacadeProductionSites(t *testing.T) {
+	specs := ProductionSites(1500)
+	if len(specs) != 10 {
+		t.Fatalf("sites = %d", len(specs))
+	}
+	log, err := specs[0].Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := WorkloadSeries(log)
+	if len(series["runtime"]) != 1500 {
+		t.Fatalf("runtime series = %d", len(series["runtime"]))
+	}
+}
+
+func TestFacadeSVGRendering(t *testing.T) {
+	ds := &Dataset{
+		Observations: []string{"p", "q", "r", "s"},
+		Variables:    []string{"u", "v", "w"},
+		X: [][]float64{
+			{1, 5, 2}, {2, 3, 4}, {3, 1, 8}, {4, 2, 16},
+		},
+	}
+	res, err := Analyze(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := res.SVG(400, 300)
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("SVG rendering broken through the facade")
+	}
+}
+
+func TestFacadeValidateLog(t *testing.T) {
+	lublin := Models(128)[4]
+	log := GenerateWorkload(lublin, 11, 500)
+	m := Machine{Name: "t", Procs: 128, Scheduler: 2, Allocator: 3}
+	rep := ValidateLog(log, m)
+	if rep.Errors() != 0 {
+		t.Fatalf("model log failed validation: %+v", rep.Issues)
+	}
+}
+
+func TestFacadeParametricModel(t *testing.T) {
+	pm, err := NewParametricModel(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ParametricParams{AllocFlexibility: 2, ProcsMedian: 8, InterArrivalMedian: 120}
+	log, err := pm.Generate("plan", p, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Jobs) != 1000 {
+		t.Fatalf("jobs = %d", len(log.Jobs))
+	}
+}
+
+func TestFacadeScaleLoad(t *testing.T) {
+	lublin := Models(128)[4]
+	log := GenerateWorkload(lublin, 12, 800)
+	scaled, err := ScaleLoad(log, "scale-runtime", 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Jobs[0].Runtime != 2*log.Jobs[0].Runtime {
+		t.Fatal("runtime not scaled")
+	}
+	if _, err := ScaleLoad(log, "nope", 2, 128); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

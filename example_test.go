@@ -1,0 +1,64 @@
+package coplot_test
+
+import (
+	"fmt"
+
+	"coplot"
+)
+
+// ExampleAnalyze maps five observations described by three variables and
+// reads the goodness of fit.
+func ExampleAnalyze() {
+	ds := &coplot.Dataset{
+		Observations: []string{"w1", "w2", "w3", "w4", "w5"},
+		Variables:    []string{"runtime", "parallelism", "gap"},
+		X: [][]float64{
+			{900, 2, 300},
+			{800, 3, 280},
+			{100, 8, 120},
+			{15, 4, 30},
+			{12, 3, 25},
+		},
+	}
+	res, err := coplot.Analyze(ds, coplot.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("observations mapped: %d\n", len(res.Points))
+	fmt.Printf("arrows fitted: %d\n", len(res.Arrows))
+	fmt.Printf("good fit: %v\n", res.Alienation < 0.15)
+	// Output:
+	// observations mapped: 5
+	// arrows fitted: 3
+	// good fit: true
+}
+
+// ExampleGenerateWorkload draws ten thousand jobs from Lublin's model
+// and summarizes them with the paper's workload variables.
+func ExampleGenerateWorkload() {
+	lublin := coplot.Models(128)[4]
+	log := coplot.GenerateWorkload(lublin, 1, 10000)
+	m := coplot.Machine{Name: "demo", Procs: 128, Scheduler: 2, Allocator: 3}
+	v, err := coplot.ComputeVariables("demo", log, m)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("jobs: %d\n", len(log.Jobs))
+	fmt.Printf("median parallelism sane: %v\n", v.Get("Pm") >= 1 && v.Get("Pm") <= 128)
+	// Output:
+	// jobs: 10000
+	// median parallelism sane: true
+}
+
+// ExampleEstimateHurst recovers the Hurst parameter of synthetic
+// fractional Gaussian noise.
+func ExampleEstimateHurst() {
+	x, err := coplot.FGN(7, 0.8, 1<<14)
+	if err != nil {
+		panic(err)
+	}
+	e := coplot.EstimateHurst(x)
+	fmt.Printf("clearly self-similar: %v\n", e.VT > 0.65 && e.RS > 0.65)
+	// Output:
+	// clearly self-similar: true
+}

@@ -1,0 +1,65 @@
+// Modelcompare reproduces the Figure 4 workflow with the public
+// experiment API: generate the five synthetic models, characterize them
+// with the same variables as the ten production observations, map
+// everything together with Co-plot, and report which production log each
+// model resembles most.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"coplot/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.Config{Jobs: 6000, ModelJobs: 6000}
+	fig, err := experiments.Figure4(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(fig.Analysis.ASCIIMap(90, 26))
+	fmt.Printf("\nalienation %.3f, average arrow correlation %.2f\n\n",
+		fig.Analysis.Alienation, fig.Analysis.AvgCorr)
+
+	// Nearest production workload per model — the paper's way of saying
+	// "each model usually covers well one machine type".
+	production := map[string]bool{
+		"CTC": true, "KTH": true, "LANL": true, "LANLi": true, "LANLb": true,
+		"LLNL": true, "NASA": true, "SDSC": true, "SDSCi": true, "SDSCb": true,
+	}
+	type pt = struct{ x, y float64 }
+	pts := map[string]pt{}
+	for _, p := range fig.Analysis.Points {
+		pts[p.Name] = pt{p.X, p.Y}
+	}
+	for _, model := range []string{"Feitelson96", "Feitelson97", "Downey", "Jann", "Lublin"} {
+		mp, ok := pts[model]
+		if !ok {
+			continue
+		}
+		best, bestD := "", math.Inf(1)
+		for name := range production {
+			pp, ok := pts[name]
+			if !ok {
+				continue
+			}
+			d := math.Hypot(mp.x-pp.x, mp.y-pp.y)
+			if d < bestD {
+				best, bestD = name, d
+			}
+		}
+		fmt.Printf("%-12s is closest to %-6s (map distance %.2f)\n", model, best, bestD)
+	}
+
+	fmt.Println("\npaper-vs-measured checks:")
+	for _, c := range fig.Checks {
+		mark := "OK "
+		if !c.Pass {
+			mark = "DIFF"
+		}
+		fmt.Printf("  [%s] %s — %s\n", mark, c.Name, c.Measured)
+	}
+}

@@ -1,0 +1,3 @@
+module coplot
+
+go 1.22

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+
+	"coplot/internal/stats"
+)
+
+// ImpliedCorrelation returns the correlation between two variables as
+// read off the map: the cosine of the angle between their arrows, which
+// section 2 of the paper states is "approximately proportional to the
+// correlations between their associated variables".
+func (r *Result) ImpliedCorrelation(varA, varB string) (float64, error) {
+	a, err := r.arrowByName(varA)
+	if err != nil {
+		return math.NaN(), err
+	}
+	b, err := r.arrowByName(varB)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return ArrowCos(a, b), nil
+}
+
+func (r *Result) arrowByName(name string) (Arrow, error) {
+	for _, a := range r.Arrows {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Arrow{}, &missingArrowError{name}
+}
+
+type missingArrowError struct{ name string }
+
+func (e *missingArrowError) Error() string { return "coplot: no arrow " + e.name }
+
+// CorrelationFidelity compares the map-implied correlations (arrow
+// cosines) against the actual Pearson correlations of the dataset
+// columns, returning the mean absolute difference over all variable
+// pairs and the worst pair. It is the quantitative version of the
+// paper's claim that arrow angles can be read as correlations — and a
+// practical gauge of how much to trust a given map's angles.
+func CorrelationFidelity(ds *Dataset, r *Result) (meanAbsErr float64, worstPair [2]string, worstErr float64) {
+	cols := map[string][]float64{}
+	for j, name := range ds.Variables {
+		col := make([]float64, len(ds.Observations))
+		for i := range ds.X {
+			col[i] = ds.X[i][j]
+		}
+		cols[name] = col
+	}
+	count := 0
+	for i := 0; i < len(r.Arrows); i++ {
+		for j := i + 1; j < len(r.Arrows); j++ {
+			a, b := r.Arrows[i], r.Arrows[j]
+			ca, okA := cols[a.Name]
+			cb, okB := cols[b.Name]
+			if !okA || !okB {
+				continue
+			}
+			actual := stats.Pearson(ca, cb)
+			implied := ArrowCos(a, b)
+			err := math.Abs(actual - implied)
+			meanAbsErr += err
+			count++
+			if err > worstErr {
+				worstErr = err
+				worstPair = [2]string{a.Name, b.Name}
+			}
+		}
+	}
+	if count > 0 {
+		meanAbsErr /= float64(count)
+	}
+	return meanAbsErr, worstPair, worstErr
+}

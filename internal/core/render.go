@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCIIMap renders the configuration and arrows as a text map of the
+// given character dimensions, so results are inspectable in a terminal.
+// Points are labeled with their observation names; arrow heads with the
+// variable name prefixed by '>'.
+func (r *Result) ASCIIMap(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 10 {
+		height = 10
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range r.Points {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+	// Leave a margin for labels.
+	padX := (maxX - minX) * 0.12
+	padY := (maxY - minY) * 0.12
+	minX, maxX = minX-padX, maxX+padX
+	minY, maxY = minY-padY, maxY+padY
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	toCell := func(x, y float64) (cx, cy int) {
+		cx = int((x - minX) / (maxX - minX) * float64(width-1))
+		cy = int((maxY - y) / (maxY - minY) * float64(height-1))
+		return
+	}
+	put := func(cx, cy int, s string) {
+		if cy < 0 || cy >= height {
+			return
+		}
+		for k := 0; k < len(s); k++ {
+			if cx+k >= 0 && cx+k < width {
+				grid[cy][cx+k] = s[k]
+			}
+		}
+	}
+	// Arrow scale: 40% of the half-extent.
+	arrowLen := 0.4 * math.Min(maxX-minX, maxY-minY) / 2
+	for _, a := range r.Arrows {
+		cx, cy := toCell(a.DX*arrowLen, a.DY*arrowLen)
+		put(cx, cy, ">"+a.Name)
+	}
+	for _, p := range r.Points {
+		cx, cy := toCell(p.X, p.Y)
+		put(cx, cy, "*"+p.Name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Co-plot map  (alienation %.3f, avg corr %.2f, min corr %.2f)\n",
+		r.Alienation, r.AvgCorr, r.MinCorr)
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	return b.String()
+}
+
+// SVG renders the map as a standalone SVG document: observation points
+// with labels, and variable arrows radiating from the center of gravity.
+func (r *Result) SVG(width, height int) string {
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 480
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range r.Points {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+	padX := (maxX - minX) * 0.15
+	padY := (maxY - minY) * 0.15
+	minX, maxX = minX-padX, maxX+padX
+	minY, maxY = minY-padY, maxY+padY
+	sx := func(x float64) float64 { return (x - minX) / (maxX - minX) * float64(width) }
+	sy := func(y float64) float64 { return (maxY - y) / (maxY - minY) * float64(height) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="8" y="16" font-size="12" fill="#555">alienation %.3f · avg corr %.2f · min corr %.2f</text>`+"\n",
+		r.Alienation, r.AvgCorr, r.MinCorr)
+
+	arrowLen := 0.35 * math.Min(maxX-minX, maxY-minY) / 2
+	cx, cy := sx(0), sy(0)
+	for _, a := range r.Arrows {
+		tx, ty := sx(a.DX*arrowLen), sy(a.DY*arrowLen)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#c33" stroke-width="1.2"/>`+"\n",
+			cx, cy, tx, ty)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="#c33">%s (%.2f)</text>`+"\n",
+			tx+3, ty-3, escapeXML(a.Name), a.Corr)
+	}
+	for _, p := range r.Points {
+		px, py := sx(p.X), sy(p.Y)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="#1a56a0"/>`+"\n", px, py)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="12" fill="#1a56a0">%s</text>`+"\n",
+			px+5, py+4, escapeXML(p.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

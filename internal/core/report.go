@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"coplot/internal/mat"
+	"coplot/internal/mds"
+	"coplot/internal/plot"
+)
+
+// Report renders the full analysis as text: the map, the point
+// coordinates, the arrows with their maximal correlations, the variable
+// clusters, and any pruned variables.
+func (r *Result) Report() string {
+	var b strings.Builder
+	b.WriteString(r.ASCIIMap(96, 28))
+	b.WriteString("\npoints:\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-14s % .3f % .3f\n", p.Name, p.X, p.Y)
+	}
+	b.WriteString("arrows (direction, max correlation):\n")
+	for _, a := range r.Arrows {
+		fmt.Fprintf(&b, "  %-14s (% .2f, % .2f)  r=%.2f\n", a.Name, a.DX, a.DY, a.Corr)
+	}
+	clusters := ClusterArrows(r.Arrows, 0.5)
+	fmt.Fprintf(&b, "variable clusters (within ~30 degrees):\n")
+	for i, c := range clusters {
+		fmt.Fprintf(&b, "  cluster %d:", i+1)
+		for _, a := range c {
+			fmt.Fprintf(&b, " %s", a.Name)
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Removed) > 0 {
+		b.WriteString("pruned variables (low correlation):\n")
+		for _, rm := range r.Removed {
+			fmt.Fprintf(&b, "  %-14s r=%.2f\n", rm.Name, rm.Corr)
+		}
+	}
+	return b.String()
+}
+
+// config rebuilds the coordinate matrix from the mapped points.
+func (r *Result) config() *mat.Matrix {
+	c := mat.New(len(r.Points), 2)
+	for i, p := range r.Points {
+		c.Set(i, 0, p.X)
+		c.Set(i, 1, p.Y)
+	}
+	return c
+}
+
+// Shepard returns the Shepard diagram of the fitted map: one
+// (dissimilarity, map distance) pair per observation pair, sorted by
+// dissimilarity. A monotone cloud confirms the non-metric fit.
+func (r *Result) Shepard() []mds.ShepardPoint {
+	if r.Dissimilarities == nil || len(r.Points) < 2 {
+		return nil
+	}
+	return mds.Shepard(r.Dissimilarities, r.config())
+}
+
+// ShepardSVG renders the Shepard diagram as an SVG scatter.
+func (r *Result) ShepardSVG() (string, error) {
+	pts := r.Shepard()
+	if len(pts) == 0 {
+		return "", fmt.Errorf("coplot: no Shepard data (missing dissimilarities)")
+	}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.Dissimilarity
+		ys[i] = p.Distance
+	}
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("Shepard diagram (rank corr %.3f, alienation %.3f)", mds.ShepardCorrelation(pts), r.Alienation),
+		XLabel: "dissimilarity",
+		YLabel: "map distance",
+		Series: []plot.Series{{Name: "pairs", X: xs, Y: ys}},
+	}
+	return c.SVG()
+}

@@ -1,0 +1,126 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Table 1 (production-workload variables), Figures 1–3
+// (Co-plot maps of production workloads, with and without the batch
+// outliers, and over time), Table 2 (half-year periods), Figure 4
+// (production versus the five synthetic models), the section-8
+// three-parameter map, Table 3 (Hurst estimates), and Figure 5 (Co-plot
+// of the self-similarity estimates).
+//
+// Each experiment returns a typed result carrying the regenerated table
+// or map, a rendered text form, and a list of Checks comparing the
+// paper's qualitative findings against the measured reproduction — the
+// raw material of EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"coplot/internal/mds"
+)
+
+// Config sets the scale and seed of an experiment run. The zero value is
+// usable: defaults are filled by WithDefaults.
+type Config struct {
+	// Seed drives every generator; two runs with equal Config are
+	// identical.
+	Seed uint64
+	// Jobs per production-site log.
+	Jobs int
+	// ModelJobs per synthetic-model log (Figure 4, Table 3).
+	ModelJobs int
+	// PeriodJobs per half-year sub-log (Table 2, Figure 3).
+	PeriodJobs int
+	// MDSSeed seeds the SSA restarts.
+	MDSSeed uint64
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.Jobs <= 0 {
+		c.Jobs = 16384
+	}
+	if c.ModelJobs <= 0 {
+		c.ModelJobs = 12000
+	}
+	if c.PeriodJobs <= 0 {
+		c.PeriodJobs = 8192
+	}
+	if c.Seed == 0 {
+		c.Seed = 19990401 // IPPS '99
+	}
+	if c.MDSSeed == 0 {
+		c.MDSSeed = 7
+	}
+	return c
+}
+
+// mdsOptions returns the SSA configuration shared by all figures.
+func (c Config) mdsOptions() mds.Options {
+	return mds.Options{Seed: c.MDSSeed, Restarts: 6}
+}
+
+// Check is one paper-versus-measured comparison.
+type Check struct {
+	// Name identifies the finding, e.g. "fig1 alienation".
+	Name string
+	// Paper states the published value or qualitative claim.
+	Paper string
+	// Measured states what this reproduction observed.
+	Measured string
+	// Pass reports whether the measured value preserves the paper's
+	// finding (shape, not absolute numbers).
+	Pass bool
+}
+
+// renderChecks formats checks as a text block.
+func renderChecks(checks []Check) string {
+	var b strings.Builder
+	for _, c := range checks {
+		status := "OK  "
+		if !c.Pass {
+			status = "DIFF"
+		}
+		fmt.Fprintf(&b, "[%s] %-38s paper: %-38s measured: %s\n", status, c.Name, c.Paper, c.Measured)
+	}
+	return b.String()
+}
+
+// formatTable renders a matrix with row and column headers, Table 1
+// style (variables as rows, observations as columns).
+func formatTable(title string, colNames []string, rowNames []string, cell func(row, col int) string) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	colWidth := 10
+	fmt.Fprintf(&b, "%-6s", "")
+	for _, c := range colNames {
+		fmt.Fprintf(&b, "%*s", colWidth, c)
+	}
+	b.WriteByte('\n')
+	for i, r := range rowNames {
+		fmt.Fprintf(&b, "%-6s", r)
+		for j := range colNames {
+			fmt.Fprintf(&b, "%*s", colWidth, cell(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// fnum renders a float compactly for table cells.
+func fnum(v float64) string {
+	switch {
+	case v != v: // NaN
+		return "N/A"
+	case v == 0:
+		return "0"
+	case v >= 10000:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}

@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coplot/internal/workload"
+)
+
+// testCfg keeps the suite fast; the calibration tolerances hold from a
+// few thousand jobs up.
+func testCfg() Config {
+	return Config{Jobs: 4096, ModelJobs: 3000, PeriodJobs: 2048, Seed: 5}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Jobs == 0 || c.ModelJobs == 0 || c.PeriodJobs == 0 || c.Seed == 0 {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{Jobs: 123}.WithDefaults()
+	if c2.Jobs != 123 {
+		t.Fatal("explicit Jobs overwritten")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Observations) != 10 {
+		t.Fatalf("observations = %d", len(res.Table.Observations))
+	}
+	if len(res.Table.Codes) != len(workload.AllVariables) {
+		t.Fatalf("codes = %d", len(res.Table.Codes))
+	}
+	if !strings.Contains(res.Text, "Table 1") {
+		t.Fatal("missing table title")
+	}
+	if len(res.Checks) == 0 {
+		t.Fatal("no checks recorded")
+	}
+	// Reproducibility: same config, same table.
+	res2, err := Table1(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Table.Data {
+		for j := range res.Table.Data[i] {
+			if res.Table.Data[i][j] != res2.Table.Data[i][j] {
+				t.Fatalf("cell (%d,%d) not reproducible", i, j)
+			}
+		}
+	}
+}
+
+func TestTable1MediansCalibrated(t *testing.T) {
+	res, err := Table1(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Checks {
+		if strings.HasPrefix(c.Name, "calibration R") && !c.Pass {
+			t.Errorf("%s failed: %s", c.Name, c.Measured)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Observations) != 8 {
+		t.Fatalf("observations = %d", len(res.Table.Observations))
+	}
+	foundRegime := false
+	for _, c := range res.Checks {
+		if strings.Contains(c.Name, "regime") {
+			foundRegime = true
+			if !c.Pass {
+				t.Errorf("regime check failed: %s", c.Measured)
+			}
+		}
+	}
+	if !foundRegime {
+		t.Fatal("regime check missing")
+	}
+}
+
+func TestFigure1Properties(t *testing.T) {
+	fig, err := Figure1(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Analysis.Points) != 10 {
+		t.Fatalf("points = %d", len(fig.Analysis.Points))
+	}
+	if len(fig.Analysis.Arrows) != len(fig1Vars) {
+		t.Fatalf("arrows = %d", len(fig.Analysis.Arrows))
+	}
+	if fig.Analysis.Alienation > 0.2 {
+		t.Fatalf("alienation = %v", fig.Analysis.Alienation)
+	}
+	if !strings.HasPrefix(fig.SVG, "<svg") {
+		t.Fatal("missing SVG")
+	}
+	for _, c := range fig.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Measured)
+		}
+	}
+}
+
+func TestFigure2DropsOutliers(t *testing.T) {
+	fig, err := Figure2(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Analysis.Points) != 8 {
+		t.Fatalf("points = %d, want 8", len(fig.Analysis.Points))
+	}
+	for _, p := range fig.Analysis.Points {
+		if p.Name == "LANLb" || p.Name == "SDSCb" {
+			t.Fatal("outlier not dropped")
+		}
+	}
+	for _, c := range fig.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Measured)
+		}
+	}
+}
+
+func TestFigure3EighteenObservations(t *testing.T) {
+	fig, err := Figure3(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Analysis.Points) != 18 {
+		t.Fatalf("points = %d, want 18", len(fig.Analysis.Points))
+	}
+	for _, c := range fig.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Measured)
+		}
+	}
+}
+
+func TestFigure4ModelPlacement(t *testing.T) {
+	fig, err := Figure4(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Analysis.Points) != 15 {
+		t.Fatalf("points = %d, want 15", len(fig.Analysis.Points))
+	}
+	for _, c := range fig.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Measured)
+		}
+	}
+}
+
+func TestParams3GoodFit(t *testing.T) {
+	fig, err := Params3(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Analysis.Arrows) != 3 {
+		t.Fatalf("arrows = %d, want 3", len(fig.Analysis.Arrows))
+	}
+	if fig.Analysis.Alienation > 0.1 {
+		t.Fatalf("alienation = %v, paper reports 0.02", fig.Analysis.Alienation)
+	}
+}
+
+func TestTable3SeparatesModels(t *testing.T) {
+	res, err := Table3(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != 15 {
+		t.Fatalf("workloads = %d", len(res.Workloads))
+	}
+	if len(res.H[0]) != 12 {
+		t.Fatalf("estimators = %d", len(res.H[0]))
+	}
+	for _, c := range res.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Measured)
+		}
+	}
+	// All estimates must be in (0,1) or NaN.
+	for i, row := range res.H {
+		for j, h := range row {
+			if !math.IsNaN(h) && (h <= 0 || h >= 1) {
+				t.Fatalf("H[%d][%d] = %v", i, j, h)
+			}
+		}
+	}
+}
+
+func TestFigure5Separation(t *testing.T) {
+	fig, err := Figure5(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range fig.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Measured)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	for _, name := range []string{"table1", "params3"} {
+		o, err := Run(name, testCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if o.Name != name || o.Text == "" {
+			t.Fatalf("%s: bad output", name)
+		}
+	}
+	if _, err := Run("nope", testCfg()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestWriteOutputs(t *testing.T) {
+	dir := t.TempDir()
+	o, err := Run("params3", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteOutputs(dir, []*Output{o}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "params3.txt")); err != nil {
+		t.Fatal("text artifact missing")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "params3.svg")); err != nil {
+		t.Fatal("svg artifact missing")
+	}
+}
+
+func TestSummaryCounts(t *testing.T) {
+	outs := []*Output{
+		{Name: "a", Checks: []Check{{Pass: true}, {Pass: false}}},
+		{Name: "b", Checks: []Check{{Pass: true}}},
+	}
+	s := Summary(outs)
+	if !strings.Contains(s, "TOTAL    2/3") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestModelLogsDeterministic(t *testing.T) {
+	cfg := testCfg()
+	a, names, err := ModelLogs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 5 {
+		t.Fatalf("models = %d", len(names))
+	}
+	b, _, err := ModelLogs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if len(a[n].Jobs) != len(b[n].Jobs) {
+			t.Fatalf("%s not reproducible", n)
+		}
+		if a[n].Jobs[0] != b[n].Jobs[0] {
+			t.Fatalf("%s first job differs", n)
+		}
+	}
+}

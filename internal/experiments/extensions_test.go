@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMomentStability(t *testing.T) {
+	res, err := MomentStability(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MeanShift) != 10 {
+		t.Fatalf("sites covered = %d", len(res.MeanShift))
+	}
+	for _, c := range res.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Measured)
+		}
+	}
+	// The headline claim: medians move less than means, intervals less
+	// than CVs, per site on average (already asserted in checks); also
+	// every shift must be a sane fraction.
+	for site, v := range res.MedianShift {
+		if v > 0.05 {
+			t.Errorf("%s median shifted %v under 0.1%% trimming", site, v)
+		}
+	}
+}
+
+func TestMapStability(t *testing.T) {
+	res, err := MapStability(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 10 {
+		t.Fatalf("runs = %d, want 10 leave-one-out analyses", res.Runs)
+	}
+	for _, c := range res.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Measured)
+		}
+	}
+}
+
+func TestLoadScalingStudy(t *testing.T) {
+	res, err := LoadScalingStudy(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Effects) != 4 {
+		t.Fatalf("methods covered = %d", len(res.Effects))
+	}
+	for _, c := range res.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Measured)
+		}
+	}
+}
+
+func TestParametricRoundTrip(t *testing.T) {
+	fig, err := ParametricRoundTrip(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 production observations + 4 clones.
+	if len(fig.Analysis.Points) != 14 {
+		t.Fatalf("points = %d, want 14", len(fig.Analysis.Points))
+	}
+	for _, c := range fig.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Measured)
+		}
+	}
+}
+
+func TestSelfSimilarModelsExperiment(t *testing.T) {
+	out, err := SelfSimilarModels(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Text, "SS") && !strings.Contains(out.Text, "H(arr") {
+		t.Fatal("missing table")
+	}
+	for _, c := range out.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Measured)
+		}
+	}
+}
+
+func TestRunDispatchExtensions(t *testing.T) {
+	for _, name := range []string{"moments", "loadscale"} {
+		o, err := Run(name, testCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if o.Name != name || len(o.Checks) == 0 {
+			t.Fatalf("%s: bad output", name)
+		}
+	}
+}
+
+func TestPaperFigures(t *testing.T) {
+	out, err := PaperFigures(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Checks) < 6 {
+		t.Fatalf("checks = %d", len(out.Checks))
+	}
+	for _, c := range out.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Measured)
+		}
+	}
+	// The headline validation: on the published Table 1 the alienation
+	// must land in the paper's neighbourhood (they report 0.07).
+	if !strings.Contains(out.Text, "Figure 1 on the published Table 1 cells") {
+		t.Fatal("missing fig1 section")
+	}
+}
+
+func TestTable3CI(t *testing.T) {
+	out, err := Table3CI(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range out.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Measured)
+		}
+	}
+	if !strings.Contains(out.Text, "CI [") {
+		t.Fatal("missing interval text")
+	}
+}
+
+func TestSeedSweep(t *testing.T) {
+	out, err := SeedSweep(testCfg(), []uint64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Checks) != 1 {
+		t.Fatalf("checks = %d", len(out.Checks))
+	}
+	if !out.Checks[0].Pass {
+		t.Errorf("seed sweep failed: %s", out.Checks[0].Measured)
+	}
+	if !strings.Contains(out.Text, "2/2 seeds") && !strings.Contains(out.Text, "1/2 seeds") {
+		t.Fatal("missing per-check counts")
+	}
+}
+
+func TestRunAllSmall(t *testing.T) {
+	outs, err := RunAll(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 paper artifacts + 7 extension outputs.
+	if len(outs) != 16 {
+		t.Fatalf("outputs = %d, want 16", len(outs))
+	}
+	seen := map[string]bool{}
+	for _, o := range outs {
+		if o.Text == "" {
+			t.Fatalf("%s: empty text", o.Name)
+		}
+		seen[o.Name] = true
+	}
+	for _, want := range []string{"table1", "fig5", "paper", "table3ci", "selfsim-models"} {
+		if !seen[want] {
+			t.Fatalf("missing output %q", want)
+		}
+	}
+	s := Summary(outs)
+	if !strings.Contains(s, "TOTAL") {
+		t.Fatal("summary missing total")
+	}
+	// Artifacts write without error.
+	dir := t.TempDir()
+	if err := WriteOutputs(dir, outs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllNames(t *testing.T) {
+	// Every name in Names dispatches (seeds excluded: it is the sweep).
+	for _, name := range []string{"fig3", "fig4", "table2", "stability", "parametric", "selfsim-models"} {
+		o, err := Run(name, testCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if o.Name != name {
+			t.Fatalf("%s: wrong output name %q", name, o.Name)
+		}
+	}
+}

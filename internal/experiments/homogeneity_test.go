@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"coplot/internal/sites"
+	"coplot/internal/swf"
+)
+
+func TestHomogeneityStableLog(t *testing.T) {
+	// A stationary site generator produces a homogeneous log.
+	specs := sites.Table1Specs(6000)
+	sdsc := specs[7] // SDSC
+	log, err := sdsc.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Homogeneity(log, sdsc.Machine, 4, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Homogeneous {
+		t.Fatalf("stationary log judged heterogeneous: period spread %v vs baseline %v, outliers %v",
+			res.PeriodSpread, res.BaselineSpread, res.Outliers)
+	}
+	if !strings.Contains(res.Text, "homogeneous") {
+		t.Fatal("missing verdict text")
+	}
+}
+
+func TestHomogeneityRegimeChange(t *testing.T) {
+	// Splice a LANL-like end-of-life regime onto a normal first half:
+	// the audit must notice.
+	specs := Table2SpecsForTest(4000)
+	l1, err := specs[0].Generate(4) // L1: normal period
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3, err := specs[2].Generate(5) // L3: end-of-life regime
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := l1.Duration() + 1000
+	spliced := swf.Merge(l1, l3.ShiftTime(shift))
+	res, err := Homogeneity(spliced, specs[0].Machine, 4, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Homogeneous {
+		t.Fatalf("regime change not detected: spread %v vs baseline %v",
+			res.PeriodSpread, res.BaselineSpread)
+	}
+}
+
+// Table2SpecsForTest re-exports the period specs for the splice test.
+func Table2SpecsForTest(jobs int) []sites.Spec { return sites.Table2Specs(jobs) }
+
+func TestHomogeneityValidation(t *testing.T) {
+	specs := sites.Table1Specs(2000)
+	log, err := specs[0].Generate(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Homogeneity(log, specs[0].Machine, 1, testCfg()); err == nil {
+		t.Fatal("1 period accepted")
+	}
+	if _, err := Homogeneity(&swf.Log{}, specs[0].Machine, 4, testCfg()); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	if _, err := Homogeneity(log, specs[0].Machine, 500, testCfg()); err == nil {
+		t.Fatal("periods with too few jobs accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"coplot/internal/loadctl"
+	"coplot/internal/machine"
+	"coplot/internal/models"
+	"coplot/internal/rng"
+	"coplot/internal/workload"
+)
+
+// LoadScalingResult quantifies section 8's third statement: the common
+// techniques for altering a workload's load (scaling inter-arrivals,
+// runtimes, or parallelism by a constant) drag the median and interval
+// of the scaled variable along, contradicting the correlations observed
+// across real systems.
+type LoadScalingResult struct {
+	Effects []*loadctl.SideEffects
+	Text    string
+	Checks  []Check
+}
+
+// LoadScalingStudy applies each operator to a Lublin stream at factor 2
+// and reports the side effects.
+func LoadScalingStudy(cfg Config) (*LoadScalingResult, error) {
+	cfg = cfg.WithDefaults()
+	m := machine.Machine{Name: "study", Procs: 128,
+		Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorUnlimited}
+	log := models.NewLublin(m.Procs).Generate(rng.New(cfg.Seed+9), cfg.ModelJobs)
+
+	res := &LoadScalingResult{}
+	var b strings.Builder
+	b.WriteString("Load scaling side effects (factor 2; after/before ratios)\n")
+	fmt.Fprintf(&b, "%-20s %6s %6s %6s %6s %6s %6s\n",
+		"method", "load", "Rm", "Ri", "Pm", "Im", "Ii")
+	for _, method := range loadctl.Methods {
+		se, _, err := loadctl.Measure(log, m, method, 2)
+		if err != nil {
+			return nil, err
+		}
+		res.Effects = append(res.Effects, se)
+		fmt.Fprintf(&b, "%-20s %6.2f %6.2f %6.2f %6.2f %6.2f %6.2f\n",
+			method,
+			se.AchievedFactor(),
+			se.Changes[workload.VarRuntimeMedian],
+			se.Changes[workload.VarRuntimeInterval],
+			se.Changes[workload.VarProcsMedian],
+			se.Changes[workload.VarInterArrMedian],
+			se.Changes[workload.VarInterArrInterval])
+	}
+	byMethod := map[loadctl.Method]*loadctl.SideEffects{}
+	for _, se := range res.Effects {
+		byMethod[se.Method] = se
+	}
+	near := func(v, want, tol float64) bool { return v > want-tol && v < want+tol }
+	res.Checks = append(res.Checks,
+		Check{
+			Name:  "runtime scaling drags median and interval",
+			Paper: "multiplying a field by a constant multiplies its median and any interval",
+			Measured: fmt.Sprintf("Rm ratio %.2f, Ri ratio %.2f",
+				byMethod[loadctl.ScaleRuntime].Changes[workload.VarRuntimeMedian],
+				byMethod[loadctl.ScaleRuntime].Changes[workload.VarRuntimeInterval]),
+			Pass: near(byMethod[loadctl.ScaleRuntime].Changes[workload.VarRuntimeMedian], 2, 0.1) &&
+				near(byMethod[loadctl.ScaleRuntime].Changes[workload.VarRuntimeInterval], 2, 0.1),
+		},
+		Check{
+			Name:  "arrival condensing moves Im the wrong way",
+			Paper: "systems with higher load have HIGHER inter-arrival medians, so halving Im contradicts the map",
+			Measured: fmt.Sprintf("Im ratio %.2f under scale-interarrival",
+				byMethod[loadctl.ScaleInterArrival].Changes[workload.VarInterArrMedian]),
+			Pass: byMethod[loadctl.ScaleInterArrival].Changes[workload.VarInterArrMedian] < 0.7,
+		},
+		Check{
+			Name:  "combined operator spares runtimes",
+			Paper: "a correct way ends with about the same runtimes and somewhat more parallelism",
+			Measured: fmt.Sprintf("combined: Rm ratio %.2f, Pm ratio %.2f, load %.2f",
+				byMethod[loadctl.Combined].Changes[workload.VarRuntimeMedian],
+				byMethod[loadctl.Combined].Changes[workload.VarProcsMedian],
+				byMethod[loadctl.Combined].AchievedFactor()),
+			Pass: near(byMethod[loadctl.Combined].Changes[workload.VarRuntimeMedian], 1, 0.02) &&
+				byMethod[loadctl.Combined].Changes[workload.VarProcsMedian] >= 1 &&
+				byMethod[loadctl.Combined].AchievedFactor() > 1.5,
+		},
+	)
+	b.WriteString("\n" + renderChecks(res.Checks))
+	res.Text = b.String()
+	return res, nil
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Output is one experiment's rendered artifacts.
+type Output struct {
+	Name   string
+	Text   string
+	SVG    string // empty for data tables
+	Checks []Check
+}
+
+// Names lists the runnable experiments: the paper's tables and figures
+// in order, then the extension studies (moment stability from §3,
+// leave-one-out map stability from §4/§6, the §8 load-scaling and
+// parametric-model studies, and the §9 self-similar model extension).
+var Names = []string{
+	"table1", "fig1", "fig2", "table2", "fig3", "fig4", "params3", "table3", "fig5",
+	"paper", "table3ci", "seeds",
+	"moments", "stability", "loadscale", "parametric", "selfsim-models",
+}
+
+// Run executes one named experiment.
+func Run(name string, cfg Config) (*Output, error) {
+	cfg = cfg.WithDefaults()
+	switch name {
+	case "table1":
+		r, err := Table1(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Name: name, Text: r.Text + "\n" + renderChecks(r.Checks), Checks: r.Checks}, nil
+	case "table2":
+		r, err := Table2(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Name: name, Text: r.Text + "\n" + renderChecks(r.Checks), Checks: r.Checks}, nil
+	case "fig1":
+		fig, err := Figure1(cfg)
+		return figOutput(name, fig, err)
+	case "fig2":
+		fig, err := Figure2(cfg)
+		return figOutput(name, fig, err)
+	case "fig3":
+		fig, err := Figure3(cfg)
+		return figOutput(name, fig, err)
+	case "fig4":
+		fig, err := Figure4(cfg)
+		return figOutput(name, fig, err)
+	case "params3":
+		fig, err := Params3(cfg)
+		return figOutput(name, fig, err)
+	case "table3":
+		r, err := Table3(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Name: name, Text: r.Text, Checks: r.Checks}, nil
+	case "fig5":
+		fig, err := Figure5(cfg)
+		return figOutput(name, fig, err)
+	case "paper":
+		return PaperFigures(cfg)
+	case "table3ci":
+		return Table3CI(cfg)
+	case "seeds":
+		return SeedSweep(cfg, nil)
+	case "moments":
+		r, err := MomentStability(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Name: name, Text: r.Text, Checks: r.Checks}, nil
+	case "stability":
+		r, err := MapStability(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Name: name, Text: r.Text, Checks: r.Checks}, nil
+	case "loadscale":
+		r, err := LoadScalingStudy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Name: name, Text: r.Text, Checks: r.Checks}, nil
+	case "parametric":
+		fig, err := ParametricRoundTrip(cfg)
+		return figOutput(name, fig, err)
+	case "selfsim-models":
+		return SelfSimilarModels(cfg)
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(Names, ", "))
+}
+
+func figOutput(name string, fig *FigureResult, err error) (*Output, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Output{Name: name, Text: fig.Text, SVG: fig.SVG, Checks: fig.Checks}, nil
+}
+
+// RunAll executes every experiment once, sharing the generated site logs
+// where the figures derive from the same tables. Results come back in
+// paper order.
+func RunAll(cfg Config) ([]*Output, error) {
+	cfg = cfg.WithDefaults()
+	var outs []*Output
+
+	t1, err := Table1(cfg)
+	if err != nil {
+		return nil, err
+	}
+	outs = append(outs, &Output{Name: "table1", Text: t1.Text + "\n" + renderChecks(t1.Checks), Checks: t1.Checks})
+
+	f1, err := figure1From(cfg, t1)
+	if err != nil {
+		return nil, err
+	}
+	outs = append(outs, &Output{Name: "fig1", Text: f1.Text, SVG: f1.SVG, Checks: f1.Checks})
+
+	f2, err := figure2From(cfg, t1)
+	if err != nil {
+		return nil, err
+	}
+	outs = append(outs, &Output{Name: "fig2", Text: f2.Text, SVG: f2.SVG, Checks: f2.Checks})
+
+	t2, err := Table2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	outs = append(outs, &Output{Name: "table2", Text: t2.Text + "\n" + renderChecks(t2.Checks), Checks: t2.Checks})
+
+	f3, err := figure3From(cfg, t1, t2)
+	if err != nil {
+		return nil, err
+	}
+	outs = append(outs, &Output{Name: "fig3", Text: f3.Text, SVG: f3.SVG, Checks: f3.Checks})
+
+	f4, err := figure4From(cfg, t1)
+	if err != nil {
+		return nil, err
+	}
+	outs = append(outs, &Output{Name: "fig4", Text: f4.Text, SVG: f4.SVG, Checks: f4.Checks})
+
+	p3, err := params3From(cfg, t1)
+	if err != nil {
+		return nil, err
+	}
+	outs = append(outs, &Output{Name: "params3", Text: p3.Text, SVG: p3.SVG, Checks: p3.Checks})
+
+	t3, err := Table3(cfg)
+	if err != nil {
+		return nil, err
+	}
+	outs = append(outs, &Output{Name: "table3", Text: t3.Text, Checks: t3.Checks})
+
+	f5, err := figure5From(cfg, t3)
+	if err != nil {
+		return nil, err
+	}
+	outs = append(outs, &Output{Name: "fig5", Text: f5.Text, SVG: f5.SVG, Checks: f5.Checks})
+
+	for _, name := range []string{"paper", "table3ci", "moments", "stability", "loadscale", "parametric", "selfsim-models"} {
+		o, err := Run(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, o)
+	}
+	return outs, nil
+}
+
+// WriteOutputs saves text (and SVG, when present) artifacts under dir.
+func WriteOutputs(dir string, outs []*Output) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, o := range outs {
+		if err := os.WriteFile(filepath.Join(dir, o.Name+".txt"), []byte(o.Text), 0o644); err != nil {
+			return err
+		}
+		if o.SVG != "" {
+			if err := os.WriteFile(filepath.Join(dir, o.Name+".svg"), []byte(o.SVG), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Summary aggregates pass/fail counts per experiment.
+func Summary(outs []*Output) string {
+	var b strings.Builder
+	total, passed := 0, 0
+	names := make([]string, 0, len(outs))
+	for _, o := range outs {
+		names = append(names, o.Name)
+	}
+	sort.Strings(names)
+	for _, o := range outs {
+		p := 0
+		for _, c := range o.Checks {
+			total++
+			if c.Pass {
+				p++
+				passed++
+			}
+		}
+		fmt.Fprintf(&b, "%-8s %d/%d checks preserved\n", o.Name, p, len(o.Checks))
+	}
+	fmt.Fprintf(&b, "TOTAL    %d/%d\n", passed, total)
+	return b.String()
+}

@@ -1,0 +1,153 @@
+// Package fft provides a complex fast Fourier transform for arbitrary
+// input lengths: an iterative radix-2 Cooley–Tukey kernel for powers of
+// two and Bluestein's chirp-z algorithm for everything else.
+//
+// The self-similarity layer uses it twice: the periodogram estimator of
+// the Hurst parameter (appendix of the paper) and the Davies–Harte
+// circulant-embedding generator of fractional Gaussian noise.
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x:
+// X[k] = Σ_n x[n]·e^{-2πi kn/N}. The input is not modified.
+func FFT(x []complex128) []complex128 {
+	return transform(x, false)
+}
+
+// IFFT returns the inverse DFT (with the 1/N normalization).
+func IFFT(x []complex128) []complex128 {
+	return transform(x, true)
+}
+
+func transform(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	if n == 1 {
+		return out
+	}
+	if isPow2(n) {
+		radix2(out, inverse)
+	} else {
+		out = bluestein(out, inverse)
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	return out
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// radix2 performs an in-place iterative Cooley–Tukey FFT; len(a) must be a
+// power of two.
+func radix2(a []complex128, inverse bool) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Rect(1, ang)
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution, using a
+// power-of-two FFT of at least 2n-1 points.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = e^{sign·πi k²/n}. Use k² mod 2n to avoid precision
+	// loss for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * scale * chirp[k]
+	}
+	return out
+}
+
+// Periodogram returns the periodogram ordinates of the real series x at
+// the Fourier frequencies ω_j = 2πj/N for j = 1..⌊N/2⌋, using the
+// definition in the paper's appendix (equation 18):
+// Per(ω) = (2/N)·|Σ x_k e^{-iωk}|².
+// The zero frequency is omitted because it only measures the mean.
+func Periodogram(x []float64) (freqs, power []float64) {
+	n := len(x)
+	if n < 2 {
+		return nil, nil
+	}
+	cx := make([]complex128, n)
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	spec := FFT(cx)
+	half := n / 2
+	freqs = make([]float64, half)
+	power = make([]float64, half)
+	for j := 1; j <= half; j++ {
+		freqs[j-1] = 2 * math.Pi * float64(j) / float64(n)
+		mag := cmplx.Abs(spec[j])
+		power[j-1] = 2 * mag * mag / float64(n)
+	}
+	return freqs, power
+}

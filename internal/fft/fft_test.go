@@ -1,0 +1,208 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"coplot/internal/rng"
+)
+
+// naiveDFT is the O(n²) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Rect(1, ang)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func randComplex(r *rng.Source, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.Norm(), r.Norm())
+	}
+	return x
+}
+
+func TestFFTMatchesNaivePow2(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := randComplex(r, n)
+		if e := maxErr(FFT(x), naiveDFT(x)); e > 1e-8 {
+			t.Fatalf("n=%d max error %v", n, e)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveArbitraryN(t *testing.T) {
+	r := rng.New(2)
+	for _, n := range []int{3, 5, 6, 7, 12, 100, 127, 243} {
+		x := randComplex(r, n)
+		if e := maxErr(FFT(x), naiveDFT(x)); e > 1e-7 {
+			t.Fatalf("n=%d max error %v", n, e)
+		}
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	cfg := &quick.Config{MaxCount: 40}
+	err := quick.Check(func(raw uint8) bool {
+		n := int(raw)%500 + 1
+		x := randComplex(r, n)
+		y := IFFT(FFT(x))
+		return maxErr(x, y) < 1e-9
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	r := rng.New(4)
+	n := 100
+	x := randComplex(r, n)
+	y := randComplex(r, n)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = x[i] + 2*y[i]
+	}
+	fx, fy, fsum := FFT(x), FFT(y), FFT(sum)
+	for i := range fsum {
+		if cmplx.Abs(fsum[i]-(fx[i]+2*fy[i])) > 1e-8 {
+			t.Fatal("FFT not linear")
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	for _, v := range FFT(x) {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT value %v", v)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	r := rng.New(5)
+	for _, n := range []int{64, 100} {
+		x := randComplex(r, n)
+		fx := FFT(x)
+		var et, ef float64
+		for i := range x {
+			et += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			ef += real(fx[i])*real(fx[i]) + imag(fx[i])*imag(fx[i])
+		}
+		if math.Abs(et-ef/float64(n)) > 1e-8*et {
+			t.Fatalf("Parseval violated: %v vs %v", et, ef/float64(n))
+		}
+	}
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	if FFT(nil) != nil {
+		t.Fatal("FFT(nil) should be nil")
+	}
+	out := FFT([]complex128{3 + 4i})
+	if len(out) != 1 || out[0] != 3+4i {
+		t.Fatalf("FFT of single = %v", out)
+	}
+}
+
+func TestPeriodogramSinusoid(t *testing.T) {
+	// A pure sinusoid at Fourier frequency j0 must put essentially all
+	// periodogram mass at that frequency.
+	n := 1024
+	j0 := 37
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(j0) * float64(i) / float64(n))
+	}
+	freqs, power := Periodogram(x)
+	best := 0
+	for i := range power {
+		if power[i] > power[best] {
+			best = i
+		}
+	}
+	wantFreq := 2 * math.Pi * float64(j0) / float64(n)
+	if math.Abs(freqs[best]-wantFreq) > 1e-12 {
+		t.Fatalf("peak at %v, want %v", freqs[best], wantFreq)
+	}
+	// Peak should dwarf the median ordinate.
+	others := 0.0
+	for i, p := range power {
+		if i != best {
+			others += p
+		}
+	}
+	if power[best] < 100*others {
+		t.Fatalf("peak %v not dominant (others sum %v)", power[best], others)
+	}
+}
+
+func TestPeriodogramWhiteNoiseFlat(t *testing.T) {
+	// For white noise the periodogram is flat in expectation with mean
+	// equal to 2·variance (under the paper's 2/N scaling).
+	r := rng.New(6)
+	n := 4096
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	_, power := Periodogram(x)
+	mean := 0.0
+	for _, p := range power {
+		mean += p
+	}
+	mean /= float64(len(power))
+	if math.Abs(mean-2) > 0.2 {
+		t.Fatalf("white-noise periodogram mean = %v, want ~2", mean)
+	}
+}
+
+func TestPeriodogramShortInput(t *testing.T) {
+	f, p := Periodogram([]float64{1})
+	if f != nil || p != nil {
+		t.Fatal("short input should yield nil")
+	}
+}
+
+func BenchmarkFFT4096(b *testing.B) {
+	r := rng.New(7)
+	x := randComplex(r, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFTBluestein5000(b *testing.B) {
+	r := rng.New(8)
+	x := randComplex(r, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}

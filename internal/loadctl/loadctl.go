@@ -1,0 +1,221 @@
+// Package loadctl implements the workload load-modification operators
+// analyzed in section 8 of the paper. Three "simplistic" techniques are
+// common in the literature for raising a modeled workload's load:
+// condensing the inter-arrival times, expanding the runtimes, or
+// expanding the degrees of parallelism, each by a constant factor.
+//
+// The paper's correlation analysis shows all three contradict the
+// observed relations between load and the other variables: systems with
+// higher load actually show *higher* inter-arrival medians, unchanged
+// runtimes, and only somewhat more parallelism. This package provides
+// the three classical operators, the paper-informed combined operator,
+// and measurement helpers that quantify each operator's side effects —
+// the machinery behind the LoadScalingStudy experiment.
+package loadctl
+
+import (
+	"fmt"
+	"math"
+
+	"coplot/internal/machine"
+	"coplot/internal/swf"
+	"coplot/internal/workload"
+)
+
+// Method selects a load-modification technique.
+type Method int
+
+const (
+	// ScaleInterArrival condenses (or dilates) the gaps between
+	// arrivals by 1/factor: the most common technique in the literature.
+	ScaleInterArrival Method = iota
+	// ScaleRuntime multiplies every runtime by factor.
+	ScaleRuntime
+	// ScaleParallelism multiplies every degree of parallelism by factor
+	// (clamped to the machine size).
+	ScaleParallelism
+	// Combined is the paper-informed operator: it raises the load the
+	// way load differs across real systems — more parallelism (weakly),
+	// unchanged runtimes, and arrivals adjusted only as far as needed to
+	// absorb the remaining factor.
+	Combined
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case ScaleInterArrival:
+		return "scale-interarrival"
+	case ScaleRuntime:
+		return "scale-runtime"
+	case ScaleParallelism:
+		return "scale-parallelism"
+	case Combined:
+		return "combined"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods lists all operators.
+var Methods = []Method{ScaleInterArrival, ScaleRuntime, ScaleParallelism, Combined}
+
+// Apply returns a copy of the log whose runtime load is raised (or
+// lowered) by approximately the given factor using the selected method.
+// factor must be positive; maxProcs bounds parallelism scaling.
+func Apply(log *swf.Log, method Method, factor float64, maxProcs int) (*swf.Log, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("loadctl: non-positive factor %v", factor)
+	}
+	if maxProcs <= 0 {
+		return nil, fmt.Errorf("loadctl: non-positive machine size %d", maxProcs)
+	}
+	out := log.Clone()
+	switch method {
+	case ScaleInterArrival:
+		scaleArrivals(out, 1/factor)
+	case ScaleRuntime:
+		for i := range out.Jobs {
+			if out.Jobs[i].Runtime > 0 {
+				out.Jobs[i].Runtime *= factor
+			}
+			if out.Jobs[i].CPUTime > 0 {
+				out.Jobs[i].CPUTime *= factor
+			}
+		}
+	case ScaleParallelism:
+		for i := range out.Jobs {
+			if out.Jobs[i].Procs > 0 {
+				p := int(math.Round(float64(out.Jobs[i].Procs) * factor))
+				if p < 1 {
+					p = 1
+				}
+				if p > maxProcs {
+					p = maxProcs
+				}
+				out.Jobs[i].Procs = p
+			}
+		}
+	case Combined:
+		// Paper section 8: parallelism is the only variable positively
+		// correlated with load, and only partially — so carry part of
+		// the factor there (square root split) and absorb the remainder
+		// in the arrival rate, leaving runtimes untouched.
+		pFactor := math.Sqrt(factor)
+		for i := range out.Jobs {
+			if out.Jobs[i].Procs > 0 {
+				p := int(math.Round(float64(out.Jobs[i].Procs) * pFactor))
+				if p < 1 {
+					p = 1
+				}
+				if p > maxProcs {
+					p = maxProcs
+				}
+				out.Jobs[i].Procs = p
+			}
+		}
+		// Measure how much load the parallelism step actually delivered
+		// (clamping can eat part of it) and let arrivals do the rest.
+		ratio := workRatio(log, out)
+		rest := factor / ratio
+		if rest < 1 {
+			rest = 1
+		}
+		scaleArrivals(out, 1/rest)
+	default:
+		return nil, fmt.Errorf("loadctl: unknown method %v", method)
+	}
+	return out, nil
+}
+
+// scaleArrivals multiplies all inter-arrival gaps by g, preserving the
+// first submit time and the submit order.
+func scaleArrivals(log *swf.Log, g float64) {
+	log.SortBySubmit()
+	if len(log.Jobs) == 0 {
+		return
+	}
+	base := log.Jobs[0].Submit
+	prevOld := base
+	prevNew := base
+	for i := range log.Jobs {
+		gap := log.Jobs[i].Submit - prevOld
+		prevOld = log.Jobs[i].Submit
+		prevNew += gap * g
+		log.Jobs[i].Submit = prevNew
+	}
+}
+
+// workRatio returns total work of b relative to a.
+func workRatio(a, b *swf.Log) float64 {
+	wa, wb := 0.0, 0.0
+	for _, j := range a.Jobs {
+		if w := j.TotalWork(); w > 0 {
+			wa += w
+		}
+	}
+	for _, j := range b.Jobs {
+		if w := j.TotalWork(); w > 0 {
+			wb += w
+		}
+	}
+	if wa == 0 {
+		return 1
+	}
+	return wb / wa
+}
+
+// SideEffects quantifies what a load operator did to the workload's
+// shape: the relative change of each Table-1 variable that should have
+// stayed put.
+type SideEffects struct {
+	Method Method
+	// LoadBefore/LoadAfter are the runtime loads.
+	LoadBefore, LoadAfter float64
+	// Changes maps variable codes to after/before ratios.
+	Changes map[string]float64
+}
+
+// Measure applies the method and reports the achieved load change plus
+// the side effects on the distribution variables.
+func Measure(log *swf.Log, m machine.Machine, method Method, factor float64) (*SideEffects, *swf.Log, error) {
+	before, err := workload.Compute("before", log, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	scaled, err := Apply(log, method, factor, m.Procs)
+	if err != nil {
+		return nil, nil, err
+	}
+	after, err := workload.Compute("after", scaled, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	se := &SideEffects{
+		Method:     method,
+		LoadBefore: before.Get(workload.VarRuntimeLoad),
+		LoadAfter:  after.Get(workload.VarRuntimeLoad),
+		Changes:    map[string]float64{},
+	}
+	for _, code := range []string{
+		workload.VarRuntimeMedian, workload.VarRuntimeInterval,
+		workload.VarProcsMedian, workload.VarProcsInterval,
+		workload.VarWorkMedian, workload.VarWorkInterval,
+		workload.VarInterArrMedian, workload.VarInterArrInterval,
+	} {
+		b := before.Get(code)
+		a := after.Get(code)
+		if b != 0 && !math.IsNaN(b) && !math.IsNaN(a) {
+			se.Changes[code] = a / b
+		}
+	}
+	return se, scaled, nil
+}
+
+// AchievedFactor returns the realized load multiplication.
+func (s *SideEffects) AchievedFactor() float64 {
+	if s.LoadBefore == 0 {
+		return math.NaN()
+	}
+	return s.LoadAfter / s.LoadBefore
+}

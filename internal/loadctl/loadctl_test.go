@@ -1,0 +1,201 @@
+package loadctl
+
+import (
+	"math"
+	"testing"
+
+	"coplot/internal/machine"
+	"coplot/internal/models"
+	"coplot/internal/rng"
+	"coplot/internal/swf"
+	"coplot/internal/workload"
+)
+
+func testMachine() machine.Machine {
+	return machine.Machine{Name: "t", Procs: 128,
+		Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorUnlimited}
+}
+
+func testLog() *swf.Log {
+	return models.NewLublin(128).Generate(rng.New(1), 5000)
+}
+
+func TestApplyValidation(t *testing.T) {
+	l := testLog()
+	if _, err := Apply(l, ScaleRuntime, 0, 128); err == nil {
+		t.Fatal("zero factor accepted")
+	}
+	if _, err := Apply(l, ScaleRuntime, -1, 128); err == nil {
+		t.Fatal("negative factor accepted")
+	}
+	if _, err := Apply(l, ScaleRuntime, 2, 0); err == nil {
+		t.Fatal("zero machine accepted")
+	}
+	if _, err := Apply(l, Method(99), 2, 128); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	l := testLog()
+	before := l.Jobs[0]
+	if _, err := Apply(l, ScaleRuntime, 2, 128); err != nil {
+		t.Fatal(err)
+	}
+	if l.Jobs[0] != before {
+		t.Fatal("input log mutated")
+	}
+}
+
+func TestScaleRuntimeDoublesRuntimes(t *testing.T) {
+	l := testLog()
+	out, err := Apply(l, ScaleRuntime, 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range l.Jobs {
+		if math.Abs(out.Jobs[i].Runtime-2*l.Jobs[i].Runtime) > 1e-9 {
+			t.Fatal("runtime not doubled")
+		}
+		if out.Jobs[i].Procs != l.Jobs[i].Procs {
+			t.Fatal("parallelism changed")
+		}
+		if out.Jobs[i].Submit != l.Jobs[i].Submit {
+			t.Fatal("arrivals changed")
+		}
+	}
+}
+
+func TestScaleInterArrivalCondensesGaps(t *testing.T) {
+	l := testLog()
+	out, err := Apply(l, ScaleInterArrival, 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duration roughly halves; runtimes untouched.
+	inBefore := l.InterArrivals()
+	inAfter := out.InterArrivals()
+	var sb, sa float64
+	for i := range inBefore {
+		sb += inBefore[i]
+		sa += inAfter[i]
+	}
+	if math.Abs(sa*2-sb) > 1e-6*sb {
+		t.Fatalf("gap sum: before %v after %v, want half", sb, sa)
+	}
+	for i := range l.Jobs {
+		if out.Jobs[i].Runtime != l.Jobs[i].Runtime {
+			t.Fatal("runtime changed")
+		}
+	}
+	// Order preserved.
+	for i := 1; i < len(out.Jobs); i++ {
+		if out.Jobs[i].Submit < out.Jobs[i-1].Submit {
+			t.Fatal("order broken")
+		}
+	}
+}
+
+func TestScaleParallelismClamped(t *testing.T) {
+	l := testLog()
+	out, err := Apply(l, ScaleParallelism, 4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Jobs {
+		if out.Jobs[i].Procs < 1 || out.Jobs[i].Procs > 128 {
+			t.Fatalf("procs %d out of range", out.Jobs[i].Procs)
+		}
+		if l.Jobs[i].Procs <= 32 && out.Jobs[i].Procs != 4*l.Jobs[i].Procs {
+			t.Fatalf("procs %d -> %d, want ×4", l.Jobs[i].Procs, out.Jobs[i].Procs)
+		}
+	}
+}
+
+func TestAllMethodsRaiseLoad(t *testing.T) {
+	l := testLog()
+	m := testMachine()
+	for _, method := range Methods {
+		se, _, err := Measure(l, m, method, 1.5)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		got := se.AchievedFactor()
+		if got < 1.2 || got > 2.2 {
+			t.Fatalf("%v: achieved factor %v, want ~1.5", method, got)
+		}
+	}
+}
+
+func TestSideEffectsMatchPaperAnalysis(t *testing.T) {
+	// Section 8: each classical operator drags the median AND interval
+	// of its target variable by the factor — exactly the side effect the
+	// paper objects to.
+	l := testLog()
+	m := testMachine()
+
+	se, _, err := Measure(l, m, ScaleRuntime, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := se.Changes[workload.VarRuntimeMedian]; math.Abs(r-2) > 0.05 {
+		t.Fatalf("runtime median ratio %v, want 2", r)
+	}
+	if r := se.Changes[workload.VarRuntimeInterval]; math.Abs(r-2) > 0.05 {
+		t.Fatalf("runtime interval ratio %v, want 2", r)
+	}
+
+	se, _, err = Measure(l, m, ScaleInterArrival, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := se.Changes[workload.VarInterArrMedian]; math.Abs(r-0.5) > 0.05 {
+		t.Fatalf("inter-arrival median ratio %v, want 0.5", r)
+	}
+	// But the paper says high-load systems have HIGHER inter-arrival
+	// medians — so this operator moves the variable the wrong way.
+
+	// The combined operator leaves runtimes strictly untouched.
+	se, _, err = Measure(l, m, Combined, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := se.Changes[workload.VarRuntimeMedian]; math.Abs(r-1) > 0.01 {
+		t.Fatalf("combined changed runtime median by %v", r)
+	}
+	if r := se.Changes[workload.VarProcsMedian]; r < 1 {
+		t.Fatalf("combined should raise parallelism, ratio %v", r)
+	}
+}
+
+func TestMeasureLowersLoadToo(t *testing.T) {
+	l := testLog()
+	m := testMachine()
+	se, _, err := Measure(l, m, ScaleRuntime, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := se.AchievedFactor(); f > 0.7 {
+		t.Fatalf("load not lowered: factor %v", f)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for _, m := range Methods {
+		if m.String() == "" {
+			t.Fatal("empty method name")
+		}
+	}
+	if Method(99).String() == "" {
+		t.Fatal("unknown method should render")
+	}
+}
+
+func BenchmarkApplyCombined(b *testing.B) {
+	l := testLog()
+	for i := 0; i < b.N; i++ {
+		if _, err := Apply(l, Combined, 1.5, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

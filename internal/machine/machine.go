@@ -1,0 +1,97 @@
+// Package machine describes the environment a workload ran on: the number
+// of processors, the scheduler, and the processor-allocation scheme. The
+// paper encodes the latter two as ordinal "flexibility" ranks (variables
+// 2 and 3 of section 3), which this package makes explicit.
+package machine
+
+import "fmt"
+
+// Scheduler identifies the scheduling discipline of a site.
+type Scheduler int
+
+// The three scheduler families in the paper's sample, in ascending order
+// of flexibility: NQS-style batch queueing (rank 1), EASY backfilling
+// (rank 2), and gang scheduling (rank 3).
+const (
+	SchedulerNQS Scheduler = iota + 1
+	SchedulerEASY
+	SchedulerGang
+)
+
+// Flexibility returns the paper's ordinal rank of the scheduler.
+func (s Scheduler) Flexibility() int { return int(s) }
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedulerNQS:
+		return "NQS"
+	case SchedulerEASY:
+		return "EASY"
+	case SchedulerGang:
+		return "gang"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// Allocator identifies the processor-allocation scheme of a site.
+type Allocator int
+
+// The three allocation families, in ascending order of flexibility:
+// power-of-two partitions (rank 1), limited allocation such as meshes
+// (rank 2), and unlimited allocation of arbitrary node subsets (rank 3).
+const (
+	AllocatorPow2 Allocator = iota + 1
+	AllocatorLimited
+	AllocatorUnlimited
+)
+
+// Flexibility returns the paper's ordinal rank of the allocator.
+func (a Allocator) Flexibility() int { return int(a) }
+
+// String names the allocator.
+func (a Allocator) String() string {
+	switch a {
+	case AllocatorPow2:
+		return "power-of-2 partitions"
+	case AllocatorLimited:
+		return "limited (mesh)"
+	case AllocatorUnlimited:
+		return "unlimited"
+	default:
+		return fmt.Sprintf("Allocator(%d)", int(a))
+	}
+}
+
+// Machine is a parallel computer configuration.
+type Machine struct {
+	Name      string
+	Procs     int
+	Scheduler Scheduler
+	Allocator Allocator
+}
+
+// Validate reports configuration errors.
+func (m Machine) Validate() error {
+	if m.Procs <= 0 {
+		return fmt.Errorf("machine %q: non-positive processor count %d", m.Name, m.Procs)
+	}
+	if m.Scheduler < SchedulerNQS || m.Scheduler > SchedulerGang {
+		return fmt.Errorf("machine %q: unknown scheduler %d", m.Name, m.Scheduler)
+	}
+	if m.Allocator < AllocatorPow2 || m.Allocator > AllocatorUnlimited {
+		return fmt.Errorf("machine %q: unknown allocator %d", m.Name, m.Allocator)
+	}
+	return nil
+}
+
+// The six machines of the paper's data set (Table 1).
+var (
+	CTC  = Machine{Name: "CTC", Procs: 512, Scheduler: SchedulerEASY, Allocator: AllocatorUnlimited}
+	KTH  = Machine{Name: "KTH", Procs: 100, Scheduler: SchedulerEASY, Allocator: AllocatorUnlimited}
+	LANL = Machine{Name: "LANL", Procs: 1024, Scheduler: SchedulerGang, Allocator: AllocatorPow2}
+	LLNL = Machine{Name: "LLNL", Procs: 256, Scheduler: SchedulerGang, Allocator: AllocatorLimited}
+	NASA = Machine{Name: "NASA", Procs: 128, Scheduler: SchedulerNQS, Allocator: AllocatorPow2}
+	SDSC = Machine{Name: "SDSC", Procs: 416, Scheduler: SchedulerNQS, Allocator: AllocatorLimited}
+)

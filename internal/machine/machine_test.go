@@ -1,0 +1,73 @@
+package machine
+
+import "testing"
+
+func TestFlexibilityRanks(t *testing.T) {
+	// The paper's ordinal ranking: NQS < EASY < gang.
+	if !(SchedulerNQS.Flexibility() < SchedulerEASY.Flexibility() &&
+		SchedulerEASY.Flexibility() < SchedulerGang.Flexibility()) {
+		t.Fatal("scheduler flexibility ordering broken")
+	}
+	if !(AllocatorPow2.Flexibility() < AllocatorLimited.Flexibility() &&
+		AllocatorLimited.Flexibility() < AllocatorUnlimited.Flexibility()) {
+		t.Fatal("allocator flexibility ordering broken")
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if SchedulerEASY.String() != "EASY" || SchedulerNQS.String() != "NQS" || SchedulerGang.String() != "gang" {
+		t.Fatal("scheduler names wrong")
+	}
+	if AllocatorUnlimited.String() != "unlimited" {
+		t.Fatal("allocator name wrong")
+	}
+	if Scheduler(9).String() == "" || Allocator(9).String() == "" {
+		t.Fatal("unknown values should still render")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, m := range []Machine{CTC, KTH, LANL, LLNL, NASA, SDSC} {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+	bad := []Machine{
+		{Name: "p", Procs: 0, Scheduler: SchedulerNQS, Allocator: AllocatorPow2},
+		{Name: "s", Procs: 4, Scheduler: 0, Allocator: AllocatorPow2},
+		{Name: "a", Procs: 4, Scheduler: SchedulerNQS, Allocator: 9},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("invalid machine %q accepted", m.Name)
+		}
+	}
+}
+
+func TestPaperMachineTable(t *testing.T) {
+	// Table 1 rows: MP, SF, AL per machine.
+	cases := []struct {
+		m     Machine
+		procs int
+		sf    int
+		al    int
+	}{
+		{CTC, 512, 2, 3},
+		{KTH, 100, 2, 3},
+		{LANL, 1024, 3, 1},
+		{LLNL, 256, 3, 2},
+		{NASA, 128, 1, 1},
+		{SDSC, 416, 1, 2},
+	}
+	for _, tc := range cases {
+		if tc.m.Procs != tc.procs {
+			t.Fatalf("%s procs = %d, want %d", tc.m.Name, tc.m.Procs, tc.procs)
+		}
+		if tc.m.Scheduler.Flexibility() != tc.sf {
+			t.Fatalf("%s SF = %d, want %d", tc.m.Name, tc.m.Scheduler.Flexibility(), tc.sf)
+		}
+		if tc.m.Allocator.Flexibility() != tc.al {
+			t.Fatalf("%s AL = %d, want %d", tc.m.Name, tc.m.Allocator.Flexibility(), tc.al)
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package mds implements the multidimensional-scaling stage of Co-plot:
+// Guttman's Smallest Space Analysis (SSA), a non-metric MDS that maps a
+// dissimilarity matrix into a low-dimensional Euclidean space so that the
+// rank order of map distances matches the rank order of dissimilarities.
+//
+// The implementation initializes with Torgerson's classical scaling and
+// then iterates SMACOF majorization steps whose target "disparities" are
+// Guttman rank images (or, optionally, Kruskal monotone regression via
+// PAVA, or the raw dissimilarities for pure metric MDS). Goodness of fit
+// is the paper's coefficient of alienation Θ = sqrt(1 − μ²), with μ
+// computed exactly as in equation (3) over all pairs of pairs.
+package mds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"coplot/internal/mat"
+	"coplot/internal/rng"
+	"coplot/internal/stats"
+)
+
+// DisparityMethod selects how target distances are derived from the
+// dissimilarity order during the non-metric iterations.
+type DisparityMethod int
+
+const (
+	// RankImage is Guttman's transformation: the sorted multiset of
+	// current configuration distances is reassigned to pairs in
+	// dissimilarity order. This is the SSA behaviour.
+	RankImage DisparityMethod = iota
+	// Monotone uses Kruskal's least-squares monotone regression (PAVA).
+	Monotone
+	// Metric skips the monotone step and fits distances to the raw
+	// dissimilarities (classical metric SMACOF), kept for ablation.
+	Metric
+)
+
+// Options tune the SSA solver.
+type Options struct {
+	Dims     int             // output dimensionality; default 2
+	MaxIter  int             // default 300
+	Tol      float64         // relative stress-improvement stop; default 1e-7
+	Method   DisparityMethod // default RankImage
+	Restarts int             // extra random restarts; best result wins. default 4
+	Seed     uint64          // seed for the random restarts
+}
+
+func (o Options) withDefaults() Options {
+	if o.Dims <= 0 {
+		o.Dims = 2
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 300
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-7
+	}
+	if o.Restarts < 0 {
+		o.Restarts = 0
+	} else if o.Restarts == 0 {
+		o.Restarts = 4
+	}
+	return o
+}
+
+// Result is a fitted configuration.
+type Result struct {
+	// Config holds one row of coordinates per observation.
+	Config *mat.Matrix
+	// Alienation is Guttman's coefficient Θ; values below 0.15 are
+	// conventionally considered a good fit.
+	Alienation float64
+	// Stress is Kruskal's stress-1 of the final configuration.
+	Stress float64
+	// Iterations actually performed (best restart).
+	Iterations int
+}
+
+// Classical performs Torgerson's classical scaling of the dissimilarity
+// matrix d into dims dimensions. Negative eigenvalues (from non-Euclidean
+// dissimilarities like city-block) are truncated at zero.
+func Classical(d *mat.Matrix, dims int) (*mat.Matrix, error) {
+	if err := checkDissim(d); err != nil {
+		return nil, err
+	}
+	n := d.Rows
+	d2 := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := d.At(i, j)
+			d2.Set(i, j, v*v)
+		}
+	}
+	b := mat.DoubleCenter(d2)
+	vals, vecs, err := mat.EigenSym(b)
+	if err != nil {
+		return nil, err
+	}
+	x := mat.New(n, dims)
+	for k := 0; k < dims && k < n; k++ {
+		lambda := vals[k]
+		if lambda < 0 {
+			lambda = 0
+		}
+		scale := math.Sqrt(lambda)
+		for i := 0; i < n; i++ {
+			x.Set(i, k, vecs.At(i, k)*scale)
+		}
+	}
+	return x, nil
+}
+
+// SSA fits a non-metric MDS configuration to the dissimilarity matrix d.
+func SSA(d *mat.Matrix, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := checkDissim(d); err != nil {
+		return Result{}, err
+	}
+	n := d.Rows
+	if n < 3 {
+		return Result{}, fmt.Errorf("mds: need at least 3 observations, got %d", n)
+	}
+	diss := flattenPairs(d)
+
+	best := Result{Alienation: math.Inf(1)}
+	var firstErr error
+	run := func(x0 *mat.Matrix) {
+		res, err := ssaFrom(d, diss, x0, opts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		if res.Alienation < best.Alienation {
+			best = res
+		}
+	}
+
+	x0, err := Classical(d, opts.Dims)
+	if err == nil {
+		run(x0)
+	} else {
+		firstErr = err
+	}
+	r := rng.New(opts.Seed ^ 0x535341) // "SSA"
+	for k := 0; k < opts.Restarts; k++ {
+		xr := mat.New(n, opts.Dims)
+		for i := range xr.Data {
+			xr.Data[i] = r.Norm()
+		}
+		run(xr)
+	}
+	if math.IsInf(best.Alienation, 1) {
+		return Result{}, fmt.Errorf("mds: no restart converged: %v", firstErr)
+	}
+	return best, nil
+}
+
+// pair indexes the upper triangle of the dissimilarity matrix.
+type pair struct {
+	i, j int
+	s    float64 // dissimilarity
+}
+
+func flattenPairs(d *mat.Matrix) []pair {
+	n := d.Rows
+	out := make([]pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, pair{i: i, j: j, s: d.At(i, j)})
+		}
+	}
+	// Sort once by dissimilarity; stable order is what the rank image
+	// and PAVA both need.
+	sort.SliceStable(out, func(a, b int) bool { return out[a].s < out[b].s })
+	return out
+}
+
+func ssaFrom(d *mat.Matrix, diss []pair, x0 *mat.Matrix, opts Options) (Result, error) {
+	n := d.Rows
+	dims := opts.Dims
+	x := x0.Clone()
+	m := len(diss)
+
+	dist := make([]float64, m) // current distances in diss order
+	disp := make([]float64, m) // disparities in diss order
+	xNew := mat.New(n, dims)
+
+	computeDistances := func() {
+		for k, p := range diss {
+			s := 0.0
+			for c := 0; c < dims; c++ {
+				df := x.At(p.i, c) - x.At(p.j, c)
+				s += df * df
+			}
+			dist[k] = math.Sqrt(s)
+		}
+	}
+
+	computeDisparities := func() {
+		switch opts.Method {
+		case RankImage:
+			copy(disp, dist)
+			sort.Float64s(disp) // k-th smallest distance ↔ k-th smallest dissimilarity
+		case Monotone:
+			fit := stats.PAVA(dist, nil)
+			copy(disp, fit)
+			// Rescale so Σ disp² = Σ dist² (keeps the configuration size).
+			var sd, sf float64
+			for k := range dist {
+				sd += dist[k] * dist[k]
+				sf += disp[k] * disp[k]
+			}
+			if sf > 0 {
+				f := math.Sqrt(sd / sf)
+				for k := range disp {
+					disp[k] *= f
+				}
+			}
+		case Metric:
+			var sd, ss float64
+			for k, p := range diss {
+				disp[k] = p.s
+				sd += dist[k] * dist[k]
+				ss += p.s * p.s
+			}
+			if ss > 0 && sd > 0 {
+				f := math.Sqrt(sd / ss)
+				for k := range disp {
+					disp[k] *= f
+				}
+			}
+		}
+	}
+
+	stress := func() float64 {
+		var num, den float64
+		for k := range dist {
+			df := dist[k] - disp[k]
+			num += df * df
+			den += dist[k] * dist[k]
+		}
+		if den == 0 {
+			return 0
+		}
+		return math.Sqrt(num / den)
+	}
+
+	prev := math.Inf(1)
+	iters := 0
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		iters = iter + 1
+		computeDistances()
+		computeDisparities()
+		s := stress()
+		if prev-s < opts.Tol*prev {
+			break
+		}
+		prev = s
+		doSmacof(x, xNew, diss, dist, disp, n, dims)
+		x, xNew = xNew, x
+	}
+	computeDistances()
+	computeDisparities()
+
+	center(x)
+	rotatePrincipal(x)
+	res := Result{
+		Config:     x,
+		Alienation: AlienationOf(diss, dist),
+		Stress:     stress(),
+		Iterations: iters,
+	}
+	return res, nil
+}
+
+// doSmacof writes the Guttman-transform update of x into xNew:
+// xNew = (1/n)·B(X)·X, where B_ij = −disp_ij/dist_ij for i≠j (0 when the
+// points coincide) and B_ii = Σ_{j≠i} disp_ij/dist_ij.
+func doSmacof(x, xNew *mat.Matrix, diss []pair, dist, disp []float64, n, dims int) {
+	// acc_i accumulates Σ_{j≠i} b_ij·x_j; diag_i accumulates Σ_{j≠i} b_ij.
+	for i := range xNew.Data {
+		xNew.Data[i] = 0
+	}
+	diag := make([]float64, n)
+	for k, p := range diss {
+		var b float64
+		if dist[k] > 1e-12 {
+			b = disp[k] / dist[k]
+		}
+		diag[p.i] += b
+		diag[p.j] += b
+		for c := 0; c < dims; c++ {
+			xNew.Set(p.i, c, xNew.At(p.i, c)+b*x.At(p.j, c))
+			xNew.Set(p.j, c, xNew.At(p.j, c)+b*x.At(p.i, c))
+		}
+	}
+	inv := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		for c := 0; c < dims; c++ {
+			xNew.Set(i, c, (diag[i]*x.At(i, c)-xNew.At(i, c))*inv)
+		}
+	}
+}
+
+// AlienationOf computes Guttman's coefficient of alienation
+// Θ = sqrt(1 − μ²) with μ from equation (3): the normalized sum over all
+// pairs of pairs of the product of dissimilarity differences and distance
+// differences. diss supplies S in any fixed order and dist the matching
+// configuration distances.
+func AlienationOf(diss []pair, dist []float64) float64 {
+	m := len(diss)
+	var num, den float64
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			ds := diss[a].s - diss[b].s
+			dd := dist[a] - dist[b]
+			num += ds * dd
+			den += math.Abs(ds) * math.Abs(dd)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	mu := num / den
+	v := 1 - mu*mu
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Alienation computes Θ for an explicit dissimilarity matrix and
+// configuration, for callers outside the solver.
+func Alienation(d *mat.Matrix, config *mat.Matrix) float64 {
+	diss := flattenPairs(d)
+	dist := make([]float64, len(diss))
+	for k, p := range diss {
+		s := 0.0
+		for c := 0; c < config.Cols; c++ {
+			df := config.At(p.i, c) - config.At(p.j, c)
+			s += df * df
+		}
+		dist[k] = math.Sqrt(s)
+	}
+	return AlienationOf(diss, dist)
+}
+
+// center translates the configuration to zero mean per dimension.
+func center(x *mat.Matrix) {
+	for c := 0; c < x.Cols; c++ {
+		m := 0.0
+		for i := 0; i < x.Rows; i++ {
+			m += x.At(i, c)
+		}
+		m /= float64(x.Rows)
+		for i := 0; i < x.Rows; i++ {
+			x.Set(i, c, x.At(i, c)-m)
+		}
+	}
+}
+
+// rotatePrincipal rotates a 2-D configuration to its principal axes so
+// output orientation is deterministic (MDS solutions are only defined up
+// to rotation/reflection).
+func rotatePrincipal(x *mat.Matrix) {
+	if x.Cols != 2 {
+		return
+	}
+	var sxx, syy, sxy float64
+	for i := 0; i < x.Rows; i++ {
+		a, b := x.At(i, 0), x.At(i, 1)
+		sxx += a * a
+		syy += b * b
+		sxy += a * b
+	}
+	theta := 0.5 * math.Atan2(2*sxy, sxx-syy)
+	c, s := math.Cos(theta), math.Sin(theta)
+	for i := 0; i < x.Rows; i++ {
+		a, b := x.At(i, 0), x.At(i, 1)
+		x.Set(i, 0, c*a+s*b)
+		x.Set(i, 1, -s*a+c*b)
+	}
+}
+
+func checkDissim(d *mat.Matrix) error {
+	if d.Rows != d.Cols {
+		return fmt.Errorf("mds: dissimilarity matrix must be square, got %dx%d", d.Rows, d.Cols)
+	}
+	for i := 0; i < d.Rows; i++ {
+		if d.At(i, i) != 0 {
+			return fmt.Errorf("mds: non-zero diagonal at %d", i)
+		}
+		for j := i + 1; j < d.Cols; j++ {
+			if d.At(i, j) < 0 {
+				return fmt.Errorf("mds: negative dissimilarity at (%d,%d)", i, j)
+			}
+			if math.Abs(d.At(i, j)-d.At(j, i)) > 1e-9 {
+				return fmt.Errorf("mds: asymmetric dissimilarities at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package mds
+
+import (
+	"math"
+
+	"coplot/internal/mat"
+	"coplot/internal/stats"
+)
+
+// ShepardPoint is one (dissimilarity, map distance) pair of a Shepard
+// diagram — the standard diagnostic plot for an MDS fit. A good
+// non-metric fit shows a monotone point cloud.
+type ShepardPoint struct {
+	I, J          int
+	Dissimilarity float64
+	Distance      float64
+}
+
+// Shepard returns the Shepard diagram of a configuration against its
+// dissimilarity matrix, ordered by increasing dissimilarity.
+func Shepard(d *mat.Matrix, config *mat.Matrix) []ShepardPoint {
+	diss := flattenPairs(d)
+	out := make([]ShepardPoint, len(diss))
+	for k, p := range diss {
+		s := 0.0
+		for c := 0; c < config.Cols; c++ {
+			df := config.At(p.i, c) - config.At(p.j, c)
+			s += df * df
+		}
+		out[k] = ShepardPoint{I: p.i, J: p.j, Dissimilarity: p.s, Distance: math.Sqrt(s)}
+	}
+	return out
+}
+
+// ShepardCorrelation returns the Spearman rank correlation between
+// dissimilarities and map distances: 1 means the rank order is perfectly
+// preserved (the non-metric ideal).
+func ShepardCorrelation(points []ShepardPoint) float64 {
+	if len(points) < 2 {
+		return math.NaN()
+	}
+	ds := make([]float64, len(points))
+	dd := make([]float64, len(points))
+	for i, p := range points {
+		ds[i] = p.Dissimilarity
+		dd[i] = p.Distance
+	}
+	return stats.Spearman(ds, dd)
+}

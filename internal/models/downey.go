@@ -1,0 +1,70 @@
+package models
+
+import (
+	"math"
+
+	"coplot/internal/dist"
+	"coplot/internal/rng"
+	"coplot/internal/swf"
+)
+
+// Downey is Allen Downey's 1997 model, based mainly on an analysis of the
+// SDSC Paragon log. Its novelty is the log-uniform distribution for both
+// the total service time (cumulative computation across nodes) and the
+// average parallelism. Following the paper's "pure model" treatment, the
+// average parallelism is used directly as the number of processors, and
+// the runtime is the service time divided by it.
+type Downey struct {
+	MaxProcs int
+	// Service-time bounds of the log-uniform law, in node-seconds.
+	// Downey's SDSC fit spans roughly one second to a couple of weeks of
+	// aggregate computation.
+	ServiceLo, ServiceHi float64
+	// Parallelism bounds of the log-uniform law; ParallelismHi is capped
+	// at the machine size (Downey's SDSC fit rarely saw average
+	// parallelism beyond 64).
+	ParallelismLo, ParallelismHi float64
+	// MeanInterArrival of the Poisson arrival process, seconds.
+	MeanInterArrival float64
+}
+
+// NewDowney returns the model with its default (SDSC-flavored) parameters.
+func NewDowney(maxProcs int) *Downey {
+	return &Downey{
+		MaxProcs:         maxProcs,
+		ServiceLo:        1,
+		ServiceHi:        1.2e6,
+		ParallelismLo:    1,
+		ParallelismHi:    64,
+		MeanInterArrival: 250,
+	}
+}
+
+// Name implements Model.
+func (m *Downey) Name() string { return "Downey" }
+
+// Generate implements Model.
+func (m *Downey) Generate(r *rng.Source, n int) *swf.Log {
+	log := newLog(m.Name(), m.MaxProcs)
+	service := dist.LogUniform{Lo: m.ServiceLo, Hi: m.ServiceHi}
+	hi := m.ParallelismHi
+	if hi <= 0 || hi > float64(m.MaxProcs) {
+		hi = float64(m.MaxProcs)
+	}
+	parallelism := dist.LogUniform{Lo: m.ParallelismLo, Hi: hi}
+	clock := 0.0
+	for id := 1; id <= n; id++ {
+		clock += r.Exp() * m.MeanInterArrival
+		procs := int(math.Round(parallelism.Sample(r)))
+		if procs < 1 {
+			procs = 1
+		}
+		if procs > m.MaxProcs {
+			procs = m.MaxProcs
+		}
+		svc := service.Sample(r)
+		runtime := svc / float64(procs)
+		emit(log, id, clock, runtime, procs, 1+r.Intn(60), id)
+	}
+	return log
+}

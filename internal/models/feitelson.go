@@ -1,0 +1,146 @@
+package models
+
+import (
+	"math"
+
+	"coplot/internal/dist"
+	"coplot/internal/rng"
+	"coplot/internal/swf"
+)
+
+// Feitelson96 is the 1996 model from "Packing schemes for gang
+// scheduling". Its signature features, as the paper summarizes them:
+// a hand-tailored job-size distribution emphasizing small jobs and powers
+// of two, a correlation between job size and running time, and repeated
+// job executions (a job is re-submitted right after its previous run
+// ends, since this is a pure model).
+type Feitelson96 struct {
+	MaxProcs int
+	// Pow2Boost and HarmonicOrder shape the size law (defaults 10, 1.5).
+	Pow2Boost     float64
+	HarmonicOrder float64
+	// MeanInterArrival of new (non-repeat) jobs, seconds. Default 900.
+	MeanInterArrival float64
+	// MaxRepeats bounds the Zipf-distributed run-repetition count.
+	MaxRepeats int
+}
+
+// NewFeitelson96 returns the model with its default parameters.
+func NewFeitelson96(maxProcs int) *Feitelson96 {
+	return &Feitelson96{MaxProcs: maxProcs, Pow2Boost: 10, HarmonicOrder: 1.5,
+		MeanInterArrival: 350, MaxRepeats: 64}
+}
+
+// Name implements Model.
+func (m *Feitelson96) Name() string { return "Feitelson96" }
+
+// runtimeForSize draws a runtime correlated with the job size: a
+// two-stage hyper-exponential whose "long" branch becomes more likely for
+// larger jobs, reproducing the model's size/runtime correlation.
+func runtimeForSize(r *rng.Source, size, maxProcs int, shortMean, longMean float64) float64 {
+	frac := math.Log2(float64(size)+1) / math.Log2(float64(maxProcs)+1)
+	pLong := 0.05 + 0.7*frac
+	mean := shortMean
+	if r.Float64() < pLong {
+		mean = longMean
+	}
+	// Both stages also lengthen with the size, so the correlation holds
+	// within each stage and not only across the mixture.
+	return r.Exp() * mean * (0.4 + 1.6*frac)
+}
+
+// Generate implements Model.
+func (m *Feitelson96) Generate(r *rng.Source, n int) *swf.Log {
+	log := newLog(m.Name(), m.MaxProcs)
+	sizes := dist.NewJobSize(m.MaxProcs, m.Pow2Boost, m.HarmonicOrder)
+	repeats := dist.NewZipf(m.MaxRepeats, 2.5)
+	clock := 0.0
+	id := 1
+	exec := 1
+	for id <= n {
+		clock += r.Exp() * m.MeanInterArrival
+		size := sizes.SampleInt(r)
+		reps := repeats.SampleInt(r)
+		user := 1 + r.Intn(50)
+		// Repeated executions: each run re-submitted when the previous
+		// ends.
+		t := clock
+		for k := 0; k < reps && id <= n; k++ {
+			rt := runtimeForSize(r, size, m.MaxProcs, 60, 3600)
+			emit(log, id, t, rt, size, user, exec)
+			t += rt
+			id++
+		}
+		exec++
+	}
+	log.SortBySubmit()
+	return log
+}
+
+// Feitelson97 is the refined 1997 variant used in the gang-scheduling
+// study with Jette. It keeps the emphasized power-of-two sizes and the
+// repeated executions, but strengthens the emphasis on small jobs and
+// draws runtimes from a three-stage hyper-exponential correlated with
+// size — the paper finds it closest to the interactive and NASA
+// workloads, with the highest self-similarity among the models (possibly
+// due to the repetitions).
+type Feitelson97 struct {
+	MaxProcs         int
+	Pow2Boost        float64
+	HarmonicOrder    float64
+	MeanInterArrival float64
+	MaxRepeats       int
+}
+
+// NewFeitelson97 returns the model with its default parameters.
+func NewFeitelson97(maxProcs int) *Feitelson97 {
+	return &Feitelson97{MaxProcs: maxProcs, Pow2Boost: 14, HarmonicOrder: 1.8,
+		MeanInterArrival: 600, MaxRepeats: 128}
+}
+
+// Name implements Model.
+func (m *Feitelson97) Name() string { return "Feitelson97" }
+
+// Generate implements Model.
+func (m *Feitelson97) Generate(r *rng.Source, n int) *swf.Log {
+	log := newLog(m.Name(), m.MaxProcs)
+	sizes := dist.NewJobSize(m.MaxProcs, m.Pow2Boost, m.HarmonicOrder)
+	repeats := dist.NewZipf(m.MaxRepeats, 2.0)
+	clock := 0.0
+	id := 1
+	exec := 1
+	for id <= n {
+		clock += r.Exp() * m.MeanInterArrival
+		size := sizes.SampleInt(r)
+		reps := repeats.SampleInt(r)
+		user := 1 + r.Intn(40)
+		t := clock
+		for k := 0; k < reps && id <= n; k++ {
+			rt := m.runtime(r, size)
+			emit(log, id, t, rt, size, user, exec)
+			t += rt
+			id++
+		}
+		exec++
+	}
+	log.SortBySubmit()
+	return log
+}
+
+// runtime draws from a three-stage hyper-exponential whose mixing
+// probabilities shift toward the long stages as the size grows.
+func (m *Feitelson97) runtime(r *rng.Source, size int) float64 {
+	frac := math.Log2(float64(size)+1) / math.Log2(float64(m.MaxProcs)+1)
+	// Stage means: seconds-scale, minutes-scale, hours-scale.
+	means := [3]float64{15, 600, 7200}
+	p := [3]float64{0.55 - 0.3*frac, 0.35, 0.10 + 0.3*frac}
+	u := r.Float64()
+	switch {
+	case u < p[0]:
+		return r.Exp() * means[0]
+	case u < p[0]+p[1]:
+		return r.Exp() * means[1]
+	default:
+		return r.Exp() * means[2]
+	}
+}

@@ -1,0 +1,277 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"coplot/internal/rng"
+	"coplot/internal/stats"
+	"coplot/internal/swf"
+)
+
+const testProcs = 128
+
+// checkBasicValidity asserts the structural invariants every model's
+// output must satisfy.
+func checkBasicValidity(t *testing.T, log *swf.Log, n, maxProcs int) {
+	t.Helper()
+	if len(log.Jobs) != n {
+		t.Fatalf("generated %d jobs, want %d", len(log.Jobs), n)
+	}
+	prev := math.Inf(-1)
+	for i, j := range log.Jobs {
+		if j.Submit < prev {
+			t.Fatalf("job %d out of submit order", i)
+		}
+		prev = j.Submit
+		if j.Runtime < 0 {
+			t.Fatalf("job %d negative runtime %v", i, j.Runtime)
+		}
+		if j.Procs < 1 || j.Procs > maxProcs {
+			t.Fatalf("job %d procs %d out of [1,%d]", i, j.Procs, maxProcs)
+		}
+		if j.Wait != 0 {
+			t.Fatalf("pure model emitted non-zero wait")
+		}
+	}
+}
+
+func TestAllModelsBasicValidity(t *testing.T) {
+	for _, m := range All(testProcs) {
+		log := m.Generate(rng.New(1), 3000)
+		checkBasicValidity(t, log, 3000, testProcs)
+	}
+}
+
+func TestAllModelsDeterministic(t *testing.T) {
+	for _, mk := range []func() Model{
+		func() Model { return NewFeitelson96(testProcs) },
+		func() Model { return NewFeitelson97(testProcs) },
+		func() Model { return NewDowney(testProcs) },
+		func() Model { return NewJann(testProcs) },
+		func() Model { return NewLublin(testProcs) },
+	} {
+		a := mk().Generate(rng.New(7), 500)
+		b := mk().Generate(rng.New(7), 500)
+		if len(a.Jobs) != len(b.Jobs) {
+			t.Fatalf("%s: lengths differ", mk().Name())
+		}
+		for i := range a.Jobs {
+			if a.Jobs[i] != b.Jobs[i] {
+				t.Fatalf("%s: job %d differs between identical seeds", mk().Name(), i)
+			}
+		}
+	}
+}
+
+func TestModelNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range All(testProcs) {
+		if seen[m.Name()] {
+			t.Fatalf("duplicate model name %q", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}
+
+func procCounts(log *swf.Log) map[int]int {
+	c := map[int]int{}
+	for _, j := range log.Jobs {
+		c[j.Procs]++
+	}
+	return c
+}
+
+func TestFeitelsonPow2Emphasis(t *testing.T) {
+	for _, m := range []Model{NewFeitelson96(testProcs), NewFeitelson97(testProcs)} {
+		log := m.Generate(rng.New(2), 20000)
+		c := procCounts(log)
+		if c[32] < 3*c[31] || c[32] < 3*c[33] {
+			t.Fatalf("%s: no power-of-two spike at 32 (%d vs %d/%d)",
+				m.Name(), c[32], c[31], c[33])
+		}
+		if c[1] < c[100] {
+			t.Fatalf("%s: small jobs not emphasized", m.Name())
+		}
+	}
+}
+
+func TestFeitelsonRepeatedExecutions(t *testing.T) {
+	for _, m := range []Model{NewFeitelson96(testProcs), NewFeitelson97(testProcs)} {
+		log := m.Generate(rng.New(3), 5000)
+		execJobs := map[int][]swf.Job{}
+		for _, j := range log.Jobs {
+			execJobs[j.Executable] = append(execJobs[j.Executable], j)
+		}
+		if len(execJobs) >= len(log.Jobs) {
+			t.Fatalf("%s: no repeated executions", m.Name())
+		}
+		// Repeats of one executable keep the same size and run
+		// back-to-back (resubmitted after the previous run ends).
+		for _, jobs := range execJobs {
+			for k := 1; k < len(jobs); k++ {
+				if jobs[k].Procs != jobs[0].Procs {
+					t.Fatalf("%s: repeat changed size", m.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestFeitelsonSizeRuntimeCorrelation(t *testing.T) {
+	log := NewFeitelson96(testProcs).Generate(rng.New(4), 30000)
+	var sizes, runtimes []float64
+	for _, j := range log.Jobs {
+		sizes = append(sizes, float64(j.Procs))
+		runtimes = append(runtimes, j.Runtime)
+	}
+	if r := stats.Spearman(sizes, runtimes); r < 0.1 {
+		t.Fatalf("size/runtime rank correlation = %v, want positive", r)
+	}
+}
+
+func TestDowneyLogUniformRanges(t *testing.T) {
+	m := NewDowney(testProcs)
+	log := m.Generate(rng.New(5), 20000)
+	var services []float64
+	for _, j := range log.Jobs {
+		svc := j.Runtime * float64(j.Procs)
+		if svc < m.ServiceLo*0.5 || svc > m.ServiceHi*1.5 {
+			t.Fatalf("service %v outside log-uniform bounds", svc)
+		}
+		services = append(services, svc)
+	}
+	// Median of log-uniform is sqrt(lo*hi).
+	want := math.Sqrt(m.ServiceLo * m.ServiceHi)
+	got := stats.Median(services)
+	if got < want/3 || got > want*3 {
+		t.Fatalf("service median %v, want ~%v", got, want)
+	}
+}
+
+func TestDowneyNoPow2Spike(t *testing.T) {
+	// Downey uses continuous log-uniform parallelism: no power-of-two
+	// emphasis should appear.
+	log := NewDowney(testProcs).Generate(rng.New(6), 30000)
+	c := procCounts(log)
+	if c[32] > 3*(c[31]+1) && c[32] > 3*(c[33]+1) {
+		t.Fatal("unexpected power-of-two spike in Downey sizes")
+	}
+}
+
+func TestJannLongRuntimes(t *testing.T) {
+	// Jann models the CTC: long runtimes (median in the hundreds of
+	// seconds or more) with modest parallelism.
+	log := NewJann(512).Generate(rng.New(7), 20000)
+	var rts, procs []float64
+	for _, j := range log.Jobs {
+		rts = append(rts, j.Runtime)
+		procs = append(procs, float64(j.Procs))
+	}
+	if med := stats.Median(rts); med < 300 {
+		t.Fatalf("Jann runtime median = %v, want CTC-like (>300)", med)
+	}
+	if med := stats.Median(procs); med > 8 {
+		t.Fatalf("Jann procs median = %v, want small", med)
+	}
+}
+
+func TestJannRangesRespectMaxProcs(t *testing.T) {
+	log := NewJann(16).Generate(rng.New(8), 5000)
+	for _, j := range log.Jobs {
+		if j.Procs > 16 {
+			t.Fatalf("procs %d beyond machine", j.Procs)
+		}
+	}
+}
+
+func TestLublinSizeDistribution(t *testing.T) {
+	m := NewLublin(testProcs)
+	log := m.Generate(rng.New(9), 30000)
+	c := procCounts(log)
+	total := len(log.Jobs)
+	serial := float64(c[1]) / float64(total)
+	if math.Abs(serial-m.SerialProb) > 0.02 {
+		t.Fatalf("serial fraction = %v, want ~%v", serial, m.SerialProb)
+	}
+	// Power-of-two sizes dominate among parallel jobs.
+	pow2 := 0
+	for s, n := range c {
+		if s > 1 && s&(s-1) == 0 {
+			pow2 += n
+		}
+	}
+	if frac := float64(pow2) / float64(total-c[1]); frac < 0.6 {
+		t.Fatalf("pow2 fraction among parallel jobs = %v", frac)
+	}
+}
+
+func TestLublinSizeRuntimeCoupling(t *testing.T) {
+	// PA < 0 makes large jobs more likely to draw the long component —
+	// mixing p decreases with size, and component 1 is the short one.
+	m := NewLublin(testProcs)
+	log := m.Generate(rng.New(10), 30000)
+	var small, large []float64
+	for _, j := range log.Jobs {
+		if j.Procs <= 2 {
+			small = append(small, j.Runtime)
+		} else if j.Procs >= 32 {
+			large = append(large, j.Runtime)
+		}
+	}
+	if len(small) == 0 || len(large) == 0 {
+		t.Fatal("size buckets empty")
+	}
+	if stats.Median(large) <= stats.Median(small) {
+		t.Fatalf("large-job runtime median %v not above small-job %v",
+			stats.Median(large), stats.Median(small))
+	}
+}
+
+func TestLublinDailyCycle(t *testing.T) {
+	m := NewLublin(testProcs)
+	m.DailyCycle = true
+	log := m.Generate(rng.New(11), 20000)
+	checkBasicValidity(t, log, 20000, testProcs)
+	// Gaps must remain positive under modulation.
+	for i := 1; i < len(log.Jobs); i++ {
+		if log.Jobs[i].Submit < log.Jobs[i-1].Submit {
+			t.Fatal("cycle modulation broke ordering")
+		}
+	}
+}
+
+func TestModelsCVAboveOne(t *testing.T) {
+	// All five models use long-tailed runtime distributions: the
+	// coefficient of variation must exceed 1 (the paper's section 8
+	// rationale for hyper-exponential-like laws).
+	for _, m := range All(testProcs) {
+		log := m.Generate(rng.New(12), 20000)
+		var rts []float64
+		for _, j := range log.Jobs {
+			rts = append(rts, j.Runtime)
+		}
+		cv := stats.StdDev(rts) / stats.Mean(rts)
+		if cv < 1 {
+			t.Fatalf("%s: runtime CV = %v, want > 1", m.Name(), cv)
+		}
+	}
+}
+
+func BenchmarkLublinGenerate(b *testing.B) {
+	m := NewLublin(testProcs)
+	r := rng.New(13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Generate(r, 10000)
+	}
+}
+
+func BenchmarkJannGenerate(b *testing.B) {
+	m := NewJann(512)
+	r := rng.New(14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Generate(r, 10000)
+	}
+}

@@ -1,0 +1,138 @@
+package models
+
+import (
+	"sort"
+
+	"coplot/internal/fgn"
+	"coplot/internal/rng"
+	"coplot/internal/swf"
+)
+
+// SelfSimilar wraps any workload model and injects long-range dependence
+// into its output — the extension the paper's section 9 calls for ("the
+// lack of a suitable model that represents self-similarity is apparent,
+// and a new model is a near future requirement").
+//
+// The injection is a rank remapping: a fractional-Gaussian-noise sequence
+// with the target Hurst parameter supplies an ordering, and the base
+// model's inter-arrival gaps (and, separately, its jobs) are rearranged
+// so that their ranks follow the fGn's ranks. Because only the order
+// changes — the multisets of gaps, runtimes, and sizes are untouched —
+// every marginal statistic of the base model (its medians, intervals,
+// and distributions) is preserved exactly, while the per-job time series
+// become self-similar.
+type SelfSimilar struct {
+	// Base is the wrapped model.
+	Base Model
+	// H is the target Hurst parameter in (0,1); production logs in the
+	// paper's Table 3 mostly sit between 0.6 and 0.9.
+	H float64
+}
+
+// NewSelfSimilar wraps base with Hurst target h.
+func NewSelfSimilar(base Model, h float64) *SelfSimilar {
+	return &SelfSimilar{Base: base, H: h}
+}
+
+// Name implements Model.
+func (s *SelfSimilar) Name() string { return "SS-" + s.Base.Name() }
+
+// Generate implements Model.
+func (s *SelfSimilar) Generate(r *rng.Source, n int) *swf.Log {
+	base := s.Base.Generate(r, n)
+	if len(base.Jobs) < 4 {
+		return base
+	}
+	out := base.Clone()
+	out.SortBySubmit()
+	out.Header = append(out.Header,
+		"Self-similarity injected by rank remapping (marginals preserved)")
+
+	// Rearrange the job records themselves so the runtime (and with it
+	// the size and work) series are long-range dependent.
+	jobsLRD, err := reorderByFGN(r, out.Jobs, s.H)
+	if err == nil {
+		out.Jobs = jobsLRD
+	}
+
+	// Rearrange the inter-arrival gaps so the arrival process is
+	// long-range dependent, preserving the gap multiset and the first
+	// submit time.
+	gaps := make([]float64, len(out.Jobs)-1)
+	for i := 1; i < len(out.Jobs); i++ {
+		gaps[i-1] = out.Jobs[i].Submit - out.Jobs[i-1].Submit
+	}
+	lrdGaps, err := remapByFGN(r, gaps, s.H)
+	if err == nil {
+		t := out.Jobs[0].Submit
+		for i := 1; i < len(out.Jobs); i++ {
+			t += lrdGaps[i-1]
+			out.Jobs[i].Submit = t
+		}
+	}
+	for i := range out.Jobs {
+		out.Jobs[i].ID = i + 1
+	}
+	return out
+}
+
+// remapByFGN returns the values of xs rearranged so their ranks follow
+// the ranks of an fGn sample: position with the k-th smallest fGn value
+// receives the k-th smallest x.
+func remapByFGN(r *rng.Source, xs []float64, h float64) ([]float64, error) {
+	n := len(xs)
+	z, err := fgn.DaviesHarte(r, h, n)
+	if err != nil {
+		return nil, err
+	}
+	order := rankOrder(z)
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, n)
+	for rank, pos := range order {
+		out[pos] = sorted[rank]
+	}
+	return out, nil
+}
+
+// reorderByFGN rearranges whole job records by runtime rank, keeping the
+// submit-time sequence in place (jobs swap attributes, not arrival
+// slots).
+func reorderByFGN(r *rng.Source, jobs []swf.Job, h float64) ([]swf.Job, error) {
+	n := len(jobs)
+	z, err := fgn.DaviesHarte(r, h, n)
+	if err != nil {
+		return nil, err
+	}
+	order := rankOrder(z)
+	// Jobs sorted by runtime.
+	byRuntime := make([]int, n)
+	for i := range byRuntime {
+		byRuntime[i] = i
+	}
+	sort.SliceStable(byRuntime, func(a, b int) bool {
+		return jobs[byRuntime[a]].Runtime < jobs[byRuntime[b]].Runtime
+	})
+	out := make([]swf.Job, n)
+	for rank, pos := range order {
+		src := jobs[byRuntime[rank]]
+		dst := src
+		// The job keeps its attributes but adopts the submit time of its
+		// new slot.
+		dst.Submit = jobs[pos].Submit
+		out[pos] = dst
+	}
+	return out, nil
+}
+
+// rankOrder returns, for each rank k, the position holding the k-th
+// smallest value of z.
+func rankOrder(z []float64) []int {
+	idx := make([]int, len(z))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return z[idx[a]] < z[idx[b]] })
+	return idx
+}

@@ -1,0 +1,110 @@
+package models
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"coplot/internal/rng"
+	"coplot/internal/selfsim"
+	"coplot/internal/swf"
+)
+
+func TestSelfSimilarPreservesMarginals(t *testing.T) {
+	base := NewLublin(128)
+	wrapped := NewSelfSimilar(NewLublin(128), 0.85)
+	// Same seed: the base stream inside the wrapper is identical.
+	plain := base.Generate(rng.New(3), 8000)
+	ss := wrapped.Generate(rng.New(3), 8000)
+
+	// Runtime and size multisets must be identical.
+	collect := func(l *swf.Log) (rts, procs, gaps []float64) {
+		for _, j := range l.Jobs {
+			rts = append(rts, j.Runtime)
+			procs = append(procs, float64(j.Procs))
+		}
+		gaps = l.InterArrivals()
+		sort.Float64s(rts)
+		sort.Float64s(procs)
+		sort.Float64s(gaps)
+		return
+	}
+	r1, p1, g1 := collect(plain)
+	r2, p2, g2 := collect(ss)
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("runtime multiset changed at %d: %v vs %v", i, r1[i], r2[i])
+		}
+		if p1[i] != p2[i] {
+			t.Fatalf("procs multiset changed at %d", i)
+		}
+	}
+	for i := range g1 {
+		if math.Abs(g1[i]-g2[i]) > 1e-6*math.Max(1, g1[i]) {
+			t.Fatalf("gap multiset changed at %d: %v vs %v", i, g1[i], g2[i])
+		}
+	}
+}
+
+func TestSelfSimilarRaisesHurst(t *testing.T) {
+	base := NewLublin(128)
+	wrapped := NewSelfSimilar(NewLublin(128), 0.85)
+	plain := base.Generate(rng.New(4), 16384)
+	ss := wrapped.Generate(rng.New(4), 16384)
+
+	for _, name := range []string{selfsim.SeriesRuntime, selfsim.SeriesInterArrival} {
+		hPlain, err := selfsim.VarianceTime(selfsim.SeriesFromLog(plain)[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		hSS, err := selfsim.VarianceTime(selfsim.SeriesFromLog(ss)[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hSS < hPlain+0.1 {
+			t.Fatalf("%s: H %v -> %v, want clear increase", name, hPlain, hSS)
+		}
+		if hSS < 0.65 {
+			t.Fatalf("%s: wrapped H = %v, want > 0.65", name, hSS)
+		}
+	}
+}
+
+func TestSelfSimilarKeepsOrdering(t *testing.T) {
+	wrapped := NewSelfSimilar(NewDowney(128), 0.8)
+	log := wrapped.Generate(rng.New(5), 4000)
+	prev := math.Inf(-1)
+	for i, j := range log.Jobs {
+		if j.Submit < prev {
+			t.Fatalf("job %d out of order", i)
+		}
+		prev = j.Submit
+		if j.ID != i+1 {
+			t.Fatalf("IDs not renumbered: job %d has ID %d", i, j.ID)
+		}
+	}
+}
+
+func TestSelfSimilarName(t *testing.T) {
+	w := NewSelfSimilar(NewJann(512), 0.8)
+	if w.Name() != "SS-Jann" {
+		t.Fatalf("name = %q", w.Name())
+	}
+}
+
+func TestSelfSimilarTinyLog(t *testing.T) {
+	w := NewSelfSimilar(NewDowney(16), 0.8)
+	log := w.Generate(rng.New(6), 3)
+	if len(log.Jobs) != 3 {
+		t.Fatalf("jobs = %d", len(log.Jobs))
+	}
+}
+
+func BenchmarkSelfSimilarWrap(b *testing.B) {
+	w := NewSelfSimilar(NewLublin(128), 0.85)
+	r := rng.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Generate(r, 8192)
+	}
+}

@@ -1,0 +1,161 @@
+package models
+
+import (
+	"sort"
+
+	"coplot/internal/dist"
+	"coplot/internal/rng"
+	"coplot/internal/swf"
+)
+
+// Session is a multiclass, user-session workload model — the direction
+// the paper's section 10 points to ("user or multi-class modeling
+// attributes", citing Calzarossa & Serazzi's multiclass workload
+// construction). Instead of drawing jobs i.i.d., the model generates
+// *users* who open sessions and submit a run of jobs with feedback: each
+// follow-up job is submitted a think time after the previous job of the
+// session ends. Two built-in classes mirror the paper's
+// interactive/batch split.
+//
+// Feedback is the mechanism the paper suspects behind the repetition
+// structure of real logs (section 7 credits Feitelson '97's higher
+// self-similarity to repeated executions), so this model produces
+// burstier, more dependent streams than the i.i.d. models while staying
+// fully synthetic.
+type Session struct {
+	MaxProcs int
+	// Classes of work; weights need not sum to one.
+	Classes []SessionClass
+	// MeanSessionGap is the mean time between session openings, seconds.
+	MeanSessionGap float64
+	// Users is the size of the user population.
+	Users int
+}
+
+// SessionClass describes one job class.
+type SessionClass struct {
+	Name string
+	// Weight is the relative frequency of sessions of this class.
+	Weight float64
+	// JobsPerSession is the mean of the geometric session length.
+	JobsPerSession float64
+	// Runtime and ThinkTime distributions, and the job-size law.
+	Runtime   dist.Sampler
+	ThinkTime dist.Sampler
+	Sizes     *dist.JobSize
+	// Queue tags emitted jobs (swf.QueueInteractive or swf.QueueBatch).
+	Queue int
+}
+
+// NewSession builds the model with its two default classes: an
+// interactive class (short jobs, few processors, short think times) and
+// a batch class (long jobs, more processors, long think times).
+func NewSession(maxProcs int) *Session {
+	return &Session{
+		MaxProcs:       maxProcs,
+		MeanSessionGap: 300,
+		Users:          60,
+		Classes: []SessionClass{
+			{
+				Name: "interactive", Weight: 0.7, JobsPerSession: 8,
+				Runtime:   dist.Exponential{Lambda: 1.0 / 30},
+				ThinkTime: dist.Exponential{Lambda: 1.0 / 60},
+				Sizes:     dist.NewJobSize(maxInt2(maxProcs/8, 1), 8, 1.8),
+				Queue:     swf.QueueInteractive,
+			},
+			{
+				Name: "batch", Weight: 0.3, JobsPerSession: 3,
+				Runtime:   mustHyperExp([]float64{0.7, 0.3}, []float64{1.0 / 600, 1.0 / 10800}),
+				ThinkTime: dist.Exponential{Lambda: 1.0 / 1800},
+				Sizes:     dist.NewJobSize(maxProcs, 10, 1.4),
+				Queue:     swf.QueueBatch,
+			},
+		},
+	}
+}
+
+func mustHyperExp(p, lambda []float64) dist.HyperExp {
+	h, err := dist.NewHyperExp(p, lambda)
+	if err != nil {
+		panic("models: bad built-in hyperexp: " + err.Error())
+	}
+	return h
+}
+
+func maxInt2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Name implements Model.
+func (m *Session) Name() string { return "Session" }
+
+// Generate implements Model.
+func (m *Session) Generate(r *rng.Source, n int) *swf.Log {
+	log := newLog(m.Name(), m.MaxProcs)
+	totalWeight := 0.0
+	for _, c := range m.Classes {
+		totalWeight += c.Weight
+	}
+	clock := 0.0
+	id := 1
+	for id <= n {
+		clock += r.Exp() * m.MeanSessionGap
+		// Pick the session's class.
+		u := r.Float64() * totalWeight
+		var class SessionClass
+		for _, c := range m.Classes {
+			if u < c.Weight {
+				class = c
+				break
+			}
+			u -= c.Weight
+		}
+		if class.Name == "" {
+			class = m.Classes[len(m.Classes)-1]
+		}
+		user := 1 + r.Intn(m.Users)
+		// Geometric session length with the configured mean.
+		jobs := 1
+		p := 1 / class.JobsPerSession
+		for r.Float64() > p && jobs < 200 {
+			jobs++
+		}
+		// The session repeatedly runs the same executable, a strong
+		// pattern of real logs.
+		exec := id
+		t := clock
+		size := class.Sizes.SampleInt(r)
+		for k := 0; k < jobs && id <= n; k++ {
+			rt := class.Runtime.Sample(r)
+			job := swf.Job{
+				ID: id, Submit: t, Wait: 0, Runtime: rt, Procs: size,
+				CPUTime: rt, Memory: -1, ReqProcs: size, ReqTime: rt,
+				ReqMemory: -1, Status: swf.StatusCompleted, User: user,
+				Group: 1, Executable: exec, Queue: class.Queue,
+				Partition: -1, PrecedingID: -1, ThinkTime: -1,
+			}
+			if k > 0 {
+				job.PrecedingID = id - 1
+				job.ThinkTime = t - prevEnd(log)
+			}
+			log.Jobs = append(log.Jobs, job)
+			// Feedback: the next job is submitted a think time after
+			// this one finishes.
+			t += rt + class.ThinkTime.Sample(r)
+			id++
+		}
+	}
+	// Sort by submit time but keep the generation-order IDs so the
+	// PrecedingID feedback links stay valid.
+	sort.SliceStable(log.Jobs, func(a, b int) bool { return log.Jobs[a].Submit < log.Jobs[b].Submit })
+	return log
+}
+
+// prevEnd returns the end time of the most recently appended job.
+func prevEnd(log *swf.Log) float64 {
+	j := log.Jobs[len(log.Jobs)-1]
+	return j.Submit + j.Runtime
+}

@@ -1,0 +1,125 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"coplot/internal/rng"
+	"coplot/internal/selfsim"
+	"coplot/internal/swf"
+)
+
+func TestSessionBasicValidity(t *testing.T) {
+	m := NewSession(128)
+	log := m.Generate(rng.New(1), 5000)
+	checkBasicValidity(t, log, 5000, 128)
+}
+
+func TestSessionFeedbackLinks(t *testing.T) {
+	m := NewSession(128)
+	log := m.Generate(rng.New(2), 4000)
+	byID := map[int]swf.Job{}
+	for _, j := range log.Jobs {
+		byID[j.ID] = j
+	}
+	linked := 0
+	for _, j := range log.Jobs {
+		if j.PrecedingID < 0 {
+			continue
+		}
+		linked++
+		prev, ok := byID[j.PrecedingID]
+		if !ok {
+			t.Fatalf("job %d links to missing job %d", j.ID, j.PrecedingID)
+		}
+		// Feedback: the follow-up was submitted after the previous job
+		// of its session ended.
+		if j.Submit < prev.Submit+prev.Runtime-1e-6 {
+			t.Fatalf("job %d submitted at %v before predecessor end %v",
+				j.ID, j.Submit, prev.Submit+prev.Runtime)
+		}
+		// Think time recorded consistently.
+		if j.ThinkTime >= 0 {
+			want := j.Submit - (prev.Submit + prev.Runtime)
+			if math.Abs(j.ThinkTime-want) > 1e-6*math.Max(1, want) {
+				t.Fatalf("job %d think time %v, want %v", j.ID, j.ThinkTime, want)
+			}
+		}
+		// Sessions rerun the same executable at the same size.
+		if j.Executable != prev.Executable || j.Procs != prev.Procs {
+			t.Fatalf("session changed executable/size mid-run")
+		}
+	}
+	if linked < 1000 {
+		t.Fatalf("only %d feedback links in 4000 jobs", linked)
+	}
+}
+
+func TestSessionClassMixture(t *testing.T) {
+	m := NewSession(128)
+	log := m.Generate(rng.New(3), 20000)
+	counts := map[int]int{}
+	for _, j := range log.Jobs {
+		counts[j.Queue]++
+	}
+	if counts[swf.QueueInteractive] == 0 || counts[swf.QueueBatch] == 0 {
+		t.Fatal("a class is missing from the output")
+	}
+	// Interactive sessions are more frequent AND longer, so interactive
+	// jobs dominate.
+	if counts[swf.QueueInteractive] < counts[swf.QueueBatch] {
+		t.Fatalf("interactive %d < batch %d", counts[swf.QueueInteractive], counts[swf.QueueBatch])
+	}
+	// Batch jobs run longer on average.
+	var ri, rb, ni, nb float64
+	for _, j := range log.Jobs {
+		if j.Queue == swf.QueueInteractive {
+			ri += j.Runtime
+			ni++
+		} else {
+			rb += j.Runtime
+			nb++
+		}
+	}
+	if rb/nb < 5*(ri/ni) {
+		t.Fatalf("batch mean runtime %v not far above interactive %v", rb/nb, ri/ni)
+	}
+}
+
+func TestSessionBurstierThanPoisson(t *testing.T) {
+	// Feedback and sessions should produce a more dependent arrival
+	// process than the i.i.d. Downey model: compare lag-1 rank
+	// dependence of the inter-arrival series.
+	sess := NewSession(128).Generate(rng.New(4), 16384)
+	hSess, err := selfsim.VarianceTime(selfsim.SeriesFromLog(sess)[selfsim.SeriesInterArrival])
+	if err != nil {
+		t.Fatal(err)
+	}
+	iid := NewDowney(128).Generate(rng.New(4), 16384)
+	hIID, err := selfsim.VarianceTime(selfsim.SeriesFromLog(iid)[selfsim.SeriesInterArrival])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hSess <= hIID {
+		t.Fatalf("session model H %v not above i.i.d. model H %v", hSess, hIID)
+	}
+}
+
+func TestSessionDeterministic(t *testing.T) {
+	a := NewSession(64).Generate(rng.New(5), 1000)
+	b := NewSession(64).Generate(rng.New(5), 1000)
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d not reproducible", i)
+		}
+	}
+}
+
+func BenchmarkSessionGenerate(b *testing.B) {
+	m := NewSession(128)
+	r := rng.New(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Generate(r, 10000)
+	}
+}

@@ -1,0 +1,278 @@
+// Package parametric implements the generalized workload model the
+// paper proposes in section 8: since no single model represents all
+// systems, a model should be *parameterized* by three variables — one
+// representative from each stable variable cluster. The paper selects
+// the processor-allocation flexibility and the medians of the
+// (un-normalized) degree of parallelism and the inter-arrival time,
+// reporting that these three conserve the map with a coefficient of
+// alienation of 0.02 and an average correlation of 0.94.
+//
+// The model "uses the highly positive correlations with other variables
+// to assume their distributions": here that is made concrete by fitting
+// log-linear regressions of every remaining Table-1 variable on the
+// three parameters across the paper's ten production observations, and
+// generating workloads whose marginals follow the predicted medians and
+// 90% intervals (through the same fGn/copula machinery as the
+// calibrated site generators, so the output is also long-range
+// dependent — the section-9 requirement future models must meet).
+package parametric
+
+import (
+	"fmt"
+	"math"
+
+	"coplot/internal/machine"
+	"coplot/internal/mat"
+	"coplot/internal/sites"
+	"coplot/internal/stats"
+	"coplot/internal/swf"
+)
+
+// Params are the three inputs of the section-8 model.
+type Params struct {
+	// AllocFlexibility is the machine's allocation-flexibility rank
+	// (1 = power-of-two partitions, 2 = limited, 3 = unlimited) — known
+	// in advance for any modeled system, and the paper's proxy for the
+	// level of total CPU work.
+	AllocFlexibility int
+	// ProcsMedian is the expected median degree of parallelism.
+	ProcsMedian float64
+	// InterArrivalMedian is the expected median gap between arrivals,
+	// in seconds.
+	InterArrivalMedian float64
+}
+
+// Validate reports invalid parameters.
+func (p Params) Validate() error {
+	if p.AllocFlexibility < 1 || p.AllocFlexibility > 3 {
+		return fmt.Errorf("parametric: allocation flexibility %d outside 1..3", p.AllocFlexibility)
+	}
+	if p.ProcsMedian < 1 {
+		return fmt.Errorf("parametric: parallelism median %v below 1", p.ProcsMedian)
+	}
+	if p.InterArrivalMedian <= 0 {
+		return fmt.Errorf("parametric: non-positive inter-arrival median %v", p.InterArrivalMedian)
+	}
+	return nil
+}
+
+// Prediction is the full variable set derived from the three parameters.
+type Prediction struct {
+	RuntimeMed, RuntimeIv float64
+	ProcsMed, ProcsIv     float64
+	WorkMed, WorkIv       float64
+	InterMed, InterIv     float64
+}
+
+// Model predicts workload variables from the three section-8 parameters
+// and generates matching workloads. Build one with New.
+type Model struct {
+	MaxProcs int
+	// Hurst is the self-similarity target of the generated sequences;
+	// the default 0.8 sits in the middle of the production range of
+	// Table 3.
+	Hurst float64
+
+	coef map[string][]float64 // derived variable -> regression coefficients
+}
+
+// trainingRow is one Table-1 production observation: the three
+// parameters followed by the derived variables. Values are the paper's
+// published cells (work medians/intervals as printed; the CPU-less NASA
+// and LLNL rows use the paper's substitution rules).
+type trainingRow struct {
+	name   string
+	al     float64
+	pm, im float64
+	rm, ri float64
+	pi     float64
+	cm, ci float64
+	ii     float64
+}
+
+// trainingData is Table 1 of the paper.
+var trainingData = []trainingRow{
+	{"CTC", 3, 2, 64, 960, 57216, 37, 2181, 326057, 1472},
+	{"KTH", 3, 3, 192, 848, 47875, 31, 2880, 355140, 3806},
+	{"LANL", 1, 64, 162, 68, 9064, 224, 256, 559104, 1968},
+	{"LANLi", 1, 32, 16, 57, 267, 96, 128, 2560, 276},
+	{"LANLb", 1, 64, 169, 376, 11136, 480, 2944, 1582080, 2064},
+	{"LLNL", 2, 8, 119, 36, 9143, 62, 384, 455582, 1660},
+	{"NASA", 1, 1, 56, 19, 1168, 31, 19, 19774, 443},
+	{"SDSC", 2, 5, 170, 45, 28498, 63, 209, 918544, 4265},
+	{"SDSCi", 2, 4, 68, 12, 484, 31, 86, 3960, 2076},
+	{"SDSCb", 2, 8, 208, 1812, 39290, 63, 9472, 1754212, 5884},
+}
+
+// derived lists the predicted variables in output order.
+var derived = []string{"Rm", "Ri", "Pi", "Cm", "Ci", "Ii"}
+
+// New fits the regression model. maxProcs bounds generated parallelism.
+func New(maxProcs int) (*Model, error) {
+	if maxProcs < 2 {
+		return nil, fmt.Errorf("parametric: machine too small (%d)", maxProcs)
+	}
+	m := &Model{MaxProcs: maxProcs, Hurst: 0.8, coef: map[string][]float64{}}
+	// Design matrix: [log Pm, log Im, AL] per observation.
+	x := mat.New(len(trainingData), 3)
+	for i, row := range trainingData {
+		x.Set(i, 0, math.Log(row.pm))
+		x.Set(i, 1, math.Log(row.im))
+		x.Set(i, 2, row.al)
+	}
+	target := func(code string, row trainingRow) float64 {
+		switch code {
+		case "Rm":
+			return row.rm
+		case "Ri":
+			return row.ri
+		case "Pi":
+			return row.pi
+		case "Cm":
+			return row.cm
+		case "Ci":
+			return row.ci
+		case "Ii":
+			return row.ii
+		}
+		panic("parametric: unknown code " + code)
+	}
+	for _, code := range derived {
+		y := make([]float64, len(trainingData))
+		for i, row := range trainingData {
+			y[i] = math.Log(target(code, row))
+		}
+		coef, _, err := stats.MultipleOLS(x, y)
+		if err != nil {
+			return nil, fmt.Errorf("parametric: fitting %s: %v", code, err)
+		}
+		m.coef[code] = coef
+	}
+	return m, nil
+}
+
+// Predict derives the full variable set from the three parameters.
+func (m *Model) Predict(p Params) (Prediction, error) {
+	if err := p.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	feat := []float64{math.Log(p.ProcsMedian), math.Log(p.InterArrivalMedian), float64(p.AllocFlexibility)}
+	eval := func(code string) float64 {
+		c := m.coef[code]
+		v := c[0]
+		for i, f := range feat {
+			v += c[i+1] * f
+		}
+		return math.Exp(v)
+	}
+	pred := Prediction{
+		RuntimeMed: eval("Rm"), RuntimeIv: eval("Ri"),
+		ProcsMed: p.ProcsMedian, ProcsIv: eval("Pi"),
+		WorkMed: eval("Cm"), WorkIv: eval("Ci"),
+		InterMed: p.InterArrivalMedian, InterIv: eval("Ii"),
+	}
+	// Keep the geometry sane: intervals at least as large as a third of
+	// the median (degenerate extrapolations otherwise break the
+	// lognormal construction).
+	pred.RuntimeIv = math.Max(pred.RuntimeIv, pred.RuntimeMed/3)
+	pred.ProcsIv = math.Max(pred.ProcsIv, 1)
+	pred.WorkIv = math.Max(pred.WorkIv, pred.WorkMed/3)
+	pred.InterIv = math.Max(pred.InterIv, pred.InterMed/3)
+	return pred, nil
+}
+
+// Spec converts a prediction into a calibrated generator specification.
+func (m *Model) Spec(name string, p Params, jobs int) (sites.Spec, error) {
+	pred, err := m.Predict(p)
+	if err != nil {
+		return sites.Spec{}, err
+	}
+	alloc := machine.Allocator(p.AllocFlexibility)
+	mach := machine.Machine{
+		Name:      name,
+		Procs:     m.MaxProcs,
+		Scheduler: machine.SchedulerEASY,
+		Allocator: alloc,
+	}
+	spec := sites.Spec{
+		Name: name, Machine: mach, Jobs: jobs, Queue: swf.QueueBatch,
+		InterMed: pred.InterMed, InterIv: pred.InterIv,
+		RuntimeMed: pred.RuntimeMed, RuntimeIv: pred.RuntimeIv,
+		ProcsMed: clampMed(pred.ProcsMed, m.MaxProcs), ProcsIv: pred.ProcsIv,
+		WorkMed: pred.WorkMed, WorkIv: pred.WorkIv,
+		Pow2Procs: alloc == machine.AllocatorPow2,
+		HArrival:  m.Hurst, HRuntime: m.Hurst, HProcs: m.Hurst,
+		UsersPerJob: 0.004, ExecsPerJob: 0.005, CompletedFrac: 0.9,
+		CPUFraction: 0.8,
+	}
+	return spec, nil
+}
+
+// Generate produces a workload for the given parameters.
+func (m *Model) Generate(name string, p Params, jobs int, seed uint64) (*swf.Log, error) {
+	spec, err := m.Spec(name, p, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate(seed)
+}
+
+func clampMed(v float64, maxProcs int) float64 {
+	if v < 1 {
+		return 1
+	}
+	if v > float64(maxProcs) {
+		return float64(maxProcs)
+	}
+	return v
+}
+
+// ParamsOf returns the three section-8 parameters of a named production
+// observation from the training table, useful for round-trip checks.
+func ParamsOf(name string) (Params, error) {
+	for _, row := range trainingData {
+		if row.name == name {
+			return Params{
+				AllocFlexibility:   int(row.al),
+				ProcsMedian:        row.pm,
+				InterArrivalMedian: row.im,
+			}, nil
+		}
+	}
+	return Params{}, fmt.Errorf("parametric: unknown observation %q", name)
+}
+
+// TrainingNames lists the observations backing the fit.
+func TrainingNames() []string {
+	out := make([]string, len(trainingData))
+	for i, r := range trainingData {
+		out[i] = r.name
+	}
+	return out
+}
+
+// TrueValue returns the published value of a derived variable for a
+// training observation (for evaluation of the fit).
+func TrueValue(name, code string) (float64, error) {
+	for _, row := range trainingData {
+		if row.name != name {
+			continue
+		}
+		switch code {
+		case "Rm":
+			return row.rm, nil
+		case "Ri":
+			return row.ri, nil
+		case "Pi":
+			return row.pi, nil
+		case "Cm":
+			return row.cm, nil
+		case "Ci":
+			return row.ci, nil
+		case "Ii":
+			return row.ii, nil
+		}
+		return 0, fmt.Errorf("parametric: unknown variable %q", code)
+	}
+	return 0, fmt.Errorf("parametric: unknown observation %q", name)
+}

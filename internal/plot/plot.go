@@ -1,0 +1,170 @@
+// Package plot renders minimal standalone SVG scatter/line charts. It
+// exists for the paper's diagnostic plots — pox plots of R/S analysis,
+// variance-time plots, periodograms (appendix), and Shepard diagrams —
+// which are all point clouds with an optional fitted line, possibly on
+// log-log axes.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted point set.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Color  string // CSS color; default assigned by index
+	IsLine bool   // draw a polyline instead of dots
+}
+
+// Chart is a renderable figure.
+type Chart struct {
+	Title      string
+	XLabel     string
+	YLabel     string
+	LogX, LogY bool
+	Width      int // default 640
+	Height     int // default 480
+	Series     []Series
+}
+
+var defaultColors = []string{"#1a56a0", "#c33", "#2a7", "#a5a", "#e80", "#07a"}
+
+// SVG renders the chart. Non-finite and (on log axes) non-positive
+// points are skipped.
+func (c *Chart) SVG() (string, error) {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 480
+	}
+	const margin = 50.0
+
+	tx := func(v float64) (float64, bool) {
+		if c.LogX {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	ty := func(v float64) (float64, bool) {
+		if c.LogY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	type pt struct{ x, y float64 }
+	transformed := make([][]pt, len(c.Series))
+	for si, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky || math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			transformed[si] = append(transformed[si], pt{x, y})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "", fmt.Errorf("plot: no drawable points")
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+	sx := func(x float64) float64 {
+		return margin + (x-minX)/(maxX-minX)*(float64(w)-2*margin)
+	}
+	sy := func(y float64) float64 {
+		return float64(h) - margin - (y-minY)/(maxY-minY)*(float64(h)-2*margin)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#444"/>`+"\n",
+		margin, float64(h)-margin, float64(w)-margin, float64(h)-margin)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#444"/>`+"\n",
+		margin, margin, margin, float64(h)-margin)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" fill="#222">%s</text>`+"\n", w/2-len(c.Title)*3, esc(c.Title))
+	}
+	xl := c.XLabel
+	if c.LogX && xl != "" {
+		xl = "log10 " + xl
+	}
+	yl := c.YLabel
+	if c.LogY && yl != "" {
+		yl = "log10 " + yl
+	}
+	if xl != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="#444">%s</text>`+"\n", w/2-len(xl)*3, h-12, esc(xl))
+	}
+	if yl != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" font-size="12" fill="#444" transform="rotate(-90 14 %d)">%s</text>`+"\n", h/2, h/2, esc(yl))
+	}
+	// Tick labels at the corners of the data range.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#666">%.3g</text>`+"\n", margin, float64(h)-margin+14, untx(minX, c.LogX))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#666">%.3g</text>`+"\n", float64(w)-margin-20, float64(h)-margin+14, untx(maxX, c.LogX))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#666">%.3g</text>`+"\n", margin-34, float64(h)-margin, untx(minY, c.LogY))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#666">%.3g</text>`+"\n", margin-34, margin+4, untx(maxY, c.LogY))
+
+	for si, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = defaultColors[si%len(defaultColors)]
+		}
+		if s.IsLine {
+			var path []string
+			for _, p := range transformed[si] {
+				path = append(path, fmt.Sprintf("%.1f,%.1f", sx(p.x), sy(p.y)))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(path, " "), color)
+		} else {
+			for _, p := range transformed[si] {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s" fill-opacity="0.7"/>`+"\n",
+					sx(p.x), sy(p.y), color)
+			}
+		}
+		if s.Name != "" {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s">%s</text>`+"\n",
+				float64(w)-margin-100, margin+14*float64(si+1), color, esc(s.Name))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// untx maps a transformed coordinate back to data space for tick labels.
+func untx(v float64, logScale bool) float64 {
+	if logScale {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

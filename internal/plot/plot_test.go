@@ -1,0 +1,94 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSVGBasicScatter(t *testing.T) {
+	c := &Chart{
+		Title:  "test",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{{Name: "pts", X: []float64{1, 2, 3}, Y: []float64{2, 4, 8}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(svg, "<circle") != 3 {
+		t.Fatalf("circles = %d", strings.Count(svg, "<circle"))
+	}
+	if !strings.Contains(svg, "test") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestSVGLineSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}, IsLine: true}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("missing polyline")
+	}
+}
+
+func TestSVGLogAxesSkipNonPositive(t *testing.T) {
+	c := &Chart{
+		LogX: true, LogY: true,
+		Series: []Series{{X: []float64{0, 1, 10, 100}, Y: []float64{-5, 1, 10, 100}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the three positive pairs survive.
+	if strings.Count(svg, "<circle") != 3 {
+		t.Fatalf("circles = %d, want 3", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	ragged := &Chart{Series: []Series{{X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := ragged.SVG(); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	empty := &Chart{Series: []Series{{X: nil, Y: nil}}}
+	if _, err := empty.SVG(); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	allBad := &Chart{LogX: true, Series: []Series{{X: []float64{-1, 0}, Y: []float64{1, 2}}}}
+	if _, err := allBad.SVG(); err == nil {
+		t.Fatal("chart with no drawable points accepted")
+	}
+}
+
+func TestSVGDegenerateRange(t *testing.T) {
+	c := &Chart{Series: []Series{{X: []float64{5, 5}, Y: []float64{3, 3}}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Fatal("constant data should still render")
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	c := &Chart{Title: "a<b&c", Series: []Series{{X: []float64{1, 2}, Y: []float64{1, 2}}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "a<b&c") {
+		t.Fatal("unescaped metacharacters")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;c") {
+		t.Fatal("expected escaped title")
+	}
+}

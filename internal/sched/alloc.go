@@ -1,0 +1,262 @@
+package sched
+
+import (
+	"fmt"
+
+	"coplot/internal/machine"
+)
+
+// Placement is an opaque handle to an allocation, returned by an Allocator
+// and required to free it.
+type Placement struct {
+	offset int // starting node index (buddy and contiguous allocators)
+	size   int // processors actually held
+}
+
+// Size returns the number of processors held by the placement.
+func (p Placement) Size() int { return p.size }
+
+// Allocator models a processor-allocation scheme. Implementations are not
+// safe for concurrent use; the simulator is single-threaded.
+type Allocator interface {
+	// AllocSize returns the number of processors a request for n nodes
+	// actually consumes under this scheme (e.g. rounded up to a power of
+	// two for partitioned machines).
+	AllocSize(n int) int
+	// CanAlloc reports whether a request for n nodes can be placed now.
+	CanAlloc(n int) bool
+	// Alloc places a request for n nodes. ok is false when it does not fit.
+	Alloc(n int) (p Placement, ok bool)
+	// Free releases a placement obtained from Alloc.
+	Free(p Placement)
+	// FreeCapacity returns the number of currently idle processors.
+	FreeCapacity() int
+	// Total returns the machine size.
+	Total() int
+}
+
+// NewAllocator builds the allocator matching the machine's scheme.
+// minPartition applies only to the power-of-two scheme and is clamped to
+// at least 1 (the LANL CM-5's smallest partition held 32 nodes).
+func NewAllocator(m machine.Machine, minPartition int) (Allocator, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	switch m.Allocator {
+	case machine.AllocatorPow2:
+		return newBuddyAllocator(m.Procs, minPartition)
+	case machine.AllocatorLimited:
+		return newContiguousAllocator(m.Procs), nil
+	case machine.AllocatorUnlimited:
+		return newCountingAllocator(m.Procs), nil
+	}
+	return nil, fmt.Errorf("sched: unknown allocator %v", m.Allocator)
+}
+
+// countingAllocator models fully flexible allocation: any subset of idle
+// nodes can serve any job, so only the count matters.
+type countingAllocator struct {
+	total, used int
+}
+
+func newCountingAllocator(total int) *countingAllocator {
+	return &countingAllocator{total: total}
+}
+
+func (c *countingAllocator) AllocSize(n int) int { return n }
+func (c *countingAllocator) CanAlloc(n int) bool { return n > 0 && c.used+n <= c.total }
+func (c *countingAllocator) Alloc(n int) (Placement, bool) {
+	if !c.CanAlloc(n) {
+		return Placement{}, false
+	}
+	c.used += n
+	return Placement{size: n}, true
+}
+func (c *countingAllocator) Free(p Placement)  { c.used -= p.size }
+func (c *countingAllocator) FreeCapacity() int { return c.total - c.used }
+func (c *countingAllocator) Total() int        { return c.total }
+
+// contiguousAllocator models limited (mesh-like) allocation: a job needs a
+// contiguous run of nodes in a 1-D arrangement, so external fragmentation
+// can block a job even when enough total nodes are idle. First-fit.
+type contiguousAllocator struct {
+	total int
+	used  []bool
+	free  int
+}
+
+func newContiguousAllocator(total int) *contiguousAllocator {
+	return &contiguousAllocator{total: total, used: make([]bool, total), free: total}
+}
+
+func (c *contiguousAllocator) AllocSize(n int) int { return n }
+
+func (c *contiguousAllocator) findRun(n int) int {
+	run := 0
+	for i := 0; i < c.total; i++ {
+		if c.used[i] {
+			run = 0
+			continue
+		}
+		run++
+		if run == n {
+			return i - n + 1
+		}
+	}
+	return -1
+}
+
+func (c *contiguousAllocator) CanAlloc(n int) bool {
+	return n > 0 && n <= c.total && c.findRun(n) >= 0
+}
+
+func (c *contiguousAllocator) Alloc(n int) (Placement, bool) {
+	if n <= 0 || n > c.total {
+		return Placement{}, false
+	}
+	at := c.findRun(n)
+	if at < 0 {
+		return Placement{}, false
+	}
+	for i := at; i < at+n; i++ {
+		c.used[i] = true
+	}
+	c.free -= n
+	return Placement{offset: at, size: n}, true
+}
+
+func (c *contiguousAllocator) Free(p Placement) {
+	for i := p.offset; i < p.offset+p.size; i++ {
+		c.used[i] = false
+	}
+	c.free += p.size
+}
+
+func (c *contiguousAllocator) FreeCapacity() int { return c.free }
+func (c *contiguousAllocator) Total() int        { return c.total }
+
+// buddyAllocator models static power-of-two partitioning with a buddy
+// system: requests are rounded up to a power of two (at least
+// minPartition), and blocks split and coalesce along aligned boundaries.
+type buddyAllocator struct {
+	total        int
+	minPartition int
+	// freeBlocks[k] holds the offsets of free blocks of size 1<<k.
+	freeBlocks map[int][]int
+	maxOrder   int
+	freeCount  int
+}
+
+func newBuddyAllocator(total, minPartition int) (*buddyAllocator, error) {
+	if total&(total-1) != 0 {
+		return nil, fmt.Errorf("sched: buddy allocator needs a power-of-two machine, got %d", total)
+	}
+	if minPartition < 1 {
+		minPartition = 1
+	}
+	if minPartition&(minPartition-1) != 0 {
+		return nil, fmt.Errorf("sched: minPartition %d not a power of two", minPartition)
+	}
+	b := &buddyAllocator{
+		total:        total,
+		minPartition: minPartition,
+		freeBlocks:   map[int][]int{},
+		freeCount:    total,
+	}
+	for 1<<b.maxOrder < total {
+		b.maxOrder++
+	}
+	b.freeBlocks[b.maxOrder] = []int{0}
+	return b, nil
+}
+
+// AllocSize rounds the request up to the partition granularity.
+func (b *buddyAllocator) AllocSize(n int) int {
+	if n < 1 {
+		return 0
+	}
+	size := b.minPartition
+	for size < n {
+		size <<= 1
+	}
+	return size
+}
+
+func orderOf(size int) int {
+	o := 0
+	for 1<<o < size {
+		o++
+	}
+	return o
+}
+
+func (b *buddyAllocator) CanAlloc(n int) bool {
+	size := b.AllocSize(n)
+	if size == 0 || size > b.total {
+		return false
+	}
+	for o := orderOf(size); o <= b.maxOrder; o++ {
+		if len(b.freeBlocks[o]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *buddyAllocator) Alloc(n int) (Placement, bool) {
+	size := b.AllocSize(n)
+	if size == 0 || size > b.total {
+		return Placement{}, false
+	}
+	want := orderOf(size)
+	// Find the smallest free block that fits.
+	o := want
+	for o <= b.maxOrder && len(b.freeBlocks[o]) == 0 {
+		o++
+	}
+	if o > b.maxOrder {
+		return Placement{}, false
+	}
+	// Pop a block and split down to the wanted order.
+	blocks := b.freeBlocks[o]
+	offset := blocks[len(blocks)-1]
+	b.freeBlocks[o] = blocks[:len(blocks)-1]
+	for o > want {
+		o--
+		// Keep the high half free; allocate from the low half.
+		b.freeBlocks[o] = append(b.freeBlocks[o], offset+(1<<o))
+	}
+	b.freeCount -= size
+	return Placement{offset: offset, size: size}, true
+}
+
+func (b *buddyAllocator) Free(p Placement) {
+	o := orderOf(p.size)
+	offset := p.offset
+	// Coalesce with the buddy while possible.
+	for o < b.maxOrder {
+		buddy := offset ^ (1 << o)
+		found := -1
+		for i, off := range b.freeBlocks[o] {
+			if off == buddy {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			break
+		}
+		list := b.freeBlocks[o]
+		list[found] = list[len(list)-1]
+		b.freeBlocks[o] = list[:len(list)-1]
+		if buddy < offset {
+			offset = buddy
+		}
+		o++
+	}
+	b.freeBlocks[o] = append(b.freeBlocks[o], offset)
+	b.freeCount += p.size
+}
+
+func (b *buddyAllocator) FreeCapacity() int { return b.freeCount }
+func (b *buddyAllocator) Total() int        { return b.total }

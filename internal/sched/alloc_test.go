@@ -1,0 +1,230 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coplot/internal/machine"
+	"coplot/internal/rng"
+)
+
+func TestCountingAllocator(t *testing.T) {
+	a := newCountingAllocator(10)
+	if a.Total() != 10 || a.FreeCapacity() != 10 {
+		t.Fatal("initial capacity wrong")
+	}
+	p1, ok := a.Alloc(6)
+	if !ok || p1.Size() != 6 || a.FreeCapacity() != 4 {
+		t.Fatalf("alloc 6: ok=%v size=%d free=%d", ok, p1.Size(), a.FreeCapacity())
+	}
+	if _, ok := a.Alloc(5); ok {
+		t.Fatal("overcommit allowed")
+	}
+	p2, ok := a.Alloc(4)
+	if !ok {
+		t.Fatal("exact fit rejected")
+	}
+	a.Free(p1)
+	a.Free(p2)
+	if a.FreeCapacity() != 10 {
+		t.Fatalf("free capacity after release = %d", a.FreeCapacity())
+	}
+	if a.CanAlloc(0) {
+		t.Fatal("zero-size alloc allowed")
+	}
+}
+
+func TestContiguousFragmentation(t *testing.T) {
+	a := newContiguousAllocator(10)
+	// Allocate 3 blocks: [0-3) [3-6) [6-9); free the middle.
+	p1, _ := a.Alloc(3)
+	p2, _ := a.Alloc(3)
+	p3, _ := a.Alloc(3)
+	a.Free(p2)
+	// 4 total free (3 middle + 1 tail) but only 3 contiguous.
+	if a.FreeCapacity() != 4 {
+		t.Fatalf("free = %d", a.FreeCapacity())
+	}
+	if a.CanAlloc(4) {
+		t.Fatal("fragmented allocator claimed to fit 4 contiguous")
+	}
+	if !a.CanAlloc(3) {
+		t.Fatal("3-node hole not found")
+	}
+	a.Free(p1)
+	// Now [0-6) is free: 6 contiguous.
+	if !a.CanAlloc(6) {
+		t.Fatal("coalesced hole not usable")
+	}
+	a.Free(p3)
+	if !a.CanAlloc(10) {
+		t.Fatal("full machine not reusable")
+	}
+}
+
+func TestContiguousFirstFit(t *testing.T) {
+	a := newContiguousAllocator(8)
+	p1, _ := a.Alloc(2)
+	if p1.offset != 0 {
+		t.Fatalf("first alloc at %d", p1.offset)
+	}
+	p2, _ := a.Alloc(2)
+	if p2.offset != 2 {
+		t.Fatalf("second alloc at %d", p2.offset)
+	}
+	a.Free(p1)
+	p3, _ := a.Alloc(1)
+	if p3.offset != 0 {
+		t.Fatalf("first-fit should reuse the hole, got offset %d", p3.offset)
+	}
+}
+
+func TestBuddyAllocSizeRounding(t *testing.T) {
+	b, err := newBuddyAllocator(1024, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ req, want int }{
+		{1, 32}, {31, 32}, {32, 32}, {33, 64}, {100, 128}, {1024, 1024},
+	}
+	for _, tc := range cases {
+		if got := b.AllocSize(tc.req); got != tc.want {
+			t.Fatalf("AllocSize(%d) = %d, want %d", tc.req, got, tc.want)
+		}
+	}
+	if b.AllocSize(0) != 0 {
+		t.Fatal("AllocSize(0) should be 0")
+	}
+}
+
+func TestBuddyRejectsBadConfig(t *testing.T) {
+	if _, err := newBuddyAllocator(100, 1); err == nil {
+		t.Fatal("non-pow2 machine accepted")
+	}
+	if _, err := newBuddyAllocator(128, 3); err == nil {
+		t.Fatal("non-pow2 partition accepted")
+	}
+}
+
+func TestBuddySplitAndCoalesce(t *testing.T) {
+	b, err := newBuddyAllocator(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, ok := b.Alloc(4)
+	if !ok || p1.Size() != 4 {
+		t.Fatal("alloc 4 failed")
+	}
+	p2, ok := b.Alloc(8)
+	if !ok || p2.Size() != 8 {
+		t.Fatal("alloc 8 failed")
+	}
+	if b.FreeCapacity() != 4 {
+		t.Fatalf("free = %d, want 4", b.FreeCapacity())
+	}
+	// The remaining 4 nodes form one aligned block.
+	if !b.CanAlloc(4) {
+		t.Fatal("remaining block unusable")
+	}
+	b.Free(p1)
+	b.Free(p2)
+	if b.FreeCapacity() != 16 {
+		t.Fatalf("free after release = %d", b.FreeCapacity())
+	}
+	// Everything must have coalesced back into one 16-block.
+	if _, ok := b.Alloc(16); !ok {
+		t.Fatal("blocks did not coalesce")
+	}
+}
+
+func TestBuddyAlignment(t *testing.T) {
+	b, _ := newBuddyAllocator(16, 1)
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		p, ok := b.Alloc(4)
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if p.offset%4 != 0 {
+			t.Fatalf("block at %d not 4-aligned", p.offset)
+		}
+		if seen[p.offset] {
+			t.Fatalf("offset %d handed out twice", p.offset)
+		}
+		seen[p.offset] = true
+	}
+	if b.FreeCapacity() != 0 {
+		t.Fatal("machine should be full")
+	}
+}
+
+func TestBuddyRandomizedInvariant(t *testing.T) {
+	// Random alloc/free sequences must preserve capacity accounting and
+	// always coalesce back to a full machine at the end.
+	cfg := &quick.Config{MaxCount: 25}
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		b, err := newBuddyAllocator(256, 2)
+		if err != nil {
+			return false
+		}
+		var live []Placement
+		for step := 0; step < 300; step++ {
+			if r.Float64() < 0.6 {
+				n := 1 + r.Intn(64)
+				before := b.FreeCapacity()
+				if p, ok := b.Alloc(n); ok {
+					if b.FreeCapacity() != before-p.Size() {
+						return false
+					}
+					live = append(live, p)
+				}
+			} else if len(live) > 0 {
+				i := r.Intn(len(live))
+				b.Free(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		for _, p := range live {
+			b.Free(p)
+		}
+		if b.FreeCapacity() != 256 {
+			return false
+		}
+		_, ok := b.Alloc(256)
+		return ok
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewAllocatorDispatch(t *testing.T) {
+	pow2, err := NewAllocator(machine.Machine{Name: "m", Procs: 1024,
+		Scheduler: machine.SchedulerGang, Allocator: machine.AllocatorPow2}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pow2.(*buddyAllocator); !ok {
+		t.Fatal("pow2 machine should use buddy allocator")
+	}
+	lim, err := NewAllocator(machine.SDSC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lim.(*contiguousAllocator); !ok {
+		t.Fatal("limited machine should use contiguous allocator")
+	}
+	unl, err := NewAllocator(machine.CTC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := unl.(*countingAllocator); !ok {
+		t.Fatal("unlimited machine should use counting allocator")
+	}
+	bad := machine.Machine{Name: "x", Procs: 0, Scheduler: machine.SchedulerNQS, Allocator: machine.AllocatorPow2}
+	if _, err := NewAllocator(bad, 0); err == nil {
+		t.Fatal("invalid machine accepted")
+	}
+}

@@ -1,0 +1,185 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"coplot/internal/machine"
+	"coplot/internal/swf"
+)
+
+// gangJob is a job inside the gang simulator. Remaining work is measured
+// in dedicated seconds; the wall-clock rate depends on how many matrix
+// rows are active.
+type gangJob struct {
+	req       Request
+	place     Placement
+	row       int
+	start     float64
+	remaining float64
+}
+
+// simulateGang models gang scheduling with an Ousterhout matrix of
+// opts.GangSlots rows. Each row holds a space-sharing packing of jobs
+// (using the machine's allocator); the machine cycles through the
+// non-empty rows, so every running job advances at rate 1/activeRows.
+// A job is admitted when some row can place it; otherwise it queues FCFS.
+func simulateGang(m machine.Machine, reqs []Request, opts Options) (*swf.Log, Stats, error) {
+	rows := make([]Allocator, opts.GangSlots)
+	for i := range rows {
+		a, err := NewAllocator(m, opts.MinPartition)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		rows[i] = a
+	}
+	log := &swf.Log{Header: []string{
+		fmt.Sprintf("Computer: %s", m.Name),
+		fmt.Sprintf("Processors: %d", m.Procs),
+		fmt.Sprintf("Scheduler: %s (slots=%d)", m.Scheduler, opts.GangSlots),
+		fmt.Sprintf("Allocation: %s", m.Allocator),
+	}}
+	var st Stats
+
+	running := map[*gangJob]bool{}
+	rowCount := make([]int, opts.GangSlots) // jobs per row
+	var queue []Request
+	next := 0
+	now := 0.0
+	nodeSeconds := 0.0
+	var waits []float64
+
+	activeRows := func() int {
+		n := 0
+		for _, c := range rowCount {
+			if c > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	// advance progresses all running jobs by wall-clock dt.
+	advance := func(dt float64) {
+		if dt <= 0 || len(running) == 0 {
+			return
+		}
+		rate := 1 / float64(activeRows())
+		for j := range running {
+			j.remaining -= dt * rate
+		}
+	}
+	// nextCompletion returns the wall-clock delay until the earliest
+	// completion, or +Inf when nothing runs.
+	nextCompletion := func() float64 {
+		if len(running) == 0 {
+			return math.Inf(1)
+		}
+		minRem := math.Inf(1)
+		for j := range running {
+			if j.remaining < minRem {
+				minRem = j.remaining
+			}
+		}
+		return minRem * float64(activeRows())
+	}
+	tryStart := func(req Request, t float64) bool {
+		for r, a := range rows {
+			if p, ok := a.Alloc(req.Procs); ok {
+				j := &gangJob{req: req, place: p, row: r, start: t, remaining: req.Runtime}
+				running[j] = true
+				rowCount[r]++
+				return true
+			}
+		}
+		return false
+	}
+	finish := func(j *gangJob, t float64) {
+		rows[j.row].Free(j.place)
+		rowCount[j.row]--
+		delete(running, j)
+		wait := j.start - j.req.Submit
+		waits = append(waits, wait)
+		status := swf.StatusFailed
+		if j.req.Completes {
+			status = swf.StatusCompleted
+			st.Completed++
+		}
+		wallRuntime := t - j.start
+		nodeSeconds += j.req.Runtime * float64(j.place.Size())
+		log.Jobs = append(log.Jobs, swf.Job{
+			ID: j.req.ID, Submit: j.req.Submit, Wait: wait,
+			// The recorded runtime is wall-clock residence; the CPU time
+			// is the dedicated work — gang scheduling stretches the
+			// former but not the latter.
+			Runtime: wallRuntime, Procs: j.place.Size(),
+			CPUTime: j.req.Runtime * j.req.CPUFraction, Memory: -1,
+			ReqProcs: j.req.Procs, ReqTime: j.req.Estimate, ReqMemory: -1,
+			Status: status, User: j.req.User, Group: j.req.Group,
+			Executable: j.req.Executable, Queue: j.req.Queue,
+			Partition: j.row, PrecedingID: -1, ThinkTime: -1,
+		})
+	}
+	drainQueue := func(t float64) {
+		kept := queue[:0]
+		for _, req := range queue {
+			if !tryStart(req, t) {
+				kept = append(kept, req)
+			}
+		}
+		queue = kept
+	}
+
+	for next < len(reqs) || len(running) > 0 {
+		dtEnd := nextCompletion()
+		hasArr := next < len(reqs)
+		var dtArr float64 = math.Inf(1)
+		if hasArr {
+			dtArr = reqs[next].Submit - now
+			if dtArr < 0 {
+				dtArr = 0
+			}
+		}
+		if dtArr <= dtEnd {
+			advance(dtArr)
+			now += dtArr
+			req := reqs[next]
+			next++
+			if rows[0].AllocSize(req.Procs) > rows[0].Total() || req.Procs <= 0 {
+				st.Rejected++
+				log.Jobs = append(log.Jobs, swf.Job{
+					ID: req.ID, Submit: req.Submit, Wait: 0, Runtime: 0,
+					Procs: 0, CPUTime: -1, Memory: -1, ReqProcs: req.Procs,
+					ReqTime: req.Estimate, ReqMemory: -1,
+					Status: swf.StatusCancelled, User: req.User,
+					Group: req.Group, Executable: req.Executable,
+					Queue: req.Queue, Partition: -1, PrecedingID: -1, ThinkTime: -1,
+				})
+				continue
+			}
+			if !tryStart(req, now) {
+				queue = append(queue, req)
+			}
+			continue
+		}
+		advance(dtEnd)
+		now += dtEnd
+		// Collect every job that reached zero remaining work (ties
+		// complete together).
+		var done []*gangJob
+		for j := range running {
+			if j.remaining <= 1e-9 {
+				done = append(done, j)
+			}
+		}
+		sort.Slice(done, func(a, b int) bool { return done[a].req.ID < done[b].req.ID })
+		for _, j := range done {
+			finish(j, now)
+		}
+		drainQueue(now)
+	}
+
+	log.SortBySubmit()
+	fillStats(&st, waits, nodeSeconds, log, m)
+	return log, st, nil
+}

@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"coplot/internal/machine"
+	"coplot/internal/swf"
+)
+
+// ReplayLog pushes an existing log's job stream through a machine's
+// scheduler, as if the same requests had been submitted to a different
+// system. The output log carries the simulated wait times, allocation
+// rounding, and (under gang scheduling) stretched wall-clock runtimes —
+// the transformation that turns a "pure" model stream into an executed
+// trace.
+//
+// Jobs with non-positive processor counts or negative runtimes are
+// clamped to the minimal valid request. Cancelled jobs in the input are
+// resubmitted like any other (the simulator decides their fate).
+func ReplayLog(log *swf.Log, m machine.Machine, opts Options) (*swf.Log, Stats, error) {
+	reqs := make([]Request, 0, len(log.Jobs))
+	for _, j := range log.Jobs {
+		procs := j.Procs
+		if procs < 1 {
+			procs = 1
+		}
+		runtime := j.Runtime
+		if runtime < 0 {
+			runtime = 0
+		}
+		reqs = append(reqs, Request{
+			ID: j.ID, Submit: j.Submit, Procs: procs, Runtime: runtime,
+			Estimate: j.ReqTime, User: j.User, Group: j.Group,
+			Executable: j.Executable, Queue: j.Queue,
+			CPUFraction: cpuFractionOf(j),
+			Completes:   j.Status != swf.StatusFailed,
+		})
+	}
+	return Simulate(m, reqs, opts)
+}
+
+// cpuFractionOf recovers the CPU fraction of a logged job, defaulting to
+// full utilization when CPU time is unrecorded.
+func cpuFractionOf(j swf.Job) float64 {
+	if j.CPUTime > 0 && j.Runtime > 0 {
+		f := j.CPUTime / j.Runtime
+		if f > 1 {
+			f = 1
+		}
+		return f
+	}
+	return 1
+}

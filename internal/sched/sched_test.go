@@ -1,0 +1,447 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"coplot/internal/machine"
+	"coplot/internal/rng"
+	"coplot/internal/swf"
+)
+
+func easyMachine(procs int) machine.Machine {
+	return machine.Machine{Name: "easy", Procs: procs,
+		Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorUnlimited}
+}
+
+func nqsMachine(procs int) machine.Machine {
+	return machine.Machine{Name: "nqs", Procs: procs,
+		Scheduler: machine.SchedulerNQS, Allocator: machine.AllocatorUnlimited}
+}
+
+func gangMachine(procs int) machine.Machine {
+	return machine.Machine{Name: "gang", Procs: procs,
+		Scheduler: machine.SchedulerGang, Allocator: machine.AllocatorUnlimited}
+}
+
+func req(id int, submit float64, procs int, runtime float64) Request {
+	return Request{ID: id, Submit: submit, Procs: procs, Runtime: runtime,
+		User: 1, Executable: 1, Queue: swf.QueueBatch, Completes: true}
+}
+
+func jobByID(log *swf.Log, id int) swf.Job {
+	for _, j := range log.Jobs {
+		if j.ID == id {
+			return j
+		}
+	}
+	return swf.Job{ID: -1}
+}
+
+func TestFCFSSequentialWhenFull(t *testing.T) {
+	// Machine of 4; job 1 takes all nodes for 100s; job 2 must wait.
+	reqs := []Request{req(1, 0, 4, 100), req(2, 10, 2, 50)}
+	log, st, err := Simulate(nqsMachine(4), reqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := jobByID(log, 2)
+	if math.Abs(j2.Wait-90) > 1e-9 {
+		t.Fatalf("job 2 wait = %v, want 90", j2.Wait)
+	}
+	if st.Completed != 2 {
+		t.Fatalf("completed = %d", st.Completed)
+	}
+}
+
+func TestFCFSHeadOfLineBlocking(t *testing.T) {
+	// job1 uses 3/4 nodes until t=100. job2 (4 nodes) can't start, and
+	// under strict FCFS job3 (1 node, would fit) must wait behind it.
+	reqs := []Request{req(1, 0, 3, 100), req(2, 1, 4, 10), req(3, 2, 1, 10)}
+	log, _, err := Simulate(nqsMachine(4), reqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3 := jobByID(log, 3)
+	// job2 starts at 100, ends 110; job3 starts at 110.
+	if start := j3.Submit + j3.Wait; math.Abs(start-110) > 1e-9 {
+		t.Fatalf("job 3 start = %v, want 110 (FCFS order)", start)
+	}
+}
+
+func TestEASYBackfills(t *testing.T) {
+	// Same scenario under EASY: job3 fits in the 1 spare node and ends
+	// (t=2+10=12 ≤ shadow 100) before job2's reservation, so it backfills.
+	reqs := []Request{req(1, 0, 3, 100), req(2, 1, 4, 10), req(3, 2, 1, 10)}
+	log, st, err := Simulate(easyMachine(4), reqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3 := jobByID(log, 3)
+	if j3.Wait != 0 {
+		t.Fatalf("job 3 wait = %v, want 0 (backfilled)", j3.Wait)
+	}
+	if st.Backfilled == 0 {
+		t.Fatal("backfill counter not incremented")
+	}
+	// job2 must still start at t=100 — the backfill may not delay it.
+	j2 := jobByID(log, 2)
+	if start := j2.Submit + j2.Wait; math.Abs(start-100) > 1e-9 {
+		t.Fatalf("job 2 start = %v, want 100", start)
+	}
+}
+
+func TestEASYDoesNotDelayReservation(t *testing.T) {
+	// A long candidate that would overrun the shadow time and use more
+	// than the extra nodes must NOT backfill.
+	// job1: 3 nodes to t=100. job2: 4 nodes queued. job3: 2 nodes, 500s.
+	// extra at shadow = 0, est end 2+1000 > 100 → stays queued.
+	reqs := []Request{req(1, 0, 3, 100), req(2, 1, 4, 10), req(3, 2, 2, 500)}
+	log, _, err := Simulate(easyMachine(4), reqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := jobByID(log, 2)
+	if start := j2.Submit + j2.Wait; math.Abs(start-100) > 1e-9 {
+		t.Fatalf("job 2 start = %v, want 100 (reservation violated)", start)
+	}
+	j3 := jobByID(log, 3)
+	if j3.Wait == 0 {
+		t.Fatal("oversized candidate was backfilled")
+	}
+}
+
+func TestImmediateStartEmptyMachine(t *testing.T) {
+	for _, m := range []machine.Machine{nqsMachine(8), easyMachine(8), gangMachine(8)} {
+		log, _, err := Simulate(m, []Request{req(1, 5, 4, 10)}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := jobByID(log, 1)
+		if j.Wait != 0 {
+			t.Fatalf("%s: wait = %v on empty machine", m.Name, j.Wait)
+		}
+		if j.Status != swf.StatusCompleted {
+			t.Fatalf("%s: status = %d", m.Name, j.Status)
+		}
+	}
+}
+
+func TestRejectOversizedJob(t *testing.T) {
+	for _, m := range []machine.Machine{nqsMachine(4), gangMachine(4)} {
+		log, st, err := Simulate(m, []Request{req(1, 0, 100, 10)}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Rejected != 1 {
+			t.Fatalf("%s: rejected = %d", m.Name, st.Rejected)
+		}
+		if jobByID(log, 1).Status != swf.StatusCancelled {
+			t.Fatalf("%s: oversized job not cancelled", m.Name)
+		}
+	}
+}
+
+func TestFailedJobStatus(t *testing.T) {
+	r := req(1, 0, 2, 10)
+	r.Completes = false
+	log, st, err := Simulate(nqsMachine(4), []Request{r}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobByID(log, 1).Status != swf.StatusFailed {
+		t.Fatal("failed job not marked")
+	}
+	if st.Completed != 0 {
+		t.Fatal("failed job counted as completed")
+	}
+}
+
+func TestGangTimeSharing(t *testing.T) {
+	// Two jobs each needing the whole machine run together under gang
+	// scheduling, each at half speed: wall runtime ≈ 2×dedicated.
+	reqs := []Request{req(1, 0, 4, 100), req(2, 0, 4, 100)}
+	log, _, err := Simulate(gangMachine(4), reqs, Options{GangSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{1, 2} {
+		j := jobByID(log, id)
+		if j.Wait != 0 {
+			t.Fatalf("job %d queued under gang: wait=%v", id, j.Wait)
+		}
+		if math.Abs(j.Runtime-200) > 1e-6 {
+			t.Fatalf("job %d wall runtime = %v, want 200", id, j.Runtime)
+		}
+		// CPU time records the dedicated work.
+		if math.Abs(j.CPUTime-100) > 1e-6 {
+			t.Fatalf("job %d cpu time = %v, want 100", id, j.CPUTime)
+		}
+	}
+}
+
+func TestGangSpeedupAfterCompletion(t *testing.T) {
+	// Jobs of different lengths: after the short one finishes, the long
+	// one runs at full speed. job1 work 50, job2 work 100:
+	// both at rate 1/2 until job1 done at t=100 (50 work each done),
+	// then job2's remaining 50 at full speed → ends at 150.
+	reqs := []Request{req(1, 0, 4, 50), req(2, 0, 4, 100)}
+	log, _, err := Simulate(gangMachine(4), reqs, Options{GangSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := jobByID(log, 2)
+	if math.Abs(j2.Runtime-150) > 1e-6 {
+		t.Fatalf("job 2 wall runtime = %v, want 150", j2.Runtime)
+	}
+}
+
+func TestGangQueuesBeyondSlots(t *testing.T) {
+	// Three whole-machine jobs, 2 slots: the third must queue.
+	reqs := []Request{req(1, 0, 4, 100), req(2, 0, 4, 100), req(3, 0, 4, 100)}
+	log, _, err := Simulate(gangMachine(4), reqs, Options{GangSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3 := jobByID(log, 3)
+	if j3.Wait <= 0 {
+		t.Fatalf("job 3 wait = %v, want > 0", j3.Wait)
+	}
+}
+
+func TestGangPacksRows(t *testing.T) {
+	// Two half-machine jobs share one row and run at full speed.
+	reqs := []Request{req(1, 0, 2, 100), req(2, 0, 2, 100)}
+	log, _, err := Simulate(gangMachine(4), reqs, Options{GangSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{1, 2} {
+		j := jobByID(log, id)
+		if math.Abs(j.Runtime-100) > 1e-6 {
+			t.Fatalf("job %d runtime = %v, want 100 (same row, no sharing)", id, j.Runtime)
+		}
+	}
+}
+
+func TestBuddyMachineRoundsAllocations(t *testing.T) {
+	m := machine.Machine{Name: "cm5", Procs: 1024,
+		Scheduler: machine.SchedulerGang, Allocator: machine.AllocatorPow2}
+	reqs := []Request{req(1, 0, 33, 10)}
+	log, _, err := Simulate(m, reqs, Options{MinPartition: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := jobByID(log, 1)
+	if j.Procs != 64 {
+		t.Fatalf("allocated %d, want 64 (next pow2 partition)", j.Procs)
+	}
+	if j.ReqProcs != 33 {
+		t.Fatalf("requested procs not preserved: %d", j.ReqProcs)
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	r := rng.New(1)
+	var reqs []Request
+	clock := 0.0
+	for i := 0; i < 400; i++ {
+		clock += r.Exp() * 30
+		reqs = append(reqs, req(i+1, clock, 1+r.Intn(32), r.Exp()*600))
+	}
+	for _, m := range []machine.Machine{nqsMachine(64), easyMachine(64), gangMachine(64)} {
+		log, st, err := Simulate(m, reqs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(log.Jobs) != len(reqs) {
+			t.Fatalf("%s: %d jobs out, %d in", m.Name, len(log.Jobs), len(reqs))
+		}
+		if st.Utilization < 0 || st.Utilization > 1+1e-9 {
+			t.Fatalf("%s: utilization = %v", m.Name, st.Utilization)
+		}
+		if st.AvgWait < 0 {
+			t.Fatalf("%s: negative avg wait", m.Name)
+		}
+	}
+}
+
+func TestEASYBeatsOrEqualsFCFSOnWait(t *testing.T) {
+	// Backfilling should not increase the mean wait on a congested mix.
+	r := rng.New(2)
+	var reqs []Request
+	clock := 0.0
+	for i := 0; i < 300; i++ {
+		clock += r.Exp() * 20
+		reqs = append(reqs, req(i+1, clock, 1+r.Intn(64), r.Exp()*900))
+	}
+	_, stF, err := Simulate(nqsMachine(64), reqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stE, err := Simulate(easyMachine(64), reqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stE.AvgWait > stF.AvgWait*1.05 {
+		t.Fatalf("EASY wait %v > FCFS wait %v", stE.AvgWait, stF.AvgWait)
+	}
+	if stE.Backfilled == 0 {
+		t.Fatal("no backfilling happened on congested workload")
+	}
+}
+
+func TestConservationAllSchedulers(t *testing.T) {
+	// Every submitted job must come out exactly once, with
+	// wait >= 0 and runtime >= dedicated-time-0.
+	r := rng.New(3)
+	var reqs []Request
+	clock := 0.0
+	for i := 0; i < 200; i++ {
+		clock += r.Exp() * 10
+		reqs = append(reqs, req(i+1, clock, 1+r.Intn(16), 1+r.Exp()*100))
+	}
+	machines := []machine.Machine{
+		nqsMachine(32), easyMachine(32), gangMachine(32),
+		{Name: "mesh", Procs: 32, Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorLimited},
+		{Name: "pow2", Procs: 32, Scheduler: machine.SchedulerNQS, Allocator: machine.AllocatorPow2},
+	}
+	for _, m := range machines {
+		log, _, err := Simulate(m, reqs, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		seen := map[int]int{}
+		for _, j := range log.Jobs {
+			seen[j.ID]++
+			if j.Wait < -1e-9 {
+				t.Fatalf("%s: negative wait %v", m.Name, j.Wait)
+			}
+			if j.Status != swf.StatusCancelled && j.Runtime < 0 {
+				t.Fatalf("%s: negative runtime", m.Name)
+			}
+		}
+		for _, rq := range reqs {
+			if seen[rq.ID] != 1 {
+				t.Fatalf("%s: job %d appeared %d times", m.Name, rq.ID, seen[rq.ID])
+			}
+		}
+	}
+}
+
+func BenchmarkSimulateEASY(b *testing.B) {
+	r := rng.New(4)
+	var reqs []Request
+	clock := 0.0
+	for i := 0; i < 5000; i++ {
+		clock += r.Exp() * 30
+		reqs = append(reqs, req(i+1, clock, 1+r.Intn(64), r.Exp()*600))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Simulate(easyMachine(128), reqs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateGang(b *testing.B) {
+	r := rng.New(5)
+	var reqs []Request
+	clock := 0.0
+	for i := 0; i < 2000; i++ {
+		clock += r.Exp() * 30
+		reqs = append(reqs, req(i+1, clock, 1+r.Intn(64), r.Exp()*600))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Simulate(gangMachine(128), reqs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSlowdownMetric(t *testing.T) {
+	// One job, no contention: slowdown exactly 1.
+	log, st, err := Simulate(nqsMachine(4), []Request{req(1, 0, 2, 100)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = log
+	if math.Abs(st.AvgSlowdown-1) > 1e-9 {
+		t.Fatalf("uncontended slowdown = %v, want 1", st.AvgSlowdown)
+	}
+	// Forced queueing: job 2 waits 90s for a 10s job → slowdown 10.
+	reqs := []Request{req(1, 0, 4, 100), req(2, 10, 4, 10)}
+	_, st, err = Simulate(nqsMachine(4), reqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean of 1 (job 1) and (90+10)/10 = 10 (job 2) → 5.5.
+	if math.Abs(st.AvgSlowdown-5.5) > 1e-9 {
+		t.Fatalf("slowdown = %v, want 5.5", st.AvgSlowdown)
+	}
+}
+
+func TestSlowdownBoundProtectsTinyJobs(t *testing.T) {
+	// A 1-second job waiting 100 seconds: the bound divides by 10, not 1.
+	reqs := []Request{req(1, 0, 4, 100), req(2, 0, 4, 1)}
+	_, st, err := Simulate(nqsMachine(4), reqs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// job1: slowdown 1; job2: wait 100, runtime 1 → (101)/10 = 10.1.
+	want := (1 + 10.1) / 2
+	if math.Abs(st.AvgSlowdown-want) > 1e-9 {
+		t.Fatalf("slowdown = %v, want %v", st.AvgSlowdown, want)
+	}
+}
+
+func TestReplayLog(t *testing.T) {
+	// Build a small pure log, replay it, and verify structure.
+	src := &swf.Log{Jobs: []swf.Job{
+		{ID: 1, Submit: 0, Runtime: 100, Procs: 4, CPUTime: 80, Status: swf.StatusCompleted, ReqTime: 150},
+		{ID: 2, Submit: 5, Runtime: 50, Procs: 2, CPUTime: -1, Status: swf.StatusFailed},
+		{ID: 3, Submit: 10, Runtime: 20, Procs: 0, Status: swf.StatusCompleted}, // clamped to 1 proc
+	}}
+	out, st, err := ReplayLog(src, nqsMachine(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 3 {
+		t.Fatalf("jobs = %d", len(out.Jobs))
+	}
+	if st.Completed != 2 {
+		t.Fatalf("completed = %d (failed job must stay failed)", st.Completed)
+	}
+	j1 := jobByID(out, 1)
+	// CPU fraction recovered: 80/100 of the runtime.
+	if math.Abs(j1.CPUTime-80) > 1e-9 {
+		t.Fatalf("cpu time = %v, want 80", j1.CPUTime)
+	}
+	// User estimate preserved as the request time.
+	if j1.ReqTime != 150 {
+		t.Fatalf("req time = %v, want 150", j1.ReqTime)
+	}
+	j3 := jobByID(out, 3)
+	if j3.Procs != 1 {
+		t.Fatalf("zero-proc job clamped to %d, want 1", j3.Procs)
+	}
+}
+
+func TestReplayLogPure(t *testing.T) {
+	// Replaying an uncontended stream changes nothing material.
+	src := &swf.Log{Jobs: []swf.Job{
+		{ID: 1, Submit: 0, Runtime: 10, Procs: 1, Status: swf.StatusCompleted},
+		{ID: 2, Submit: 100, Runtime: 10, Procs: 1, Status: swf.StatusCompleted},
+	}}
+	out, _, err := ReplayLog(src, easyMachine(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range out.Jobs {
+		if j.Wait != 0 {
+			t.Fatalf("uncontended replay produced wait %v", j.Wait)
+		}
+	}
+}

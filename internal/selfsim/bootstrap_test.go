@@ -1,0 +1,96 @@
+package selfsim
+
+import (
+	"math"
+	"testing"
+
+	"coplot/internal/fgn"
+	"coplot/internal/rng"
+)
+
+func TestBootstrapCIValidation(t *testing.T) {
+	r := rng.New(1)
+	short := make([]float64, MinSeriesLen-1)
+	if _, _, err := BootstrapCI(r, short, VarianceTime, 0, 50, 0.1); err == nil {
+		t.Fatal("short series accepted")
+	}
+	x := make([]float64, 1024)
+	if _, _, err := BootstrapCI(r, x, VarianceTime, 0, 50, 0); err == nil {
+		t.Fatal("alpha 0 accepted")
+	}
+	if _, _, err := BootstrapCI(r, x, VarianceTime, 0, 50, 1); err == nil {
+		t.Fatal("alpha 1 accepted")
+	}
+}
+
+func TestBootstrapCIWhiteNoiseCoversHalf(t *testing.T) {
+	r := rng.New(2)
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	lo, hi, err := BootstrapCI(r, x, VarianceTime, 0, 60, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < hi) {
+		t.Fatalf("degenerate interval [%v, %v]", lo, hi)
+	}
+	if lo > 0.55 || hi < 0.45 {
+		t.Fatalf("white-noise CI [%v, %v] does not cover 0.5", lo, hi)
+	}
+	if hi-lo > 0.3 {
+		t.Fatalf("CI too wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapCIOrderingForLRD(t *testing.T) {
+	// The CI for a strongly self-similar series must sit clearly above
+	// the CI for white noise, even with block-resampling bias.
+	r := rng.New(3)
+	white := make([]float64, 8192)
+	for i := range white {
+		white[i] = r.Norm()
+	}
+	lrd, err := fgn.DaviesHarte(r, 0.9, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hiWhite, err := BootstrapCI(r, white, VarianceTime, 0, 50, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loLRD, _, err := BootstrapCI(r, lrd, VarianceTime, 0, 50, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loLRD <= hiWhite-0.05 {
+		t.Fatalf("LRD CI lower bound %v not above white-noise upper bound %v", loLRD, hiWhite)
+	}
+}
+
+func TestBootstrapCIDegenerateEstimator(t *testing.T) {
+	r := rng.New(4)
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	failing := func([]float64) (float64, error) { return math.NaN(), nil }
+	if _, _, err := BootstrapCI(r, x, failing, 0, 20, 0.1); err == nil {
+		t.Fatal("all-NaN estimator accepted")
+	}
+}
+
+func BenchmarkBootstrapCI(b *testing.B) {
+	r := rng.New(5)
+	x, err := fgn.DaviesHarte(r, 0.8, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BootstrapCI(r, x, VarianceTime, 0, 30, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package selfsim estimates the Hurst parameter of a time series with the
+// three methods of the paper's appendix: rescaled-range (R/S) analysis
+// with a pox plot, variance-time plots, and periodogram regression.
+//
+// A Hurst parameter of 0.5 indicates no long-range dependence; values
+// approaching 1 indicate increasingly strong self-similarity. Table 3 of
+// the paper applies all three estimators to four per-workload series
+// (used processors, runtime, total CPU time, inter-arrival time), which
+// SeriesFromLog reconstructs from an SWF log.
+package selfsim
+
+import (
+	"fmt"
+	"math"
+
+	"coplot/internal/stats"
+	"coplot/internal/swf"
+)
+
+// MinSeriesLen is the shortest series the estimators accept; below this
+// the log-log fits have too few points to mean anything.
+const MinSeriesLen = 64
+
+// RS estimates H by rescaled-range analysis. The series is divided into
+// non-overlapping blocks of geometrically increasing sizes; for each
+// block the rescaled adjusted range R/S (equations 12–13) is computed,
+// and the pox-plot slope of log E[R/S] against log n estimates H
+// (equation 15). RSData exposes the underlying plot.
+func RS(x []float64) (float64, error) {
+	d, err := RSData(x)
+	if err != nil {
+		return math.NaN(), err
+	}
+	if math.IsNaN(d.Slope) {
+		return math.NaN(), fmt.Errorf("selfsim: R/S fit degenerate")
+	}
+	return d.H, nil
+}
+
+// rescaledRange computes R(n)/S(n) for one block.
+func rescaledRange(x []float64) (float64, bool) {
+	n := len(x)
+	mean := stats.Mean(x)
+	sd := stats.StdDev(x)
+	if sd == 0 {
+		return 0, false
+	}
+	var w, maxW, minW float64
+	for k := 0; k < n; k++ {
+		w += x[k] - mean
+		if w > maxW {
+			maxW = w
+		}
+		if w < minW {
+			minW = w
+		}
+	}
+	return (maxW - minW) / sd, true
+}
+
+// VarianceTime estimates H from the decay of the variance of the
+// aggregated series: Var(X^(m)) ∝ m^{-β} with H = 1 − β/2
+// (equations 16–17). VarianceTimeData exposes the underlying plot.
+func VarianceTime(x []float64) (float64, error) {
+	d, err := VarianceTimeData(x)
+	if err != nil {
+		return math.NaN(), err
+	}
+	if math.IsNaN(d.Slope) {
+		return math.NaN(), fmt.Errorf("selfsim: variance-time fit degenerate")
+	}
+	return d.H, nil
+}
+
+// Periodogram estimates H from the low-frequency behaviour of the
+// periodogram: near the origin log Per(ω) is linear in log ω with slope
+// 1 − 2H (equations 18–19). The fit uses the lowest 10% of the Fourier
+// frequencies, the conventional choice. PeriodogramData exposes the
+// underlying plot.
+func Periodogram(x []float64) (float64, error) {
+	d, err := PeriodogramData(x)
+	if err != nil {
+		return math.NaN(), err
+	}
+	if math.IsNaN(d.Slope) {
+		return math.NaN(), fmt.Errorf("selfsim: periodogram fit degenerate")
+	}
+	return d.H, nil
+}
+
+// clampH confines estimates to the meaningful open interval; estimator
+// noise can push raw slopes slightly outside it.
+func clampH(h float64) float64 {
+	if h < 0.01 {
+		return 0.01
+	}
+	if h > 0.99 {
+		return 0.99
+	}
+	return h
+}
+
+// Estimates bundles the three Hurst estimates of one series, in the
+// layout of one Table 3 cell triple.
+type Estimates struct {
+	RS, VT, Per float64
+}
+
+// EstimateAll runs the three estimators; individual failures surface as
+// NaN entries rather than aborting the set.
+func EstimateAll(x []float64) Estimates {
+	var e Estimates
+	var err error
+	if e.RS, err = RS(x); err != nil {
+		e.RS = math.NaN()
+	}
+	if e.VT, err = VarianceTime(x); err != nil {
+		e.VT = math.NaN()
+	}
+	if e.Per, err = Periodogram(x); err != nil {
+		e.Per = math.NaN()
+	}
+	return e
+}
+
+// The four per-workload series of Table 3.
+const (
+	SeriesProcs        = "procs"        // used processors of consecutive jobs
+	SeriesRuntime      = "runtime"      // runtimes of consecutive jobs
+	SeriesWork         = "work"         // total CPU work of consecutive jobs
+	SeriesInterArrival = "interarrival" // inter-arrival times
+)
+
+// SeriesNames lists the four series in Table 3 order.
+var SeriesNames = []string{SeriesProcs, SeriesRuntime, SeriesWork, SeriesInterArrival}
+
+// SeriesFromLog extracts the four job-order series from a log: each
+// series is indexed by arrival order, the view under which the paper's
+// Table 3 measures self-similarity of workload attributes. Jobs with
+// missing fields are skipped in the affected series.
+func SeriesFromLog(log *swf.Log) map[string][]float64 {
+	l := log.Clone()
+	l.SortBySubmit()
+	out := map[string][]float64{}
+	for _, j := range l.Jobs {
+		if j.Procs > 0 {
+			out[SeriesProcs] = append(out[SeriesProcs], float64(j.Procs))
+		}
+		if j.Runtime >= 0 {
+			out[SeriesRuntime] = append(out[SeriesRuntime], j.Runtime)
+		}
+		if w := j.TotalWork(); w >= 0 {
+			out[SeriesWork] = append(out[SeriesWork], w)
+		}
+	}
+	out[SeriesInterArrival] = l.InterArrivals()
+	return out
+}

@@ -1,0 +1,190 @@
+package selfsim
+
+import (
+	"math"
+	"testing"
+
+	"coplot/internal/fgn"
+	"coplot/internal/rng"
+	"coplot/internal/swf"
+)
+
+// genFGN produces a long fGn sample for estimator validation.
+func genFGN(t *testing.T, h float64, n int, seed uint64) []float64 {
+	t.Helper()
+	x, err := fgn.DaviesHarte(rng.New(seed), h, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestRSRecoversH(t *testing.T) {
+	for _, h := range []float64{0.5, 0.7, 0.9} {
+		x := genFGN(t, h, 1<<15, 1)
+		got, err := RS(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// R/S is known to be biased toward 0.5-0.6 at moderate lengths;
+		// accept a generous band but require the right ordering later.
+		if math.Abs(got-h) > 0.15 {
+			t.Fatalf("RS(H=%v) = %v", h, got)
+		}
+	}
+}
+
+func TestVarianceTimeRecoversH(t *testing.T) {
+	for _, h := range []float64{0.5, 0.7, 0.9} {
+		x := genFGN(t, h, 1<<15, 2)
+		got, err := VarianceTime(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-h) > 0.1 {
+			t.Fatalf("VT(H=%v) = %v", h, got)
+		}
+	}
+}
+
+func TestPeriodogramRecoversH(t *testing.T) {
+	for _, h := range []float64{0.5, 0.7, 0.9} {
+		x := genFGN(t, h, 1<<15, 3)
+		got, err := Periodogram(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-h) > 0.1 {
+			t.Fatalf("Per(H=%v) = %v", h, got)
+		}
+	}
+}
+
+func TestEstimatorsOrderPreserved(t *testing.T) {
+	// Whatever the bias, every estimator must rank H=0.9 above H=0.5.
+	lo := genFGN(t, 0.5, 1<<14, 4)
+	hi := genFGN(t, 0.9, 1<<14, 5)
+	eLo := EstimateAll(lo)
+	eHi := EstimateAll(hi)
+	if !(eHi.RS > eLo.RS) {
+		t.Fatalf("RS ordering broken: %v vs %v", eHi.RS, eLo.RS)
+	}
+	if !(eHi.VT > eLo.VT) {
+		t.Fatalf("VT ordering broken: %v vs %v", eHi.VT, eLo.VT)
+	}
+	if !(eHi.Per > eLo.Per) {
+		t.Fatalf("Per ordering broken: %v vs %v", eHi.Per, eLo.Per)
+	}
+}
+
+func TestWhiteNoiseNearHalf(t *testing.T) {
+	r := rng.New(6)
+	x := make([]float64, 1<<15)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	e := EstimateAll(x)
+	for name, h := range map[string]float64{"RS": e.RS, "VT": e.VT, "Per": e.Per} {
+		if math.Abs(h-0.5) > 0.1 {
+			t.Fatalf("%s on white noise = %v, want ~0.5", name, h)
+		}
+	}
+}
+
+func TestShortSeriesRejected(t *testing.T) {
+	x := make([]float64, MinSeriesLen-1)
+	if _, err := RS(x); err == nil {
+		t.Fatal("RS accepted short series")
+	}
+	if _, err := VarianceTime(x); err == nil {
+		t.Fatal("VT accepted short series")
+	}
+	if _, err := Periodogram(x); err == nil {
+		t.Fatal("Periodogram accepted short series")
+	}
+}
+
+func TestEstimateAllNaNOnDegenerate(t *testing.T) {
+	// A constant series has no variance: estimates must be NaN, not panic.
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = 7
+	}
+	e := EstimateAll(x)
+	if !math.IsNaN(e.RS) || !math.IsNaN(e.VT) {
+		t.Fatalf("constant series: %+v, want NaNs", e)
+	}
+}
+
+func TestEstimatesInRange(t *testing.T) {
+	for seed := uint64(10); seed < 15; seed++ {
+		x := genFGN(t, 0.75, 4096, seed)
+		e := EstimateAll(x)
+		for _, h := range []float64{e.RS, e.VT, e.Per} {
+			if !math.IsNaN(h) && (h <= 0 || h >= 1) {
+				t.Fatalf("estimate %v outside (0,1)", h)
+			}
+		}
+	}
+}
+
+func TestSeriesFromLog(t *testing.T) {
+	log := &swf.Log{Jobs: []swf.Job{
+		{Submit: 10, Runtime: 100, Procs: 4},
+		{Submit: 0, Runtime: 50, Procs: 2},
+		{Submit: 30, Runtime: -1, Procs: 8},
+	}}
+	s := SeriesFromLog(log)
+	// Sorted by submit: jobs at 0, 10, 30.
+	if got := s[SeriesProcs]; len(got) != 3 || got[0] != 2 || got[1] != 4 || got[2] != 8 {
+		t.Fatalf("procs series = %v", got)
+	}
+	// Runtime -1 is skipped.
+	if got := s[SeriesRuntime]; len(got) != 2 || got[0] != 50 || got[1] != 100 {
+		t.Fatalf("runtime series = %v", got)
+	}
+	if got := s[SeriesWork]; len(got) != 2 || got[0] != 100 || got[1] != 400 {
+		t.Fatalf("work series = %v", got)
+	}
+	if got := s[SeriesInterArrival]; len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("interarrival series = %v", got)
+	}
+	// The input log must not be reordered.
+	if log.Jobs[0].Submit != 10 {
+		t.Fatal("SeriesFromLog mutated its input")
+	}
+}
+
+func TestCopulaPreservesSelfSimilarity(t *testing.T) {
+	// The production-site generators rely on the copula transform
+	// keeping H estimable after imposing a lognormal marginal.
+	x := genFGN(t, 0.85, 1<<14, 20)
+	y := fgn.CopulaTransform(fgn.Standardize(x), logNormal{mu: 4, sigma: 1.5})
+	h, err := VarianceTime(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.7 {
+		t.Fatalf("H after copula = %v, want > 0.7", h)
+	}
+}
+
+// logNormal is a minimal Quantiler for the copula test.
+type logNormal struct{ mu, sigma float64 }
+
+func (l logNormal) Quantile(p float64) float64 {
+	// Rational approximation via erfinv-free route: use the same
+	// transform as dist.NormQuantile through math.Erfinv.
+	return math.Exp(l.mu + l.sigma*math.Sqrt2*math.Erfinv(2*p-1))
+}
+
+func BenchmarkEstimateAll16k(b *testing.B) {
+	x, err := fgn.DaviesHarte(rng.New(30), 0.8, 1<<14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EstimateAll(x)
+	}
+}

@@ -1,0 +1,151 @@
+// Package series provides the time-series plumbing for the self-similarity
+// study: block aggregation X^(m) (equation 8 of the paper), sample
+// autocorrelation, log-log slope fitting shared by the three Hurst
+// estimators, and the construction of per-interval series from a job
+// stream (arrivals bucketed into fixed windows).
+package series
+
+import (
+	"math"
+
+	"coplot/internal/stats"
+)
+
+// Aggregate returns the aggregated series X^(m): the means of consecutive
+// non-overlapping blocks of size m. Trailing elements that do not fill a
+// complete block are discarded. m must be positive.
+func Aggregate(x []float64, m int) []float64 {
+	if m <= 0 {
+		panic("series: non-positive block size")
+	}
+	n := len(x) / m
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < m; j++ {
+			s += x[i*m+j]
+		}
+		out[i] = s / float64(m)
+	}
+	return out
+}
+
+// AggregateSum is Aggregate with block sums instead of means, used when
+// bucketing counts (e.g. work arriving per interval).
+func AggregateSum(x []float64, m int) []float64 {
+	out := Aggregate(x, m)
+	for i := range out {
+		out[i] *= float64(m)
+	}
+	return out
+}
+
+// ACF returns the sample autocorrelation function r(k) for k = 0..maxLag
+// (equation 5 of the paper).
+func ACF(x []float64, maxLag int) []float64 {
+	n := len(x)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	m := stats.Mean(x)
+	den := 0.0
+	for _, v := range x {
+		den += (v - m) * (v - m)
+	}
+	out := make([]float64, maxLag+1)
+	if den == 0 {
+		return out
+	}
+	for k := 0; k <= maxLag; k++ {
+		num := 0.0
+		for i := 0; i < n-k; i++ {
+			num += (x[i] - m) * (x[i+k] - m)
+		}
+		out[k] = num / den
+	}
+	return out
+}
+
+// LogLogSlope fits a straight line to (log x, log y) by least squares and
+// returns the slope together with the correlation of the fit. Pairs with
+// non-positive x or y are skipped, as they have no logarithm.
+func LogLogSlope(xs, ys []float64) (slope, r float64) {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	slope, _, r = stats.OLS(lx, ly)
+	return slope, r
+}
+
+// Bucket counts how much "weight" lands in each fixed-width time window.
+// times and weights must have equal length; windows holds the per-window
+// totals from min(times) over ceil(span/width) windows. Used to turn a
+// job stream into the four per-interval series of the paper's Table 3:
+// weight 1 per job gives arrival counts; weight = processors gives the
+// used-processors series, and so on.
+func Bucket(times, weights []float64, width float64) []float64 {
+	if len(times) == 0 || width <= 0 {
+		return nil
+	}
+	lo, hi := times[0], times[0]
+	for _, t := range times {
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	n := int((hi-lo)/width) + 1
+	out := make([]float64, n)
+	for i, t := range times {
+		idx := int((t - lo) / width)
+		if idx >= n {
+			idx = n - 1
+		}
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		out[idx] += w
+	}
+	return out
+}
+
+// Diff returns the first differences of x (length len(x)-1).
+func Diff(x []float64) []float64 {
+	if len(x) < 2 {
+		return nil
+	}
+	out := make([]float64, len(x)-1)
+	for i := range out {
+		out[i] = x[i+1] - x[i]
+	}
+	return out
+}
+
+// BlockSizes returns a geometric ladder of block sizes from lo to hi with
+// the given multiplicative step (e.g. lo=4, hi=n/8, step≈1.6), used by the
+// R/S and variance-time estimators to spread points evenly in log scale.
+func BlockSizes(lo, hi int, step float64) []int {
+	if lo < 1 {
+		lo = 1
+	}
+	var out []int
+	last := 0
+	for f := float64(lo); int(f) <= hi; f *= step {
+		m := int(f)
+		if m != last {
+			out = append(out, m)
+			last = m
+		}
+	}
+	return out
+}

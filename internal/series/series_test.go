@@ -1,0 +1,244 @@
+package series
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coplot/internal/rng"
+	"coplot/internal/stats"
+)
+
+func TestAggregate(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7}
+	got := Aggregate(x, 2)
+	want := []float64{1.5, 3.5, 5.5}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Aggregate = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAggregateBlockOne(t *testing.T) {
+	x := []float64{3, 1, 4}
+	got := Aggregate(x, 1)
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatal("m=1 aggregation must be identity")
+		}
+	}
+}
+
+func TestAggregatePanicsOnBadM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Aggregate([]float64{1}, 0)
+}
+
+func TestAggregateSum(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	got := AggregateSum(x, 2)
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("AggregateSum = %v", got)
+	}
+}
+
+func TestAggregateMeanPreserved(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		m := 1 + r.Intn(8)
+		n := m * (2 + r.Intn(40))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Norm()
+		}
+		// When blocks tile exactly, the grand mean is preserved.
+		return math.Abs(stats.Mean(Aggregate(x, m))-stats.Mean(x)) < 1e-9
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestACFBasics(t *testing.T) {
+	r := rng.New(1)
+	x := make([]float64, 5000)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	acf := ACF(x, 5)
+	if acf[0] != 1 {
+		t.Fatalf("r(0) = %v", acf[0])
+	}
+	for k := 1; k <= 5; k++ {
+		if math.Abs(acf[k]) > 0.05 {
+			t.Fatalf("white noise r(%d) = %v", k, acf[k])
+		}
+	}
+}
+
+func TestACFAR1(t *testing.T) {
+	// AR(1) with coefficient 0.8: r(k) ≈ 0.8^k.
+	r := rng.New(2)
+	n := 50000
+	x := make([]float64, n)
+	for i := 1; i < n; i++ {
+		x[i] = 0.8*x[i-1] + r.Norm()
+	}
+	acf := ACF(x, 3)
+	for k := 1; k <= 3; k++ {
+		want := math.Pow(0.8, float64(k))
+		if math.Abs(acf[k]-want) > 0.03 {
+			t.Fatalf("AR1 r(%d) = %v, want %v", k, acf[k], want)
+		}
+	}
+}
+
+func TestACFConstantSeries(t *testing.T) {
+	acf := ACF([]float64{2, 2, 2, 2}, 2)
+	for _, v := range acf {
+		if v != 0 {
+			t.Fatal("constant series ACF should be zeros (degenerate)")
+		}
+	}
+}
+
+func TestACFMaxLagClamped(t *testing.T) {
+	acf := ACF([]float64{1, 2, 3}, 10)
+	if len(acf) != 3 {
+		t.Fatalf("len = %d, want 3", len(acf))
+	}
+}
+
+func TestLogLogSlopeExactPowerLaw(t *testing.T) {
+	// y = 3 x^{-0.7}
+	xs := []float64{1, 2, 4, 8, 16, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, -0.7)
+	}
+	slope, r := LogLogSlope(xs, ys)
+	if math.Abs(slope+0.7) > 1e-12 {
+		t.Fatalf("slope = %v, want -0.7", slope)
+	}
+	if math.Abs(math.Abs(r)-1) > 1e-9 {
+		t.Fatalf("r = %v", r)
+	}
+}
+
+func TestLogLogSlopeSkipsNonPositive(t *testing.T) {
+	xs := []float64{1, 2, -1, 4, 0}
+	ys := []float64{2, 4, 5, 8, 1}
+	slope, _ := LogLogSlope(xs, ys) // only (1,2),(2,4),(4,8) used: slope 1
+	if math.Abs(slope-1) > 1e-12 {
+		t.Fatalf("slope = %v, want 1", slope)
+	}
+}
+
+func TestLogLogSlopeDegenerate(t *testing.T) {
+	if s, _ := LogLogSlope([]float64{1}, []float64{1}); !math.IsNaN(s) {
+		t.Fatal("single point should yield NaN")
+	}
+}
+
+func TestBucketCounts(t *testing.T) {
+	times := []float64{0, 0.5, 1.2, 3.9}
+	got := Bucket(times, nil, 1)
+	want := []float64{2, 1, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Bucket = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBucketWeights(t *testing.T) {
+	times := []float64{0, 0.5, 1.5}
+	weights := []float64{10, 20, 5}
+	got := Bucket(times, weights, 1)
+	if got[0] != 30 || got[1] != 5 {
+		t.Fatalf("Bucket = %v", got)
+	}
+}
+
+func TestBucketTotalPreserved(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(200)
+		times := make([]float64, n)
+		weights := make([]float64, n)
+		acc := 0.0
+		for i := range times {
+			acc += r.Exp()
+			times[i] = acc
+			weights[i] = math.Abs(r.Norm()) + 0.1
+		}
+		buckets := Bucket(times, weights, 5)
+		return math.Abs(stats.Sum(buckets)-stats.Sum(weights)) < 1e-9
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketEdgeCases(t *testing.T) {
+	if Bucket(nil, nil, 1) != nil {
+		t.Fatal("empty input should be nil")
+	}
+	if Bucket([]float64{1}, nil, 0) != nil {
+		t.Fatal("zero width should be nil")
+	}
+	got := Bucket([]float64{5}, nil, 10)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("single point bucket = %v", got)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	got := Diff([]float64{1, 4, 9, 16})
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Diff = %v", got)
+		}
+	}
+	if Diff([]float64{1}) != nil {
+		t.Fatal("short Diff should be nil")
+	}
+}
+
+func TestBlockSizes(t *testing.T) {
+	sizes := BlockSizes(4, 100, 2)
+	want := []int{4, 8, 16, 32, 64}
+	if len(sizes) != len(want) {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestBlockSizesNoDuplicates(t *testing.T) {
+	sizes := BlockSizes(1, 1000, 1.3)
+	seen := map[int]bool{}
+	for _, s := range sizes {
+		if seen[s] {
+			t.Fatalf("duplicate block size %d", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,134 @@
+package sites
+
+import (
+	"fmt"
+	"math"
+
+	"coplot/internal/machine"
+	"coplot/internal/selfsim"
+	"coplot/internal/swf"
+	"coplot/internal/workload"
+)
+
+// SpecFromLog calibrates a generator to an existing log: it measures the
+// log's Table-1 variables and Hurst parameters and returns a Spec whose
+// output is a synthetic twin — same medians, 90% intervals, user and
+// completion structure, and long-range dependence, but fully synthetic
+// and arbitrarily long. This closes the paper's loop: any trace worth
+// using as a workload model can instead be measured once and cloned.
+func SpecFromLog(name string, log *swf.Log, m machine.Machine, jobs int) (Spec, error) {
+	if len(log.Jobs) < selfsim.MinSeriesLen {
+		return Spec{}, fmt.Errorf("sites: log of %d jobs too short to clone", len(log.Jobs))
+	}
+	v, err := workload.Compute(name, log, m)
+	if err != nil {
+		return Spec{}, err
+	}
+	if jobs <= 0 {
+		jobs = len(log.Jobs)
+	}
+	spec := Spec{
+		Name:    name,
+		Machine: m,
+		Jobs:    jobs,
+		Queue:   dominantQueue(log),
+
+		InterMed: v.Get(workload.VarInterArrMedian), InterIv: v.Get(workload.VarInterArrInterval),
+		RuntimeMed: v.Get(workload.VarRuntimeMedian), RuntimeIv: v.Get(workload.VarRuntimeInterval),
+		ProcsMed: v.Get(workload.VarProcsMedian), ProcsIv: v.Get(workload.VarProcsInterval),
+
+		Pow2Procs:     m.Allocator == machine.AllocatorPow2,
+		UsersPerJob:   v.Get(workload.VarNormUsers),
+		ExecsPerJob:   v.Get(workload.VarNormExecutables),
+		CompletedFrac: v.Get(workload.VarCompleted),
+	}
+	if math.IsNaN(spec.ExecsPerJob) {
+		spec.ExecsPerJob = 0
+	}
+	if math.IsNaN(spec.CompletedFrac) {
+		spec.CompletedFrac = 1
+	}
+	// Work calibration: only when CPU times are recorded.
+	if cm := v.Get(workload.VarWorkMedian); !math.IsNaN(cm) && hasCPUTimes(log) {
+		spec.WorkMed = cm
+		spec.WorkIv = v.Get(workload.VarWorkInterval)
+		if rl := v.Get(workload.VarRuntimeLoad); rl > 0 {
+			if cl := v.Get(workload.VarCPULoad); cl > 0 {
+				spec.CPUFraction = math.Min(1, cl/rl)
+			}
+		}
+	} else {
+		spec.CPUFraction = -1
+	}
+	// Hurst targets from the measured series (variance-time, the paper's
+	// most consistent estimator); fall back to 0.5 (no dependence).
+	series := selfsim.SeriesFromLog(log)
+	spec.HArrival = hurstOrDefault(series[selfsim.SeriesInterArrival])
+	spec.HRuntime = hurstOrDefault(series[selfsim.SeriesRuntime])
+	spec.HProcs = hurstOrDefault(series[selfsim.SeriesProcs])
+
+	// Guard degenerate measurements.
+	for _, f := range []struct {
+		name string
+		val  float64
+	}{
+		{"inter-arrival median", spec.InterMed},
+		{"runtime median", spec.RuntimeMed},
+		{"parallelism median", spec.ProcsMed},
+	} {
+		if !(f.val > 0) {
+			return Spec{}, fmt.Errorf("sites: cannot clone log with non-positive %s", f.name)
+		}
+	}
+	if spec.InterIv <= 0 {
+		spec.InterIv = spec.InterMed
+	}
+	if spec.RuntimeIv <= 0 {
+		spec.RuntimeIv = spec.RuntimeMed
+	}
+	if spec.ProcsIv <= 0 {
+		spec.ProcsIv = 1
+	}
+	if spec.MinPartition == 0 && spec.Pow2Procs {
+		spec.MinPartition = 1
+	}
+	return spec, nil
+}
+
+func hurstOrDefault(series []float64) float64 {
+	h, err := selfsim.VarianceTime(series)
+	if err != nil || math.IsNaN(h) {
+		return 0.5
+	}
+	// Clamp to the generator's supported open interval.
+	if h < 0.05 {
+		h = 0.05
+	}
+	if h > 0.95 {
+		h = 0.95
+	}
+	return h
+}
+
+func hasCPUTimes(log *swf.Log) bool {
+	for _, j := range log.Jobs {
+		if j.CPUTime >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func dominantQueue(log *swf.Log) int {
+	counts := map[int]int{}
+	for _, j := range log.Jobs {
+		counts[j.Queue]++
+	}
+	best, bestN := swf.QueueBatch, -1
+	for q, n := range counts {
+		if n > bestN {
+			best, bestN = q, n
+		}
+	}
+	return best
+}

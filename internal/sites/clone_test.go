@@ -1,0 +1,104 @@
+package sites
+
+import (
+	"math"
+	"testing"
+
+	"coplot/internal/machine"
+	"coplot/internal/models"
+	"coplot/internal/rng"
+	"coplot/internal/swf"
+	"coplot/internal/workload"
+)
+
+func TestSpecFromLogClonesStatistics(t *testing.T) {
+	// Clone a Lublin stream and compare the twin's medians to the
+	// original's.
+	m := machine.Machine{Name: "src", Procs: 128,
+		Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorUnlimited}
+	src := models.NewLublin(128).Generate(rng.New(1), 8000)
+	spec, err := SpecFromLog("twin", src, m, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := spec.Generate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vSrc, err := workload.Compute("src", src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vTwin, err := workload.Compute("twin", twin, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, code := range []string{
+		workload.VarRuntimeMedian, workload.VarInterArrMedian, workload.VarProcsMedian,
+	} {
+		a, b := vSrc.Get(code), vTwin.Get(code)
+		if math.Abs(a-b)/a > 0.3 {
+			t.Errorf("%s: source %v vs twin %v", code, a, b)
+		}
+	}
+	if math.Abs(vSrc.Get(workload.VarCompleted)-vTwin.Get(workload.VarCompleted)) > 0.05 {
+		t.Errorf("completion rate: %v vs %v",
+			vSrc.Get(workload.VarCompleted), vTwin.Get(workload.VarCompleted))
+	}
+}
+
+func TestSpecFromLogClonesSelfSimilarity(t *testing.T) {
+	// Clone a long-range-dependent site log: the twin must carry a
+	// clearly elevated Hurst parameter too.
+	sdsc := Table1Specs(8192)[7]
+	src, err := sdsc.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := SpecFromLog("twin", src, sdsc.Machine, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.HArrival < 0.6 {
+		t.Fatalf("measured arrival Hurst %v, want > 0.6", spec.HArrival)
+	}
+}
+
+func TestSpecFromLogErrors(t *testing.T) {
+	m := machine.Machine{Name: "m", Procs: 64,
+		Scheduler: machine.SchedulerNQS, Allocator: machine.AllocatorLimited}
+	if _, err := SpecFromLog("x", &swf.Log{}, m, 100); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	tiny := &swf.Log{}
+	for i := 0; i < 10; i++ {
+		tiny.Jobs = append(tiny.Jobs, swf.Job{ID: i + 1, Submit: float64(i), Runtime: 1, Procs: 1})
+	}
+	if _, err := SpecFromLog("x", tiny, m, 100); err == nil {
+		t.Fatal("too-short log accepted")
+	}
+}
+
+func TestSpecFromLogPow2Machine(t *testing.T) {
+	lanl := Table1Specs(4000)[2]
+	src, err := lanl.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := SpecFromLog("twin", src, lanl.Machine, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Pow2Procs {
+		t.Fatal("pow2 machine should clone to a pow2 size law")
+	}
+	twin, err := spec.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range twin.Jobs {
+		if j.Procs&(j.Procs-1) != 0 {
+			t.Fatalf("twin produced non-pow2 size %d", j.Procs)
+		}
+	}
+}

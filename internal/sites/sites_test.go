@@ -1,0 +1,338 @@
+package sites
+
+import (
+	"math"
+	"testing"
+
+	"coplot/internal/machine"
+	"coplot/internal/selfsim"
+	"coplot/internal/stats"
+	"coplot/internal/swf"
+	"coplot/internal/workload"
+)
+
+func specByName(t *testing.T, name string) Spec {
+	t.Helper()
+	for _, s := range Table1Specs(0) {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no spec %q", name)
+	return Spec{}
+}
+
+func TestSpecValidate(t *testing.T) {
+	s := specByName(t, "CTC")
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := s
+	bad.Jobs = 3
+	if bad.Validate() == nil {
+		t.Fatal("tiny job count accepted")
+	}
+	bad = s
+	bad.RuntimeMed = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative median accepted")
+	}
+	bad = s
+	bad.HArrival = 1.2
+	if bad.Validate() == nil {
+		t.Fatal("invalid Hurst accepted")
+	}
+	bad = s
+	bad.RTProcsCorr = 1.5
+	if bad.Validate() == nil {
+		t.Fatal("invalid correlation accepted")
+	}
+}
+
+func TestTable1SpecCount(t *testing.T) {
+	specs := Table1Specs(0)
+	if len(specs) != 10 {
+		t.Fatalf("specs = %d, want 10", len(specs))
+	}
+	names := map[string]bool{}
+	for i, s := range specs {
+		if s.Name != Table1Names[i] {
+			t.Fatalf("spec %d named %q, want %q", i, s.Name, Table1Names[i])
+		}
+		if names[s.Name] {
+			t.Fatalf("duplicate name %q", s.Name)
+		}
+		names[s.Name] = true
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestTable2SpecCount(t *testing.T) {
+	specs := Table2Specs(0)
+	if len(specs) != 8 {
+		t.Fatalf("specs = %d, want 8", len(specs))
+	}
+	for i, s := range specs {
+		if s.Name != Table2Names[i] {
+			t.Fatalf("spec %d named %q", i, s.Name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := specByName(t, "NASA")
+	s.Jobs = 2000
+	a, err := s.Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs between identical seeds", i)
+		}
+	}
+	c, err := s.Generate(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Jobs[0] == c.Jobs[0] && a.Jobs[1] == c.Jobs[1] {
+		t.Fatal("different seeds produced identical stream start")
+	}
+}
+
+// calibrationCase checks that a generated log's summary statistics land
+// near the spec's targets.
+func checkCalibration(t *testing.T, s Spec, seed uint64) {
+	t.Helper()
+	log, err := s.Generate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := workload.Compute(s.Name, log, s.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relCheck := func(code string, target, tol float64) {
+		got := v.Get(code)
+		if math.Abs(got-target)/target > tol {
+			t.Errorf("%s %s = %v, want %v (±%v%%)", s.Name, code, got, target, tol*100)
+		}
+	}
+	relCheck(workload.VarRuntimeMedian, s.RuntimeMed, 0.15)
+	relCheck(workload.VarRuntimeInterval, s.RuntimeIv, 0.25)
+	relCheck(workload.VarInterArrMedian, s.InterMed, 0.15)
+	relCheck(workload.VarInterArrInterval, s.InterIv, 0.3)
+	relCheck(workload.VarProcsMedian, s.ProcsMed, 0.26)
+	if math.Abs(v.Get(workload.VarCompleted)-s.CompletedFrac) > 0.03 {
+		t.Errorf("%s completed = %v, want %v", s.Name, v.Get(workload.VarCompleted), s.CompletedFrac)
+	}
+	relCheck(workload.VarNormUsers, s.UsersPerJob, 0.3)
+}
+
+func TestCalibrationCTC(t *testing.T) {
+	s := specByName(t, "CTC")
+	s.Jobs = 12000
+	checkCalibration(t, s, 1)
+}
+func TestCalibrationLANL(t *testing.T) {
+	s := specByName(t, "LANL")
+	s.Jobs = 12000
+	checkCalibration(t, s, 2)
+}
+func TestCalibrationNASA(t *testing.T) {
+	s := specByName(t, "NASA")
+	s.Jobs = 12000
+	checkCalibration(t, s, 3)
+}
+func TestCalibrationSDSCb(t *testing.T) {
+	s := specByName(t, "SDSCb")
+	s.Jobs = 12000
+	checkCalibration(t, s, 4)
+}
+
+func TestPow2MachinesProducePow2Sizes(t *testing.T) {
+	s := specByName(t, "LANL")
+	s.Jobs = 3000
+	log, err := s.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range log.Jobs {
+		if j.Procs < 32 || j.Procs&(j.Procs-1) != 0 {
+			t.Fatalf("LANL produced non-partition size %d", j.Procs)
+		}
+	}
+}
+
+func TestWorkMedianCalibrated(t *testing.T) {
+	// The LANL work median (256) sits two orders below RuntimeMed ×
+	// ProcsMed (68 × 64); the direct work copula must reproduce it.
+	s := specByName(t, "LANL")
+	s.Jobs = 12000
+	log, err := s.Generate(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := workload.Compute(s.Name, log, s.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.Get(workload.VarWorkMedian)
+	if got > 3*s.WorkMed || got < s.WorkMed/3 {
+		t.Fatalf("work median %v, want ~%v", got, s.WorkMed)
+	}
+	if got > 0.2*s.RuntimeMed*s.ProcsMed {
+		t.Fatalf("work median %v not attenuated below the median product %v",
+			got, s.RuntimeMed*s.ProcsMed)
+	}
+}
+
+func TestCPUTimeBoundedByRuntime(t *testing.T) {
+	for _, name := range []string{"LANL", "CTC", "SDSCi"} {
+		s := specByName(t, name)
+		s.Jobs = 3000
+		log, err := s.Generate(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range log.Jobs {
+			if j.CPUTime > j.Runtime+1e-9 {
+				t.Fatalf("%s: CPU time %v exceeds runtime %v", name, j.CPUTime, j.Runtime)
+			}
+		}
+	}
+}
+
+func TestGeneratedLogsSelfSimilar(t *testing.T) {
+	// The headline property of Figure 5: production-site logs carry
+	// long-range dependence in their job streams.
+	s := specByName(t, "SDSC")
+	s.Jobs = 16384
+	log, err := s.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := selfsim.SeriesFromLog(log)
+	h, err := selfsim.VarianceTime(series[selfsim.SeriesInterArrival])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.65 {
+		t.Fatalf("SDSC arrival Hurst = %v, want clearly > 0.5", h)
+	}
+	h2, err := selfsim.VarianceTime(series[selfsim.SeriesRuntime])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 < 0.6 {
+		t.Fatalf("SDSC runtime Hurst = %v", h2)
+	}
+}
+
+func TestMissingFieldsRespectTableNA(t *testing.T) {
+	// CTC has no executable data in Table 1; LLNL has no CPU load.
+	ctc := specByName(t, "CTC")
+	ctc.Jobs = 1000
+	log, err := ctc.Generate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range log.Jobs {
+		if j.Executable != -1 {
+			t.Fatal("CTC should have no executable numbers")
+		}
+	}
+	llnl := specByName(t, "LLNL")
+	llnl.Jobs = 1000
+	log2, err := llnl.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range log2.Jobs {
+		if j.CPUTime != -1 {
+			t.Fatal("LLNL should have no CPU times")
+		}
+	}
+}
+
+func TestInteractiveQueueTagging(t *testing.T) {
+	s := specByName(t, "LANLi")
+	s.Jobs = 500
+	log, err := s.Generate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range log.Jobs {
+		if j.Queue != swf.QueueInteractive {
+			t.Fatal("interactive observation not tagged")
+		}
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	specs := Table1Specs(1200)
+	logs, err := GenerateAll(specs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 10 {
+		t.Fatalf("generated %d logs", len(logs))
+	}
+	for name, log := range logs {
+		if len(log.Jobs) == 0 {
+			t.Fatalf("%s: empty log", name)
+		}
+	}
+}
+
+func TestMachineFor(t *testing.T) {
+	if MachineFor("L3") != machine.LANL {
+		t.Fatal("L3 should map to LANL")
+	}
+	if MachineFor("S1") != machine.SDSC {
+		t.Fatal("S1 should map to SDSC")
+	}
+	if MachineFor("CTC") != machine.CTC {
+		t.Fatal("CTC mapping broken")
+	}
+}
+
+func TestTable2RegimeChange(t *testing.T) {
+	// L3 must have far longer runtimes than L1/L2 — the end-of-life
+	// regime the paper confirmed with LANL.
+	specs := Table2Specs(4000)
+	logs, err := GenerateAll(specs, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := func(name string) float64 {
+		var rts []float64
+		for _, j := range logs[name].Jobs {
+			rts = append(rts, j.Runtime)
+		}
+		return stats.Median(rts)
+	}
+	if !(med("L3") > 5*med("L1")) {
+		t.Fatalf("L3 runtime median %v not far above L1's %v", med("L3"), med("L1"))
+	}
+}
+
+func BenchmarkGenerateSite(b *testing.B) {
+	specs := Table1Specs(8192)
+	s := specs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Generate(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package sites
+
+import (
+	"coplot/internal/machine"
+	"coplot/internal/swf"
+)
+
+// Observation names in Table 1 order.
+var Table1Names = []string{
+	"CTC", "KTH", "LANL", "LANLi", "LANLb", "LLNL", "NASA", "SDSC", "SDSCi", "SDSCb",
+}
+
+// Table1Specs returns the ten production-workload observation generators
+// calibrated to the paper's Table 1 columns, with per-site Hurst targets
+// taken from Table 3 (variance-time column) so the logs carry the
+// self-similarity structure of Figure 5. jobs sets the generated log
+// length per observation (the statistics are length-invariant).
+func Table1Specs(jobs int) []Spec {
+	if jobs <= 0 {
+		jobs = 20000
+	}
+	sub := jobs / 2 // interactive/batch sub-logs are shorter
+	if sub < 1000 {
+		sub = jobs
+	}
+	return []Spec{
+		{
+			Name: "CTC", Machine: machine.CTC, Jobs: jobs, Queue: swf.QueueBatch,
+			InterMed: 64, InterIv: 1472, RuntimeMed: 960, RuntimeIv: 57216,
+			ProcsMed: 2, ProcsIv: 37, RTProcsCorr: 0,
+			WorkMed: 2181, WorkIv: 326057,
+			HArrival: 0.63, HRuntime: 0.75, HProcs: 0.71,
+			UsersPerJob: 0.0086, ExecsPerJob: 0, CompletedFrac: 0.79,
+			CPUFraction: 0.84,
+		},
+		{
+			Name: "KTH", Machine: machine.KTH, Jobs: jobs, Queue: swf.QueueBatch,
+			InterMed: 192, InterIv: 3806, RuntimeMed: 848, RuntimeIv: 47875,
+			ProcsMed: 3, ProcsIv: 31, RTProcsCorr: 0,
+			WorkMed: 2880, WorkIv: 355140,
+			HArrival: 0.69, HRuntime: 0.58, HProcs: 0.87,
+			UsersPerJob: 0.0075, ExecsPerJob: 0, CompletedFrac: 0.72,
+			CPUFraction: 1.0,
+		},
+		{
+			Name: "LANL", Machine: machine.LANL, Jobs: jobs, Queue: swf.QueueBatch,
+			InterMed: 162, InterIv: 1968, RuntimeMed: 68, RuntimeIv: 9064,
+			ProcsMed: 64, ProcsIv: 224, Pow2Procs: true, MinPartition: 32,
+			WorkMed: 256, WorkIv: 559104,
+			RTProcsCorr: 0,
+			HArrival:    0.91, HRuntime: 0.90, HProcs: 0.90,
+			UsersPerJob: 0.0019, ExecsPerJob: 0.0008, CompletedFrac: 0.91,
+			CPUFraction: 0.64,
+		},
+		{
+			Name: "LANLi", Machine: machine.LANL, Jobs: sub, Queue: swf.QueueInteractive,
+			InterMed: 16, InterIv: 276, RuntimeMed: 57, RuntimeIv: 267,
+			ProcsMed: 32, ProcsIv: 96, Pow2Procs: true, MinPartition: 32,
+			WorkMed: 128, WorkIv: 2560,
+			RTProcsCorr: -0.3,
+			HArrival:    0.59, HRuntime: 0.80, HProcs: 0.81,
+			UsersPerJob: 0.0049, ExecsPerJob: 0.0019, CompletedFrac: 0.99,
+			CPUFraction: 0.3,
+		},
+		{
+			Name: "LANLb", Machine: machine.LANL, Jobs: sub, Queue: swf.QueueBatch,
+			InterMed: 169, InterIv: 2064, RuntimeMed: 376, RuntimeIv: 11136,
+			ProcsMed: 64, ProcsIv: 480, Pow2Procs: true, MinPartition: 32,
+			WorkMed: 2944, WorkIv: 1582080,
+			RTProcsCorr: 0,
+			HArrival:    0.79, HRuntime: 0.81, HProcs: 0.78,
+			UsersPerJob: 0.0032, ExecsPerJob: 0.0012, CompletedFrac: 0.85,
+			CPUFraction: 0.65,
+		},
+		{
+			Name: "LLNL", Machine: machine.LLNL, Jobs: jobs, Queue: swf.QueueBatch,
+			InterMed: 119, InterIv: 1660, RuntimeMed: 36, RuntimeIv: 9143,
+			ProcsMed: 8, ProcsIv: 62, RTProcsCorr: 0.2,
+			HArrival: 0.43, HRuntime: 0.74, HProcs: 0.74,
+			UsersPerJob: 0.0072, ExecsPerJob: 0.0329, CompletedFrac: 0.93,
+			CPUFraction: -1, // CPU load is N/A in Table 1
+		},
+		{
+			Name: "NASA", Machine: machine.NASA, Jobs: jobs, Queue: swf.QueueBatch,
+			InterMed: 56, InterIv: 443, RuntimeMed: 19, RuntimeIv: 1168,
+			ProcsMed: 1, ProcsIv: 31, Pow2Procs: true, MinPartition: 1,
+			RTProcsCorr: 0.9,
+			// NASA is the least self-similar production log in Fig. 5.
+			HArrival: 0.55, HRuntime: 0.6, HProcs: 0.62,
+			UsersPerJob: 0.0016, ExecsPerJob: 0.0352, CompletedFrac: 0.95,
+			CPUFraction: -1, // runtime load is the one reconstructed by rule 1
+		},
+		{
+			Name: "SDSC", Machine: machine.SDSC, Jobs: jobs, Queue: swf.QueueBatch,
+			InterMed: 170, InterIv: 4265, RuntimeMed: 45, RuntimeIv: 28498,
+			ProcsMed: 5, ProcsIv: 63, RTProcsCorr: 0,
+			WorkMed: 209, WorkIv: 918544,
+			HArrival: 0.96, HRuntime: 0.85, HProcs: 0.77,
+			UsersPerJob: 0.0012, ExecsPerJob: 0, CompletedFrac: 0.99,
+			CPUFraction: 0.97,
+		},
+		{
+			Name: "SDSCi", Machine: machine.SDSC, Jobs: sub, Queue: swf.QueueInteractive,
+			InterMed: 68, InterIv: 2076, RuntimeMed: 12, RuntimeIv: 484,
+			ProcsMed: 4, ProcsIv: 31, RTProcsCorr: 0.4,
+			WorkMed: 86, WorkIv: 3960,
+			HArrival: 0.74, HRuntime: 0.61, HProcs: 0.59,
+			UsersPerJob: 0.0021, ExecsPerJob: 0, CompletedFrac: 1.0,
+			CPUFraction: 1.0,
+		},
+		{
+			Name: "SDSCb", Machine: machine.SDSC, Jobs: sub, Queue: swf.QueueBatch,
+			InterMed: 208, InterIv: 5884, RuntimeMed: 1812, RuntimeIv: 39290,
+			ProcsMed: 8, ProcsIv: 63, RTProcsCorr: -0.2,
+			WorkMed: 9472, WorkIv: 1754212,
+			HArrival: 0.84, HRuntime: 0.76, HProcs: 0.83,
+			UsersPerJob: 0.0029, ExecsPerJob: 0, CompletedFrac: 0.97,
+			CPUFraction: 0.97,
+		},
+	}
+}
+
+// MachineFor returns the machine of a Table 1/2 observation name.
+func MachineFor(name string) machine.Machine {
+	switch name {
+	case "CTC":
+		return machine.CTC
+	case "KTH":
+		return machine.KTH
+	case "LANL", "LANLi", "LANLb", "L1", "L2", "L3", "L4":
+		return machine.LANL
+	case "LLNL":
+		return machine.LLNL
+	case "NASA":
+		return machine.NASA
+	default:
+		return machine.SDSC
+	}
+}
+
+// GenerateAll runs every spec with per-spec derived seeds and returns the
+// logs keyed by observation name.
+func GenerateAll(specs []Spec, seed uint64) (map[string]*swf.Log, error) {
+	out := make(map[string]*swf.Log, len(specs))
+	for _, s := range specs {
+		log, err := s.Generate(seed)
+		if err != nil {
+			return nil, err
+		}
+		out[s.Name] = log
+	}
+	return out, nil
+}

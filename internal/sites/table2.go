@@ -1,0 +1,63 @@
+package sites
+
+import (
+	"coplot/internal/machine"
+	"coplot/internal/swf"
+)
+
+// Observation names of the half-year periods in Table 2 / Figure 3.
+var Table2Names = []string{"L1", "L2", "L3", "L4", "S1", "S2", "S3", "S4"}
+
+// Table2Specs returns generators for the eight half-year sub-logs of
+// section 6: the LANL CM-5 split into L1–L4 (10/94–9/96) and the SDSC
+// Paragon into S1–S4 (1/95–12/96), calibrated to the paper's Table 2.
+//
+// The calibration preserves the section's headline structure: the SDSC
+// periods are mutually similar (S4 slightly heavier), while LANL's
+// second year breaks away — L3 and L4 reflect the machine's end-of-life
+// regime, when a couple of remaining groups ran few, very long jobs
+// (runtime medians of 643 and 79 versus 62–65 in the first year, work
+// medians up to 7648, and twice the users-per-job ratio in L3).
+func Table2Specs(jobs int) []Spec {
+	if jobs <= 0 {
+		jobs = 8000
+	}
+	lanl := func(name string, interMed, interIv, rtMed, rtIv, pMed, pIv, wMed, wIv, users, execs, completed, cpuFrac float64) Spec {
+		return Spec{
+			Name: name, Machine: machine.LANL, Jobs: jobs, Queue: swf.QueueBatch,
+			InterMed: interMed, InterIv: interIv,
+			RuntimeMed: rtMed, RuntimeIv: rtIv,
+			ProcsMed: pMed, ProcsIv: pIv, Pow2Procs: true, MinPartition: 32,
+			WorkMed: wMed, WorkIv: wIv,
+			RTProcsCorr: 0,
+			HArrival:    0.85, HRuntime: 0.85, HProcs: 0.85,
+			UsersPerJob: users, ExecsPerJob: execs, CompletedFrac: completed,
+			CPUFraction: cpuFrac,
+		}
+	}
+	sdsc := func(name string, interMed, interIv, rtMed, rtIv, pMed, pIv, wMed, wIv, users, completed, cpuFrac float64) Spec {
+		return Spec{
+			Name: name, Machine: machine.SDSC, Jobs: jobs, Queue: swf.QueueBatch,
+			InterMed: interMed, InterIv: interIv,
+			RuntimeMed: rtMed, RuntimeIv: rtIv,
+			ProcsMed: pMed, ProcsIv: pIv,
+			WorkMed: wMed, WorkIv: wIv,
+			RTProcsCorr: 0,
+			HArrival:    0.85, HRuntime: 0.8, HProcs: 0.75,
+			UsersPerJob: users, ExecsPerJob: 0, CompletedFrac: completed,
+			CPUFraction: cpuFrac,
+		}
+	}
+	return []Spec{
+		// LANL 10/94–3/95, 4/95–9/95, 10/95–3/96, 4/96–9/96 (Table 2).
+		lanl("L1", 159, 1948, 62, 7003, 64, 224, 128, 300320, 0.0038, 0.0016, 0.93, 0.43/0.76),
+		lanl("L2", 167, 1765, 65, 7383, 32, 224, 256, 394112, 0.0038, 0.0014, 0.93, 0.52/0.83),
+		lanl("L3", 239, 2448, 643, 11039, 64, 480, 7648, 1976832, 0.0076, 0.0034, 0.82, 0.16/0.24),
+		lanl("L4", 89, 1834, 79, 11085, 128, 480, 384, 1417216, 0.0042, 0.0016, 0.90, 0.48/0.73),
+		// SDSC 1/95–6/95, 7/95–12/95, 1/96–6/96, 7/96–12/96.
+		sdsc("S1", 180, 2422, 31, 29067, 4, 63, 169, 504254, 0.0021, 0.99, 0.65/0.66),
+		sdsc("S2", 39, 5836, 21, 20270, 4, 63, 119, 612183, 0.0019, 0.99, 0.66/0.67),
+		sdsc("S3", 92, 4516, 73, 30955, 4, 63, 295, 1235174, 0.0023, 0.98, 0.72/0.76),
+		sdsc("S4", 206, 5040, 527, 25656, 8, 63, 1645, 1141531, 0.0023, 0.97, 0.63/0.65),
+	}
+}

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math"
+
+	"coplot/internal/mat"
+)
+
+// MultipleOLS fits y = b0 + b1*x1 + ... + bp*xp by least squares using the
+// normal equations. X is n×p (one row per observation). It returns the
+// coefficient vector (intercept first) and the multiple correlation
+// coefficient R — the Pearson correlation between y and the fitted values.
+//
+// The Co-plot arrow construction is exactly this fit with p = 2: the arrow
+// direction for a variable is the normalized coefficient vector, and the
+// arrow's goodness of fit is R.
+func MultipleOLS(x *mat.Matrix, y []float64) (coef []float64, r float64, err error) {
+	n, p := x.Rows, x.Cols
+	if len(y) != n {
+		return nil, math.NaN(), errDim
+	}
+	// Build the augmented design matrix [1 X] normal equations.
+	xtx := mat.New(p+1, p+1)
+	xty := make([]float64, p+1)
+	for i := 0; i < n; i++ {
+		row := make([]float64, p+1)
+		row[0] = 1
+		for j := 0; j < p; j++ {
+			row[j+1] = x.At(i, j)
+		}
+		for a := 0; a <= p; a++ {
+			xty[a] += row[a] * y[i]
+			for b := 0; b <= p; b++ {
+				xtx.Set(a, b, xtx.At(a, b)+row[a]*row[b])
+			}
+		}
+	}
+	coef, solveErr := mat.Solve(xtx, xty)
+	if solveErr != nil {
+		return nil, math.NaN(), solveErr
+	}
+	fitted := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f := coef[0]
+		for j := 0; j < p; j++ {
+			f += coef[j+1] * x.At(i, j)
+		}
+		fitted[i] = f
+	}
+	return coef, Pearson(y, fitted), nil
+}
+
+type dimError struct{}
+
+func (dimError) Error() string { return "stats: dimension mismatch" }
+
+var errDim = dimError{}

@@ -1,0 +1,334 @@
+// Package stats provides the descriptive statistics, correlation measures,
+// regression fits, and isotonic regression used throughout the Co-plot
+// reproduction.
+//
+// Following section 3 of the paper, the workload variables are summarized
+// with order statistics — the median and the 90% interval (the difference
+// between the 95th and 5th percentiles) — because means and coefficients of
+// variation are unstable under the long-tailed distributions of parallel
+// workloads.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs. It returns NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance (divide by n) of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased sample variance (divide by n-1).
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the p-quantile (0 <= p <= 1) of xs using the same
+// linear-interpolation rule as R's default type-7 estimator. The input
+// need not be sorted. It returns NaN for empty input or p outside [0,1].
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p)
+}
+
+// QuantileSorted is Quantile for input already sorted ascending; it avoids
+// the copy and sort.
+func QuantileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	return quantileSorted(sorted, p)
+}
+
+func quantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Interval90 returns the paper's "90% interval": the difference between
+// the 95th and 5th percentiles of xs.
+func Interval90(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, 0.95) - quantileSorted(sorted, 0.05)
+}
+
+// Interval50 returns the interquartile-style 50% interval (75th minus 25th
+// percentile), which the paper reports gives virtually the same Co-plot
+// results as the 90% interval.
+func Interval50(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, 0.75) - quantileSorted(sorted, 0.25)
+}
+
+// MedianAndInterval returns the median together with the q-interval
+// (difference between the (0.5+q/2) and (0.5-q/2) quantiles) in one sort.
+func MedianAndInterval(xs []float64, q float64) (median, interval float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	median = quantileSorted(sorted, 0.5)
+	interval = quantileSorted(sorted, 0.5+q/2) - quantileSorted(sorted, 0.5-q/2)
+	return median, interval
+}
+
+// Normalize returns (xs - mean)/stddev, the z-scores of equation (1) in
+// the paper. A zero-variance input yields all-zero scores rather than NaN,
+// matching the behaviour needed when a constant variable sneaks into an
+// analysis.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	m := Mean(xs)
+	sd := StdDev(xs)
+	if sd == 0 || math.IsNaN(sd) {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - m) / sd
+	}
+	return out
+}
+
+// Pearson returns the Pearson product-moment correlation of xs and ys.
+// It returns 0 when either input has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Ranks returns the fractional ranks of xs (average rank for ties),
+// with ranks starting at 1.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns the Spearman rank correlation of xs and ys.
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// OLS fits y = intercept + slope*x by ordinary least squares and returns
+// the coefficients together with the correlation coefficient r.
+func OLS(xs, ys []float64) (slope, intercept, r float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxy += dx * (ys[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	r = Pearson(xs, ys)
+	return
+}
+
+// PAVA performs isotonic regression by the pool-adjacent-violators
+// algorithm: it returns the non-decreasing sequence closest to ys in the
+// weighted least-squares sense. weights may be nil for unit weights. PAVA
+// is the monotone-regression step of non-metric MDS.
+func PAVA(ys, weights []float64) []float64 {
+	n := len(ys)
+	if n == 0 {
+		return nil
+	}
+	w := weights
+	if w == nil {
+		w = make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	// Blocks are maintained as (value, weight, count) triples.
+	vals := make([]float64, 0, n)
+	wts := make([]float64, 0, n)
+	counts := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		vals = append(vals, ys[i])
+		wts = append(wts, w[i])
+		counts = append(counts, 1)
+		for len(vals) > 1 && vals[len(vals)-2] > vals[len(vals)-1] {
+			// Merge the last two blocks.
+			last := len(vals) - 1
+			totW := wts[last-1] + wts[last]
+			vals[last-1] = (vals[last-1]*wts[last-1] + vals[last]*wts[last]) / totW
+			wts[last-1] = totW
+			counts[last-1] += counts[last]
+			vals = vals[:last]
+			wts = wts[:last]
+			counts = counts[:last]
+		}
+	}
+	out := make([]float64, 0, n)
+	for b, v := range vals {
+		for k := 0; k < counts[b]; k++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Min returns the smallest element of xs (NaN for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs (NaN for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// KendallTau returns Kendall's τ-a rank correlation of xs and ys: the
+// normalized difference between concordant and discordant pairs. It is
+// the robustness cross-check for Pearson/Spearman on the small
+// observation sets Co-plot works with. O(n²), fine for n in the tens.
+func KendallTau(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	n := len(xs)
+	conc := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := xs[i] - xs[j]
+			dy := ys[i] - ys[j]
+			switch {
+			case dx*dy > 0:
+				conc++
+			case dx*dy < 0:
+				conc--
+			}
+		}
+	}
+	return float64(conc) / float64(n*(n-1)/2)
+}

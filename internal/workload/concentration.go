@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"coplot/internal/swf"
+)
+
+// Concentration describes how unevenly a log's activity is spread over
+// its users — the paper's validity warnings (section 1) include
+// "dedication of the system to certain users", and the section-6 LANL
+// anecdote is exactly a period when "only a couple of groups remained on
+// the machine". These measures make such regimes detectable.
+type Concentration struct {
+	// Users is the number of distinct users.
+	Users int
+	// TopUserJobs is the fraction of jobs submitted by the single most
+	// active user.
+	TopUserJobs float64
+	// TopDecileJobs is the fraction of jobs submitted by the most active
+	// 10% of users (at least one).
+	TopDecileJobs float64
+	// GiniJobs is the Gini coefficient of jobs-per-user (0 = perfectly
+	// even, →1 = one user dominates).
+	GiniJobs float64
+	// GiniWork is the Gini coefficient of node-seconds per user.
+	GiniWork float64
+}
+
+// UserConcentration computes activity-concentration measures for a log.
+func UserConcentration(log *swf.Log) Concentration {
+	jobs := map[int]float64{}
+	work := map[int]float64{}
+	for _, j := range log.Jobs {
+		jobs[j.User]++
+		if w := j.TotalWork(); w > 0 {
+			work[j.User] += w
+		}
+	}
+	var c Concentration
+	c.Users = len(jobs)
+	if c.Users == 0 {
+		return c
+	}
+	counts := make([]float64, 0, len(jobs))
+	total := 0.0
+	for _, n := range jobs {
+		counts = append(counts, n)
+		total += n
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(counts)))
+	c.TopUserJobs = counts[0] / total
+	decile := (c.Users + 9) / 10
+	topSum := 0.0
+	for i := 0; i < decile; i++ {
+		topSum += counts[i]
+	}
+	c.TopDecileJobs = topSum / total
+	c.GiniJobs = gini(counts)
+	works := make([]float64, 0, len(work))
+	for _, w := range work {
+		works = append(works, w)
+	}
+	c.GiniWork = gini(works)
+	return c
+}
+
+// gini computes the Gini coefficient of non-negative values.
+func gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for i, v := range sorted {
+		cum += v * float64(i+1)
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	g := (2*cum)/(float64(n)*total) - float64(n+1)/float64(n)
+	return math.Max(0, g)
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"coplot/internal/swf"
+)
+
+func TestUserConcentrationEven(t *testing.T) {
+	// Four users with one job each: perfectly even.
+	log := &swf.Log{}
+	for u := 1; u <= 4; u++ {
+		log.Jobs = append(log.Jobs, swf.Job{User: u, Runtime: 10, Procs: 1})
+	}
+	c := UserConcentration(log)
+	if c.Users != 4 {
+		t.Fatalf("users = %d", c.Users)
+	}
+	if math.Abs(c.TopUserJobs-0.25) > 1e-12 {
+		t.Fatalf("top user fraction = %v", c.TopUserJobs)
+	}
+	if c.GiniJobs > 1e-12 {
+		t.Fatalf("even distribution Gini = %v", c.GiniJobs)
+	}
+}
+
+func TestUserConcentrationDominated(t *testing.T) {
+	// One user submits 97 jobs, three submit 1 each.
+	log := &swf.Log{}
+	for i := 0; i < 97; i++ {
+		log.Jobs = append(log.Jobs, swf.Job{User: 1, Runtime: 10, Procs: 1})
+	}
+	for u := 2; u <= 4; u++ {
+		log.Jobs = append(log.Jobs, swf.Job{User: u, Runtime: 10, Procs: 1})
+	}
+	c := UserConcentration(log)
+	if c.TopUserJobs != 0.97 {
+		t.Fatalf("top user fraction = %v", c.TopUserJobs)
+	}
+	if c.GiniJobs < 0.5 {
+		t.Fatalf("dominated distribution Gini = %v", c.GiniJobs)
+	}
+	if c.TopDecileJobs != 0.97 {
+		t.Fatalf("top decile (1 of 4 users) = %v", c.TopDecileJobs)
+	}
+}
+
+func TestUserConcentrationWorkVsJobs(t *testing.T) {
+	// User 1: many tiny jobs. User 2: one huge job. Job-Gini and
+	// work-Gini must diverge.
+	log := &swf.Log{}
+	for i := 0; i < 99; i++ {
+		log.Jobs = append(log.Jobs, swf.Job{User: 1, Runtime: 1, Procs: 1})
+	}
+	log.Jobs = append(log.Jobs, swf.Job{User: 2, Runtime: 100000, Procs: 64})
+	c := UserConcentration(log)
+	if c.GiniWork < c.GiniJobs {
+		t.Fatalf("work Gini %v not above jobs Gini %v", c.GiniWork, c.GiniJobs)
+	}
+}
+
+func TestUserConcentrationEmpty(t *testing.T) {
+	c := UserConcentration(&swf.Log{})
+	if c.Users != 0 || c.GiniJobs != 0 {
+		t.Fatalf("empty log concentration = %+v", c)
+	}
+}
+
+func TestGiniBounds(t *testing.T) {
+	if g := gini([]float64{5, 5, 5, 5}); g > 1e-12 {
+		t.Fatalf("uniform gini = %v", g)
+	}
+	if g := gini([]float64{0, 0, 0, 100}); g < 0.7 {
+		t.Fatalf("concentrated gini = %v", g)
+	}
+	if g := gini(nil); g != 0 {
+		t.Fatalf("empty gini = %v", g)
+	}
+	if g := gini([]float64{0, 0}); g != 0 {
+		t.Fatalf("all-zero gini = %v", g)
+	}
+}
