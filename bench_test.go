@@ -8,6 +8,7 @@ package coplot
 // reproduction run.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -38,7 +39,7 @@ func reportChecks(b *testing.B, checks []experiments.Check) {
 
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table1(benchCfg())
+		res, err := experiments.Table1(context.Background(), experiments.NewEnv(benchCfg()))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -50,7 +51,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table2(benchCfg())
+		res, err := experiments.Table2(context.Background(), experiments.NewEnv(benchCfg()))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,10 +61,10 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
-func benchFigure(b *testing.B, run func(experiments.Config) (*experiments.FigureResult, error)) {
+func benchFigure(b *testing.B, run func(context.Context, *experiments.Env) (*experiments.FigureResult, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		fig, err := run(benchCfg())
+		fig, err := run(context.Background(), experiments.NewEnv(benchCfg()))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func BenchmarkFigure5(b *testing.B) { benchFigure(b, experiments.Figure5) }
 
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table3(benchCfg())
+		res, err := experiments.Table3(context.Background(), experiments.NewEnv(benchCfg()))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func BenchmarkTable3(b *testing.B) {
 func benchNamed(b *testing.B, name string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		o, err := experiments.Run(name, benchCfg())
+		o, err := experiments.Run(context.Background(), name, benchCfg(), experiments.RunOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,3 +242,25 @@ func BenchmarkAblationFGNDaviesHarte(b *testing.B) {
 }
 
 func BenchmarkTable3CI(b *testing.B) { benchNamed(b, "table3ci") }
+
+// ---- Engine: serial vs parallel full suite ----------------------------
+
+// benchRunAll regenerates every artifact (except the seed sweep) through
+// the experiment engine at the given worker count. Comparing the two
+// benchmarks shows the wall-clock effect of DAG-parallel execution with
+// shared artifacts; outputs are byte-identical either way.
+func benchRunAll(b *testing.B, jobs int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		outs, err := experiments.RunAll(context.Background(), benchCfg(), experiments.RunOptions{Jobs: jobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(len(outs)), "artifacts")
+		}
+	}
+}
+
+func BenchmarkRunAllSerial(b *testing.B)    { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel4(b *testing.B) { benchRunAll(b, 4) }

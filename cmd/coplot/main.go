@@ -10,17 +10,24 @@
 // paper's Table-1 variables (computed against -procs/-sched/-alloc):
 //
 //	coplot -procs 128 a.swf b.swf c.swf ...
+//
+// SWF logs are parsed and characterized in parallel; -jobs bounds the
+// workers and -timeout caps the per-file time. The resulting dataset is
+// identical at any -jobs setting.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"coplot/internal/core"
+	"coplot/internal/engine"
 	"coplot/internal/machine"
 	"coplot/internal/mds"
 	"coplot/internal/swf"
@@ -35,9 +42,11 @@ func main() {
 	vars := flag.String("vars", "", "comma-separated variable subset to analyze")
 	seed := flag.Uint64("seed", 7, "MDS restart seed")
 	procs := flag.Int("procs", 128, "machine size for SWF inputs")
+	jobs := flag.Int("jobs", 0, "SWF files to load concurrently (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-file parse/characterize time limit (0 = none)")
 	flag.Parse()
 
-	ds, err := loadDataset(*csvPath, flag.Args(), *procs)
+	ds, err := loadDataset(*csvPath, flag.Args(), *procs, *jobs, *timeout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coplot:", err)
 		os.Exit(1)
@@ -77,14 +86,14 @@ func main() {
 	}
 }
 
-func loadDataset(csvPath string, swfPaths []string, procs int) (*core.Dataset, error) {
+func loadDataset(csvPath string, swfPaths []string, procs, jobs int, timeout time.Duration) (*core.Dataset, error) {
 	switch {
 	case csvPath != "" && len(swfPaths) > 0:
 		return nil, fmt.Errorf("choose either -csv or SWF files, not both")
 	case csvPath != "":
 		return loadCSV(csvPath)
 	case len(swfPaths) >= 3:
-		return loadSWF(swfPaths, procs)
+		return loadSWF(swfPaths, procs, jobs, timeout)
 	}
 	return nil, fmt.Errorf("need -csv FILE or at least 3 SWF logs")
 }
@@ -131,25 +140,27 @@ var swfVars = []string{
 	workload.VarInterArrMedian, workload.VarInterArrInterval,
 }
 
-func loadSWF(paths []string, procs int) (*core.Dataset, error) {
+func loadSWF(paths []string, procs, jobs int, timeout time.Duration) (*core.Dataset, error) {
 	m := machine.Machine{Name: "cli", Procs: procs,
 		Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorUnlimited}
-	var rows []workload.Variables
-	for _, path := range paths {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		log, err := swf.Parse(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %v", path, err)
-		}
-		v, err := workload.Compute(path, log, m)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, v)
+	// Each file parses and characterizes independently; engine.Map keeps
+	// the rows in argument order regardless of completion order.
+	rows, err := engine.Map(context.Background(), len(paths), jobs, timeout,
+		func(ctx context.Context, i int) (workload.Variables, error) {
+			path := paths[i]
+			f, err := os.Open(path)
+			if err != nil {
+				return workload.Variables{}, err
+			}
+			log, err := swf.Parse(f)
+			f.Close()
+			if err != nil {
+				return workload.Variables{}, fmt.Errorf("%s: %v", path, err)
+			}
+			return workload.Compute(path, log, m)
+		})
+	if err != nil {
+		return nil, err
 	}
 	tab, err := workload.BuildTable(rows, swfVars)
 	if err != nil {

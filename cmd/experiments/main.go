@@ -3,13 +3,20 @@
 // Usage:
 //
 //	experiments [-run NAME|all] [-out DIR] [-seed N]
-//	            [-jobs N] [-modeljobs N] [-periodjobs N]
+//	            [-jobs N] [-timeout D]
+//	            [-sitejobs N] [-modeljobs N] [-periodjobs N]
 //
 // NAME is one of the paper's artifacts — table1, fig1, fig2, table2,
 // fig3, fig4, params3, table3, fig5 — or an extension study: paper (the
 // published-data validation), table3ci (bootstrap confidence intervals),
 // seeds (robustness sweep across master seeds), moments, stability,
 // loadscale, parametric, selfsim-models.
+//
+// Experiments run on a dependency-aware parallel engine: -jobs bounds
+// how many run concurrently and -timeout caps each one's wall-clock
+// time. Shared artifacts (generated logs, workload tables) are computed
+// once per invocation, and outputs are byte-identical at any -jobs
+// setting.
 //
 // Text renderings go to stdout; with -out, per-experiment .txt (and .svg
 // for figures) artifacts are written under DIR. "-run all" runs
@@ -18,53 +25,68 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"coplot/internal/experiments"
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (or 'all')")
-	out := flag.String("out", "", "directory for .txt/.svg artifacts (optional)")
-	seed := flag.Uint64("seed", 0, "master seed (0 = paper default)")
-	jobs := flag.Int("jobs", 0, "jobs per production-site log (0 = default)")
-	modelJobs := flag.Int("modeljobs", 0, "jobs per synthetic-model log (0 = default)")
-	periodJobs := flag.Int("periodjobs", 0, "jobs per half-year period log (0 = default)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runName := fs.String("run", "all", "experiment to run (or 'all')")
+	out := fs.String("out", "", "directory for .txt/.svg artifacts (optional)")
+	seed := fs.Uint64("seed", 0, "master seed (0 = paper default)")
+	jobs := fs.Int("jobs", 0, "experiments to run concurrently (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "per-experiment time limit (0 = none)")
+	siteJobs := fs.Int("sitejobs", 0, "jobs per production-site log (0 = default)")
+	modelJobs := fs.Int("modeljobs", 0, "jobs per synthetic-model log (0 = default)")
+	periodJobs := fs.Int("periodjobs", 0, "jobs per half-year period log (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := experiments.Config{
-		Seed: *seed, Jobs: *jobs, ModelJobs: *modelJobs, PeriodJobs: *periodJobs,
+		Seed: *seed, Jobs: *siteJobs, ModelJobs: *modelJobs, PeriodJobs: *periodJobs,
 	}
+	opts := experiments.RunOptions{Jobs: *jobs, Timeout: *timeout}
+	ctx := context.Background()
 
 	var outs []*experiments.Output
 	var err error
-	if *run == "all" {
-		outs, err = experiments.RunAll(cfg)
+	if *runName == "all" {
+		outs, err = experiments.RunAll(ctx, cfg, opts)
 	} else {
 		var o *experiments.Output
-		o, err = experiments.Run(*run, cfg)
+		o, err = experiments.Run(ctx, *runName, cfg, opts)
 		if o != nil {
 			outs = []*experiments.Output{o}
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		return err
 	}
 	for _, o := range outs {
-		fmt.Printf("==== %s ====\n%s\n", o.Name, o.Text)
+		fmt.Fprintf(stdout, "==== %s ====\n%s\n", o.Name, o.Text)
 	}
 	if len(outs) > 1 {
-		fmt.Println("==== summary ====")
-		fmt.Print(experiments.Summary(outs))
+		fmt.Fprintln(stdout, "==== summary ====")
+		fmt.Fprint(stdout, experiments.Summary(outs))
 	}
 	if *out != "" {
 		if err := experiments.WriteOutputs(*out, outs); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: writing artifacts:", err)
-			os.Exit(1)
+			return fmt.Errorf("writing artifacts: %w", err)
 		}
-		fmt.Printf("artifacts written to %s\n", *out)
+		fmt.Fprintf(stdout, "artifacts written to %s\n", *out)
 	}
+	return nil
 }

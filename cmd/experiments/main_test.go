@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallArgs keeps the CLI suite fast; the point is the wiring, not the
+// calibration quality (covered by internal/experiments).
+var smallArgs = []string{
+	"-sitejobs", "1024", "-modeljobs", "800", "-periodjobs", "512", "-seed", "5",
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	args := append([]string{"-run", "params3"}, smallArgs...)
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "==== params3 ====") {
+		t.Fatalf("missing banner: %q", out)
+	}
+	if strings.Contains(out, "==== summary ====") {
+		t.Fatal("single run should not print the suite summary")
+	}
+}
+
+func TestRunAllWritesArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	dir := t.TempDir()
+	var b strings.Builder
+	args := append([]string{"-run", "all", "-jobs", "2", "-out", dir}, smallArgs...)
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "==== summary ====") {
+		t.Fatal("suite summary missing")
+	}
+	// Every experiment except the explicit-only seeds sweep leaves a .txt.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".txt" {
+			txt++
+		}
+	}
+	if txt < 16 {
+		t.Fatalf("artifacts written = %d, want >= 16", txt)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "seeds.txt")); err == nil {
+		t.Fatal("seeds sweep should only run when requested explicitly")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run([]string{"-run", "nope"}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, &strings.Builder{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -5,63 +5,108 @@
 //
 // Usage:
 //
-//	hurst [-svgdir DIR] FILE.swf...
+//	hurst [-svgdir DIR] [-jobs N] [-timeout D] FILE.swf...
 //
-// With -svgdir, the three diagnostic plots (pox plot, variance-time
-// plot, periodogram) of each series are written as SVG files.
+// Files are estimated in parallel (-jobs workers, -timeout per file);
+// reports print in argument order and a failing file does not stop the
+// others. With -svgdir, the three diagnostic plots (pox plot,
+// variance-time plot, periodogram) of each series are written as SVG
+// files.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"coplot/internal/engine"
 	"coplot/internal/selfsim"
 	"coplot/internal/swf"
 )
 
 func main() {
 	svgDir := flag.String("svgdir", "", "write diagnostic plots as SVG under this directory")
+	jobs := flag.Int("jobs", 0, "files to estimate concurrently (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-file time limit (0 = none)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "hurst: no input files")
 		os.Exit(2)
 	}
+	reports := estimateAll(flag.Args(), *svgDir, *jobs, *timeout)
 	exit := 0
-	for _, path := range flag.Args() {
-		if err := estimate(path, *svgDir); err != nil {
-			fmt.Fprintf(os.Stderr, "hurst: %s: %v\n", path, err)
+	for i, rep := range reports {
+		if rep.err != nil {
+			fmt.Fprintf(os.Stderr, "hurst: %s: %v\n", flag.Arg(i), rep.err)
 			exit = 1
+			continue
 		}
+		fmt.Print(rep.text)
 	}
 	os.Exit(exit)
 }
 
-func estimate(path, svgDir string) error {
+// report holds one file's rendered estimates, or its failure. Errors
+// ride inside the value so one bad file never cancels the batch.
+type report struct {
+	text string
+	err  error
+}
+
+// estimateAll runs estimate over the files on a bounded worker pool and
+// returns the reports in argument order.
+func estimateAll(paths []string, svgDir string, jobs int, timeout time.Duration) []report {
+	reports, err := engine.Map(context.Background(), len(paths), jobs, timeout,
+		func(ctx context.Context, i int) (report, error) {
+			text, err := estimate(ctx, paths[i], svgDir)
+			if err != nil {
+				return report{err: err}, nil
+			}
+			return report{text: text}, nil
+		})
+	if err != nil {
+		// Map itself only fails on cancellation/timeout; surface it on
+		// every file that has no report yet.
+		out := make([]report, len(paths))
+		for i := range out {
+			out[i] = report{err: err}
+		}
+		return out
+	}
+	return reports
+}
+
+func estimate(ctx context.Context, path, svgDir string) (string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer f.Close()
 	log, err := swf.Parse(f)
 	if err != nil {
-		return err
+		return "", err
 	}
 	series := selfsim.SeriesFromLog(log)
-	fmt.Printf("%s (%d jobs)\n", path, len(log.Jobs))
-	fmt.Printf("  %-14s %6s %6s %6s\n", "series", "R/S", "V-T", "Per.")
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d jobs)\n", path, len(log.Jobs))
+	fmt.Fprintf(&b, "  %-14s %6s %6s %6s\n", "series", "R/S", "V-T", "Per.")
 	for _, name := range selfsim.SeriesNames {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
 		e := selfsim.EstimateAll(series[name])
-		fmt.Printf("  %-14s %6.2f %6.2f %6.2f\n", name, e.RS, e.VT, e.Per)
+		fmt.Fprintf(&b, "  %-14s %6.2f %6.2f %6.2f\n", name, e.RS, e.VT, e.Per)
 		if svgDir != "" {
 			if err := writeDiagnostics(svgDir, path, name, series[name]); err != nil {
-				return err
+				return "", err
 			}
 		}
 	}
-	return nil
+	return b.String(), nil
 }
 
 func writeDiagnostics(dir, logPath, seriesName string, x []float64) error {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,8 +30,12 @@ func writeTestLog(t *testing.T) string {
 func TestEstimateWritesDiagnostics(t *testing.T) {
 	path := writeTestLog(t)
 	svgDir := t.TempDir()
-	if err := estimate(path, svgDir); err != nil {
+	text, err := estimate(context.Background(), path, svgDir)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(text, "series") || !strings.Contains(text, "2000 jobs") {
+		t.Fatalf("report = %q", text)
 	}
 	entries, err := os.ReadDir(svgDir)
 	if err != nil {
@@ -48,7 +53,36 @@ func TestEstimateWritesDiagnostics(t *testing.T) {
 }
 
 func TestEstimateMissingFile(t *testing.T) {
-	if err := estimate(filepath.Join(t.TempDir(), "none.swf"), ""); err == nil {
+	if _, err := estimate(context.Background(), filepath.Join(t.TempDir(), "none.swf"), ""); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestEstimateAllContinuesPastErrors(t *testing.T) {
+	good := writeTestLog(t)
+	missing := filepath.Join(t.TempDir(), "none.swf")
+	reports := estimateAll([]string{good, missing, good}, "", 2, 0)
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].err != nil || reports[2].err != nil {
+		t.Fatalf("good files failed: %v, %v", reports[0].err, reports[2].err)
+	}
+	if reports[1].err == nil {
+		t.Fatal("missing file produced no error")
+	}
+	if reports[0].text != reports[2].text {
+		t.Fatal("identical inputs produced different reports")
+	}
+}
+
+func TestEstimateAllParallelDeterministic(t *testing.T) {
+	paths := []string{writeTestLog(t), writeTestLog(t), writeTestLog(t)}
+	serial := estimateAll(paths, "", 1, 0)
+	parallel := estimateAll(paths, "", 4, 0)
+	for i := range serial {
+		if serial[i].text != parallel[i].text {
+			t.Fatalf("report %d differs between jobs=1 and jobs=4", i)
+		}
 	}
 }

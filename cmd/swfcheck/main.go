@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -100,7 +101,8 @@ func checkFile(path string, m machine.Machine, opts validate.Options, homogeneit
 		}
 	}
 	if homogeneity > 1 {
-		res, err := experiments.Homogeneity(log, m, homogeneity, experiments.Config{})
+		env := experiments.NewEnv(experiments.Config{})
+		res, err := experiments.Homogeneity(context.Background(), env, log, m, homogeneity)
 		if err != nil {
 			return rep.Errors(), err
 		}

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"coplot/internal/machine"
@@ -32,33 +33,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	m := machine.Machine{Name: "cli", Procs: *procs}
-	switch *schedName {
-	case "nqs":
-		m.Scheduler = machine.SchedulerNQS
-	case "easy":
-		m.Scheduler = machine.SchedulerEASY
-	case "gang":
-		m.Scheduler = machine.SchedulerGang
-	default:
-		fmt.Fprintf(os.Stderr, "wstat: unknown scheduler %q\n", *schedName)
-		os.Exit(2)
-	}
-	switch *allocName {
-	case "pow2":
-		m.Allocator = machine.AllocatorPow2
-	case "limited":
-		m.Allocator = machine.AllocatorLimited
-	case "unlimited":
-		m.Allocator = machine.AllocatorUnlimited
-	default:
-		fmt.Fprintf(os.Stderr, "wstat: unknown allocator %q\n", *allocName)
+	m, err := parseMachine(*procs, *schedName, *allocName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wstat:", err)
 		os.Exit(2)
 	}
 
 	exit := 0
 	for _, path := range flag.Args() {
-		if err := statFile(path, m); err != nil {
+		if err := statFile(os.Stdout, path, m); err != nil {
 			fmt.Fprintf(os.Stderr, "wstat: %s: %v\n", path, err)
 			exit = 1
 		}
@@ -66,7 +49,33 @@ func main() {
 	os.Exit(exit)
 }
 
-func statFile(path string, m machine.Machine) error {
+// parseMachine builds the machine description from the CLI flag values.
+func parseMachine(procs int, sched, alloc string) (machine.Machine, error) {
+	m := machine.Machine{Name: "cli", Procs: procs}
+	switch sched {
+	case "nqs":
+		m.Scheduler = machine.SchedulerNQS
+	case "easy":
+		m.Scheduler = machine.SchedulerEASY
+	case "gang":
+		m.Scheduler = machine.SchedulerGang
+	default:
+		return machine.Machine{}, fmt.Errorf("unknown scheduler %q", sched)
+	}
+	switch alloc {
+	case "pow2":
+		m.Allocator = machine.AllocatorPow2
+	case "limited":
+		m.Allocator = machine.AllocatorLimited
+	case "unlimited":
+		m.Allocator = machine.AllocatorUnlimited
+	default:
+		return machine.Machine{}, fmt.Errorf("unknown allocator %q", alloc)
+	}
+	return m, nil
+}
+
+func statFile(w io.Writer, path string, m machine.Machine) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -80,9 +89,9 @@ func statFile(path string, m machine.Machine) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s (%d jobs)\n", path, len(log.Jobs))
+	fmt.Fprintf(w, "%s (%d jobs)\n", path, len(log.Jobs))
 	for _, code := range workload.AllVariables {
-		fmt.Printf("  %-3s %g\n", code, v.Get(code))
+		fmt.Fprintf(w, "  %-3s %g\n", code, v.Get(code))
 	}
 	return nil
 }

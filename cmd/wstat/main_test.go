@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coplot/internal/machine"
+	"coplot/internal/models"
+	"coplot/internal/rng"
+	"coplot/internal/swf"
+	"coplot/internal/workload"
+)
+
+func writeTestLog(t *testing.T) string {
+	t.Helper()
+	log := models.NewLublin(128).Generate(rng.New(1), 2000)
+	path := filepath.Join(t.TempDir(), "test.swf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := swf.Write(f, log); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseMachine(t *testing.T) {
+	m, err := parseMachine(256, "gang", "pow2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Procs != 256 || m.Scheduler != machine.SchedulerGang || m.Allocator != machine.AllocatorPow2 {
+		t.Fatalf("machine = %+v", m)
+	}
+	if _, err := parseMachine(128, "fifo", "pow2"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if _, err := parseMachine(128, "easy", "roundrobin"); err == nil {
+		t.Fatal("unknown allocator accepted")
+	}
+}
+
+func TestStatFileReportsAllVariables(t *testing.T) {
+	path := writeTestLog(t)
+	m, err := parseMachine(128, "easy", "unlimited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := statFile(&b, path, m); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "2000 jobs") {
+		t.Fatalf("header missing: %q", out)
+	}
+	for _, code := range workload.AllVariables {
+		if !strings.Contains(out, code) {
+			t.Errorf("variable %s missing from report", code)
+		}
+	}
+}
+
+func TestStatFileMissingFile(t *testing.T) {
+	m, _ := parseMachine(128, "easy", "unlimited")
+	if err := statFile(os.Stdout, filepath.Join(t.TempDir(), "none.swf"), m); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

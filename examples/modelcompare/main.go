@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -14,8 +15,8 @@ import (
 )
 
 func main() {
-	cfg := experiments.Config{Jobs: 6000, ModelJobs: 6000}
-	fig, err := experiments.Figure4(cfg)
+	env := experiments.NewEnv(experiments.Config{Jobs: 6000, ModelJobs: 6000})
+	fig, err := experiments.Figure4(context.Background(), env)
 	if err != nil {
 		log.Fatal(err)
 	}

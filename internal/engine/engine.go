@@ -1,0 +1,163 @@
+// Package engine is the execution layer under the experiment suite: a
+// self-registering registry of named experiments with explicit
+// dependency edges, a memoized artifact store shared by all experiments
+// of one run, and a DAG-aware parallel runner with a bounded worker
+// pool, context cancellation, per-experiment timeouts, and output
+// ordering that is deterministic regardless of completion order.
+//
+// The engine is generic over the environment type E handed to every run
+// function, so it knows nothing about what an experiment computes; the
+// experiments package instantiates it with its own environment (the run
+// configuration plus the artifact store). Because every experiment
+// derives its random streams from the configuration alone — never from
+// a shared stateful source — running the DAG with any number of workers
+// produces byte-identical outputs to the serial order.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// RunFunc executes one registered experiment against environment env.
+// The returned value is the experiment's output artifact; the runner
+// carries it back to the caller untouched.
+type RunFunc[E any] func(ctx context.Context, env E) (any, error)
+
+// Registry maps experiment names to run functions and dependency
+// edges. Registration order is preserved: it is the deterministic
+// scheduling preference and the natural "paper order" listing.
+type Registry[E any] struct {
+	mu    sync.RWMutex
+	specs map[string]*spec[E]
+	order []string
+}
+
+type spec[E any] struct {
+	deps []string
+	run  RunFunc[E]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry[E any]() *Registry[E] {
+	return &Registry[E]{specs: map[string]*spec[E]{}}
+}
+
+// Register adds a named experiment with its dependency edges. It fails
+// on an empty name, a nil run function, or a name collision; dependency
+// names are validated later (Validate, or implicitly by the runner) so
+// registration order does not matter.
+func (r *Registry[E]) Register(name string, deps []string, run RunFunc[E]) error {
+	if name == "" {
+		return fmt.Errorf("engine: experiment name must not be empty")
+	}
+	if run == nil {
+		return fmt.Errorf("engine: experiment %q has no run function", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.specs[name]; ok {
+		return fmt.Errorf("engine: experiment %q registered twice", name)
+	}
+	r.specs[name] = &spec[E]{deps: append([]string(nil), deps...), run: run}
+	r.order = append(r.order, name)
+	return nil
+}
+
+// MustRegister is Register for init-time wiring; it panics on error.
+func (r *Registry[E]) MustRegister(name string, deps []string, run RunFunc[E]) {
+	if err := r.Register(name, deps, run); err != nil {
+		panic(err)
+	}
+}
+
+// Has reports whether name is registered.
+func (r *Registry[E]) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.specs[name]
+	return ok
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry[E]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// Deps returns a copy of the dependency list of name.
+func (r *Registry[E]) Deps(name string) ([]string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.specs[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown experiment %q", name)
+	}
+	return append([]string(nil), s.deps...), nil
+}
+
+// Validate checks that every dependency edge resolves to a registered
+// experiment and that the dependency graph is acyclic.
+func (r *Registry[E]) Validate() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		for _, d := range r.specs[name].deps {
+			if _, ok := r.specs[d]; !ok {
+				return fmt.Errorf("engine: experiment %q depends on unknown %q", name, d)
+			}
+		}
+	}
+	return r.checkCycles(r.order)
+}
+
+// checkCycles runs a colored depth-first search over the given roots
+// and reports the first dependency cycle found. Callers hold r.mu.
+func (r *Registry[E]) checkCycles(roots []string) error {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS path
+		black = 2 // fully explored
+	)
+	color := make(map[string]int, len(r.specs))
+	var path []string
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch color[name] {
+		case black:
+			return nil
+		case gray:
+			// Trim the path to the cycle start for a readable report.
+			start := 0
+			for i, p := range path {
+				if p == name {
+					start = i
+					break
+				}
+			}
+			return fmt.Errorf("engine: dependency cycle: %s -> %s",
+				strings.Join(path[start:], " -> "), name)
+		}
+		color[name] = gray
+		path = append(path, name)
+		if s, ok := r.specs[name]; ok {
+			for _, d := range s.deps {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		color[name] = black
+		return nil
+	}
+	for _, name := range roots {
+		if err := visit(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func nopRun(ctx context.Context, env int) (any, error) { return nil, nil }
+
+func TestRegisterValidation(t *testing.T) {
+	r := NewRegistry[int]()
+	if err := r.Register("", nil, nopRun); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := r.Register("a", nil, nil); err == nil {
+		t.Fatal("nil run function accepted")
+	}
+	if err := r.Register("a", nil, nopRun); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("a", nil, nopRun); err == nil {
+		t.Fatal("name collision accepted")
+	} else if !strings.Contains(err.Error(), "registered twice") {
+		t.Fatalf("unexpected collision error: %v", err)
+	}
+}
+
+func TestNamesPreserveRegistrationOrder(t *testing.T) {
+	r := NewRegistry[int]()
+	for _, n := range []string{"c", "a", "b"} {
+		r.MustRegister(n, nil, nopRun)
+	}
+	got := r.Names()
+	if len(got) != 3 || got[0] != "c" || got[1] != "a" || got[2] != "b" {
+		t.Fatalf("Names() = %v", got)
+	}
+	if !r.Has("a") || r.Has("zzz") {
+		t.Fatal("Has() wrong")
+	}
+}
+
+func TestDeps(t *testing.T) {
+	r := NewRegistry[int]()
+	r.MustRegister("base", nil, nopRun)
+	r.MustRegister("top", []string{"base"}, nopRun)
+	deps, err := r.Deps("top")
+	if err != nil || len(deps) != 1 || deps[0] != "base" {
+		t.Fatalf("Deps = %v, %v", deps, err)
+	}
+	if _, err := r.Deps("missing"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	// The returned slice is a copy.
+	deps[0] = "mutated"
+	again, _ := r.Deps("top")
+	if again[0] != "base" {
+		t.Fatal("Deps returned internal slice")
+	}
+}
+
+func TestValidateUnknownDep(t *testing.T) {
+	r := NewRegistry[int]()
+	r.MustRegister("a", []string{"ghost"}, nopRun)
+	err := r.Validate()
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("unknown dependency not reported: %v", err)
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	r := NewRegistry[int]()
+	r.MustRegister("a", []string{"b"}, nopRun)
+	r.MustRegister("b", []string{"c"}, nopRun)
+	r.MustRegister("c", []string{"a"}, nopRun)
+	err := r.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+	// Self-loop.
+	r2 := NewRegistry[int]()
+	r2.MustRegister("x", []string{"x"}, nopRun)
+	if err := r2.Validate(); err == nil {
+		t.Fatal("self-loop not detected")
+	}
+}
+
+func TestValidateAcyclicDiamond(t *testing.T) {
+	r := NewRegistry[int]()
+	r.MustRegister("base", nil, nopRun)
+	r.MustRegister("left", []string{"base"}, nopRun)
+	r.MustRegister("right", []string{"base"}, nopRun)
+	r.MustRegister("top", []string{"left", "right"}, nopRun)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("diamond flagged as invalid: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Map runs fn for every index in [0,n) on a bounded worker pool and
+// returns the results in index order, regardless of completion order.
+// The first error cancels the remaining work and is returned (ties
+// between concurrent failures resolve to the lowest index, so the
+// reported error is deterministic). A positive timeout bounds each
+// item's wall-clock time. workers <= 0 means GOMAXPROCS.
+//
+// The CLIs use Map to fan out per-file work (parsing logs, estimating
+// Hurst parameters) with the same cancellation and determinism
+// guarantees the DAG runner gives experiments.
+func Map[T any](ctx context.Context, n, workers int, timeout time.Duration, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		errIdx   = n // lowest failing index seen so far
+		firstErr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := runCtx.Err(); err != nil {
+					fail(i, err)
+					return
+				}
+				ictx := runCtx
+				icancel := context.CancelFunc(func() {})
+				if timeout > 0 {
+					ictx, icancel = context.WithTimeout(runCtx, timeout)
+				}
+				v, err := fn(ictx, i)
+				if err == nil && ictx.Err() != nil {
+					// fn swallowed its timeout or cancellation.
+					err = ictx.Err()
+				}
+				icancel()
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

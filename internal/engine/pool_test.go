@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	got, err := Map(context.Background(), 20, 4, 0, func(ctx context.Context, i int) (int, error) {
+		if i%3 == 0 {
+			time.Sleep(time.Millisecond) // scramble completion order
+		}
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 0, 4, 0, func(ctx context.Context, i int) (int, error) {
+		return 0, fmt.Errorf("must not run")
+	})
+	if err != nil || got != nil {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 50, 8, 0, func(ctx context.Context, i int) (int, error) {
+		if i == 7 {
+			return 0, fmt.Errorf("item %d: %w", i, boom)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMapCancellationStopsWork(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		<-done
+		cancel()
+	}()
+	_, err := Map(ctx, 1000, 2, 0, func(ctx context.Context, i int) (int, error) {
+		if ran.Add(1) == 2 {
+			close(done)
+		}
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+			return i, nil
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop the pool (%d items ran)", n)
+	}
+}
+
+func TestMapPerItemTimeout(t *testing.T) {
+	_, err := Map(context.Background(), 3, 2, 10*time.Millisecond, func(ctx context.Context, i int) (int, error) {
+		if i == 1 {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(5 * time.Second):
+			}
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMapWorkerClamp(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	_, err := Map(context.Background(), 30, 3, 0, func(ctx context.Context, i int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds workers=3", p)
+	}
+}

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options configure one engine run.
+type Options struct {
+	// Jobs bounds how many experiments execute concurrently.
+	// Zero or negative means GOMAXPROCS.
+	Jobs int
+	// Timeout is the wall-clock budget of each experiment (its
+	// dependencies have their own budgets). Zero means no limit.
+	Timeout time.Duration
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	Name    string
+	Value   any
+	Err     error
+	Elapsed time.Duration
+}
+
+// task is the runtime state of one scheduled experiment.
+type task[E any] struct {
+	name string
+	spec *spec[E]
+	deps []*task[E]
+	done chan struct{} // closed once value/err are final
+	res  Result
+}
+
+// Run executes the requested experiments plus their transitive
+// dependencies on a bounded worker pool. An experiment starts once all
+// its dependencies succeeded; if a dependency fails, its dependents are
+// skipped, in-flight work is cancelled, and Run reports the root error.
+// Results come back for the requested names only, in request order,
+// regardless of completion order, so parallel runs are drop-in
+// replacements for serial ones.
+func Run[E any](ctx context.Context, reg *Registry[E], names []string, env E, opts Options) ([]Result, error) {
+	reg.mu.RLock()
+	// Resolve the requested names and expand the dependency closure.
+	for _, name := range names {
+		if _, ok := reg.specs[name]; !ok {
+			reg.mu.RUnlock()
+			return nil, fmt.Errorf("engine: unknown experiment %q", name)
+		}
+	}
+	if err := reg.checkCycles(names); err != nil {
+		reg.mu.RUnlock()
+		return nil, err
+	}
+	tasks := map[string]*task[E]{}
+	var order []*task[E] // dependency-closed, dependencies before dependents
+	var expand func(name string) (*task[E], error)
+	expand = func(name string) (*task[E], error) {
+		if t, ok := tasks[name]; ok {
+			return t, nil
+		}
+		s, ok := reg.specs[name]
+		if !ok {
+			return nil, fmt.Errorf("engine: experiment %q depends on unknown %q", name, name)
+		}
+		t := &task[E]{name: name, spec: s, done: make(chan struct{})}
+		t.res.Name = name
+		tasks[name] = t // placed before recursing; cycles were excluded above
+		for _, d := range s.deps {
+			dt, err := expand(d)
+			if err != nil {
+				return nil, fmt.Errorf("engine: resolving %q: %w", name, err)
+			}
+			t.deps = append(t.deps, dt)
+		}
+		order = append(order, t)
+		return t, nil
+	}
+	for _, name := range names {
+		if _, err := expand(name); err != nil {
+			reg.mu.RUnlock()
+			return nil, err
+		}
+	}
+	reg.mu.RUnlock()
+
+	workers := opts.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	slots := make(chan struct{}, workers)
+
+	var wg sync.WaitGroup
+	for _, t := range order {
+		wg.Add(1)
+		go func(t *task[E]) {
+			defer wg.Done()
+			defer close(t.done)
+			for _, d := range t.deps {
+				<-d.done
+				if d.res.Err != nil {
+					t.res.Err = &skipDep{fmt.Errorf("engine: %s skipped: dependency %s failed: %w", t.name, d.name, d.res.Err)}
+					return
+				}
+			}
+			select {
+			case slots <- struct{}{}:
+			case <-runCtx.Done():
+				t.res.Err = runCtx.Err()
+				return
+			}
+			defer func() { <-slots }()
+			if err := runCtx.Err(); err != nil {
+				t.res.Err = err
+				return
+			}
+			tctx := runCtx
+			if opts.Timeout > 0 {
+				var tcancel context.CancelFunc
+				tctx, tcancel = context.WithTimeout(runCtx, opts.Timeout)
+				defer tcancel()
+			}
+			start := time.Now()
+			t.res.Value, t.res.Err = t.spec.run(tctx, env)
+			t.res.Elapsed = time.Since(start)
+			if t.res.Err == nil && tctx.Err() != nil {
+				// A run function that swallowed the cancellation still
+				// must not report success.
+				t.res.Err = tctx.Err()
+			}
+			if t.res.Err != nil {
+				cancel() // first failure stops the rest of the DAG
+			}
+		}(t)
+	}
+	wg.Wait()
+
+	// Pick the aggregate error deterministically: the topologically
+	// first root failure — one that is neither a skipped dependent nor
+	// a cancellation ripple from another task's failure — else the
+	// first error of any kind.
+	var firstErr, rootErr error
+	for _, t := range order {
+		err := t.res.Err
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		ripple := errors.Is(err, context.Canceled) && ctx.Err() == nil
+		if rootErr == nil && !isSkip(err) && !ripple {
+			rootErr = err
+		}
+	}
+	if rootErr != nil {
+		return nil, rootErr
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := make([]Result, len(names))
+	for i, name := range names {
+		out[i] = tasks[name].res
+	}
+	return out, nil
+}
+
+// skipDep marks results of experiments whose dependencies failed, so
+// the aggregate error reports the root failure, not the ripple.
+type skipDep struct{ inner error }
+
+func (s *skipDep) Error() string { return s.inner.Error() }
+func (s *skipDep) Unwrap() error { return s.inner }
+
+func isSkip(err error) bool {
+	var s *skipDep
+	return errors.As(err, &s)
+}

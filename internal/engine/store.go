@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store is a memoized artifact cache shared by the experiments of one
+// run. Each key is computed exactly once: the first caller runs the
+// compute function while concurrent callers for the same key block
+// until the result (or error) is available. Upstream artifacts — the
+// generated site logs, the workload tables, the synthetic model logs,
+// the Hurst matrix — are stored once and read by every downstream
+// experiment, so a full suite run derives each of them a single time no
+// matter how many experiments consume it or on how many workers they
+// run.
+//
+// Cached values are shared across goroutines; compute functions must
+// return values that downstream readers treat as immutable.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string]*storeEntry
+}
+
+type storeEntry struct {
+	done chan struct{} // closed when val/err are set
+	val  any
+	err  error
+}
+
+// NewStore returns an empty artifact store.
+func NewStore() *Store {
+	return &Store{entries: map[string]*storeEntry{}}
+}
+
+// Do returns the artifact under key, computing it with compute on the
+// first call. Errors are cached too: a failed computation is not
+// retried within the same run (the run aborts on first error anyway).
+func (s *Store) Do(key string, compute func() (any, error)) (any, error) {
+	s.mu.Lock()
+	if s.entries == nil {
+		s.entries = map[string]*storeEntry{}
+	}
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &storeEntry{done: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	e.val, e.err = compute()
+	close(e.done)
+	return e.val, e.err
+}
+
+// Len reports how many artifacts have been requested so far.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Memo is the typed access path to a Store: it computes (once) and
+// returns the artifact under key as a T. A key reused with a different
+// type is an error, not a panic.
+func Memo[T any](s *Store, key string, compute func() (T, error)) (T, error) {
+	var zero T
+	v, err := s.Do(key, func() (any, error) { return compute() })
+	if err != nil {
+		return zero, err
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("engine: artifact %q holds %T, requested as %T", key, v, zero)
+	}
+	return t, nil
+}

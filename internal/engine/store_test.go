@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStoreComputesOnce(t *testing.T) {
+	s := NewStore()
+	var calls atomic.Int64
+	compute := func() (int, error) {
+		calls.Add(1)
+		return 42, nil
+	}
+	// Many concurrent readers of the same key: exactly one compute.
+	const readers = 32
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	vals := make([]int, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], errs[i] = Memo(s, "answer", compute)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < readers; i++ {
+		if errs[i] != nil || vals[i] != 42 {
+			t.Fatalf("reader %d: %d, %v", i, vals[i], errs[i])
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreCachesErrors(t *testing.T) {
+	s := NewStore()
+	sentinel := errors.New("boom")
+	calls := 0
+	_, err := Memo(s, "k", func() (int, error) { calls++; return 0, sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = Memo(s, "k", func() (int, error) { calls++; return 7, nil })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("cached error not returned: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times", calls)
+	}
+}
+
+func TestStoreDistinctKeys(t *testing.T) {
+	s := NewStore()
+	a, _ := Memo(s, "a", func() (int, error) { return 1, nil })
+	b, _ := Memo(s, "b", func() (int, error) { return 2, nil })
+	if a != 1 || b != 2 {
+		t.Fatalf("a=%d b=%d", a, b)
+	}
+}
+
+func TestMemoTypeMismatch(t *testing.T) {
+	s := NewStore()
+	if _, err := Memo(s, "k", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Memo(s, "k", func() (string, error) { return "x", nil })
+	if err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestStoreZeroValueUsable(t *testing.T) {
+	var s Store
+	v, err := Memo(&s, "k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("zero-value store: %d, %v", v, err)
+	}
+}

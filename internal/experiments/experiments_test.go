@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -16,6 +17,8 @@ func testCfg() Config {
 	return Config{Jobs: 4096, ModelJobs: 3000, PeriodJobs: 2048, Seed: 5}
 }
 
+func testEnv() *Env { return NewEnv(testCfg()) }
+
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}.WithDefaults()
 	if c.Jobs == 0 || c.ModelJobs == 0 || c.PeriodJobs == 0 || c.Seed == 0 {
@@ -29,7 +32,8 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
-	res, err := Table1(testCfg())
+	ctx := context.Background()
+	res, err := Table1(ctx, testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,8 +49,8 @@ func TestTable1Shape(t *testing.T) {
 	if len(res.Checks) == 0 {
 		t.Fatal("no checks recorded")
 	}
-	// Reproducibility: same config, same table.
-	res2, err := Table1(testCfg())
+	// Reproducibility: same config in a fresh environment, same table.
+	res2, err := Table1(ctx, testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,8 +63,31 @@ func TestTable1Shape(t *testing.T) {
 	}
 }
 
+func TestTable1MemoizedPerEnv(t *testing.T) {
+	ctx := context.Background()
+	env := testEnv()
+	a, err := Table1(ctx, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table1(ctx, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Table1 recomputed within one environment")
+	}
+	c, err := Table1(ctx, testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("artifact leaked across environments")
+	}
+}
+
 func TestTable1MediansCalibrated(t *testing.T) {
-	res, err := Table1(testCfg())
+	res, err := Table1(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +99,7 @@ func TestTable1MediansCalibrated(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	res, err := Table2(testCfg())
+	res, err := Table2(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +121,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestFigure1Properties(t *testing.T) {
-	fig, err := Figure1(testCfg())
+	fig, err := Figure1(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +145,7 @@ func TestFigure1Properties(t *testing.T) {
 }
 
 func TestFigure2DropsOutliers(t *testing.T) {
-	fig, err := Figure2(testCfg())
+	fig, err := Figure2(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +165,7 @@ func TestFigure2DropsOutliers(t *testing.T) {
 }
 
 func TestFigure3EighteenObservations(t *testing.T) {
-	fig, err := Figure3(testCfg())
+	fig, err := Figure3(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +180,7 @@ func TestFigure3EighteenObservations(t *testing.T) {
 }
 
 func TestFigure4ModelPlacement(t *testing.T) {
-	fig, err := Figure4(testCfg())
+	fig, err := Figure4(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +195,7 @@ func TestFigure4ModelPlacement(t *testing.T) {
 }
 
 func TestParams3GoodFit(t *testing.T) {
-	fig, err := Params3(testCfg())
+	fig, err := Params3(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +208,7 @@ func TestParams3GoodFit(t *testing.T) {
 }
 
 func TestTable3SeparatesModels(t *testing.T) {
-	res, err := Table3(testCfg())
+	res, err := Table3(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +234,7 @@ func TestTable3SeparatesModels(t *testing.T) {
 }
 
 func TestFigure5Separation(t *testing.T) {
-	fig, err := Figure5(testCfg())
+	fig, err := Figure5(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,8 +246,9 @@ func TestFigure5Separation(t *testing.T) {
 }
 
 func TestRunDispatch(t *testing.T) {
+	ctx := context.Background()
 	for _, name := range []string{"table1", "params3"} {
-		o, err := Run(name, testCfg())
+		o, err := Run(ctx, name, testCfg(), RunOptions{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -228,14 +256,45 @@ func TestRunDispatch(t *testing.T) {
 			t.Fatalf("%s: bad output", name)
 		}
 	}
-	if _, err := Run("nope", testCfg()); err == nil {
+	_, err := Run(ctx, "nope", testCfg(), RunOptions{})
+	if err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown experiment") || !strings.Contains(err.Error(), "table1") {
+		t.Fatalf("error should list the known names: %v", err)
+	}
+}
+
+func TestRegistryNamesAndDeps(t *testing.T) {
+	want := []string{
+		"table1", "fig1", "fig2", "table2", "fig3", "fig4", "params3",
+		"table3", "fig5", "paper", "table3ci", "seeds", "moments",
+		"stability", "loadscale", "parametric", "selfsim-models",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	deps, err := Deps("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 2 || deps[0] != "table1" || deps[1] != "table2" {
+		t.Fatalf("Deps(fig3) = %v", deps)
+	}
+	if _, err := Deps("nope"); err == nil {
+		t.Fatal("Deps accepted an unknown name")
 	}
 }
 
 func TestWriteOutputs(t *testing.T) {
 	dir := t.TempDir()
-	o, err := Run("params3", testCfg())
+	o, err := Run(context.Background(), "params3", testCfg(), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,15 +321,15 @@ func TestSummaryCounts(t *testing.T) {
 }
 
 func TestModelLogsDeterministic(t *testing.T) {
-	cfg := testCfg()
-	a, names, err := ModelLogs(cfg)
+	ctx := context.Background()
+	a, names, err := ModelLogs(ctx, testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(names) != 5 {
 		t.Fatalf("models = %d", len(names))
 	}
-	b, _, err := ModelLogs(cfg)
+	b, _, err := ModelLogs(ctx, testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -32,9 +33,8 @@ type MomentStabilityResult struct {
 // the ten production-site logs, using the inter-arrival variable (the
 // generated runtimes carry an administrative cap, as real logs do, which
 // already blunts their tail; arrivals are uncapped).
-func MomentStability(cfg Config) (*MomentStabilityResult, error) {
-	cfg = cfg.WithDefaults()
-	logs, err := sites.GenerateAll(sites.Table1Specs(cfg.Jobs), cfg.Seed)
+func MomentStability(ctx context.Context, env *Env) (*MomentStabilityResult, error) {
+	logs, err := env.siteLogs(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -118,9 +118,9 @@ type MapStabilityResult struct {
 }
 
 // MapStability runs the Figure-1 analysis once per left-out observation.
-func MapStability(cfg Config) (*MapStabilityResult, error) {
-	cfg = cfg.WithDefaults()
-	t1, err := Table1(cfg)
+func MapStability(ctx context.Context, env *Env) (*MapStabilityResult, error) {
+	cfg := env.Cfg
+	t1, err := Table1(ctx, env)
 	if err != nil {
 		return nil, err
 	}
@@ -139,6 +139,9 @@ func MapStability(cfg Config) (*MapStabilityResult, error) {
 	}
 	const clusterCos = 0.7
 	for _, leftOut := range full.Observations {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ds := full.DropObservations(leftOut)
 		an, err := core.Analyze(ds, core.Options{MDS: cfg.mdsOptions()})
 		if err != nil {
@@ -199,9 +202,9 @@ func MapStability(cfg Config) (*MapStabilityResult, error) {
 // section-8 parameters into the parametric model, maps the generated
 // clones together with the originals, and checks that clones land near
 // their sites — the validation the paper's proposed model would need.
-func ParametricRoundTrip(cfg Config) (*FigureResult, error) {
-	cfg = cfg.WithDefaults()
-	t1, err := Table1(cfg)
+func ParametricRoundTrip(ctx context.Context, env *Env) (*FigureResult, error) {
+	cfg := env.Cfg
+	t1, err := Table1(ctx, env)
 	if err != nil {
 		return nil, err
 	}
@@ -288,8 +291,8 @@ func ParametricRoundTrip(cfg Config) (*FigureResult, error) {
 // models: injecting long-range dependence moves the models to the
 // production side of the self-similarity map without changing their
 // marginal statistics — the "new model" section 9 calls for.
-func SelfSimilarModels(cfg Config) (*Output, error) {
-	cfg = cfg.WithDefaults()
+func SelfSimilarModels(ctx context.Context, env *Env) (*Output, error) {
+	cfg := env.Cfg
 	machines := modelMachines()
 	var b strings.Builder
 	b.WriteString("Self-similarity injection (section 9 extension)\n")
@@ -299,6 +302,9 @@ func SelfSimilarModels(cfg Config) (*Output, error) {
 	improvedArr, improvedRT := 0, 0
 	names := []string{"Feitelson96", "Downey", "Jann", "Lublin"}
 	for i, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		procs := machines[name].Procs
 		var base models.Model
 		switch name {

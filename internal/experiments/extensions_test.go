@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestMomentStability(t *testing.T) {
-	res, err := MomentStability(testCfg())
+	res, err := MomentStability(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestMomentStability(t *testing.T) {
 }
 
 func TestMapStability(t *testing.T) {
-	res, err := MapStability(testCfg())
+	res, err := MapStability(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestMapStability(t *testing.T) {
 }
 
 func TestLoadScalingStudy(t *testing.T) {
-	res, err := LoadScalingStudy(testCfg())
+	res, err := LoadScalingStudy(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestLoadScalingStudy(t *testing.T) {
 }
 
 func TestParametricRoundTrip(t *testing.T) {
-	fig, err := ParametricRoundTrip(testCfg())
+	fig, err := ParametricRoundTrip(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestParametricRoundTrip(t *testing.T) {
 }
 
 func TestSelfSimilarModelsExperiment(t *testing.T) {
-	out, err := SelfSimilarModels(testCfg())
+	out, err := SelfSimilarModels(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestSelfSimilarModelsExperiment(t *testing.T) {
 
 func TestRunDispatchExtensions(t *testing.T) {
 	for _, name := range []string{"moments", "loadscale"} {
-		o, err := Run(name, testCfg())
+		o, err := Run(context.Background(), name, testCfg(), RunOptions{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -102,7 +103,7 @@ func TestRunDispatchExtensions(t *testing.T) {
 }
 
 func TestPaperFigures(t *testing.T) {
-	out, err := PaperFigures(testCfg())
+	out, err := PaperFigures(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestPaperFigures(t *testing.T) {
 }
 
 func TestTable3CI(t *testing.T) {
-	out, err := Table3CI(testCfg())
+	out, err := Table3CI(context.Background(), testEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestTable3CI(t *testing.T) {
 }
 
 func TestSeedSweep(t *testing.T) {
-	out, err := SeedSweep(testCfg(), []uint64{5, 6})
+	out, err := SeedSweep(context.Background(), testEnv(), []uint64{5, 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestSeedSweep(t *testing.T) {
 }
 
 func TestRunAllSmall(t *testing.T) {
-	outs, err := RunAll(testCfg())
+	outs, err := RunAll(context.Background(), testCfg(), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestRunAllSmall(t *testing.T) {
 func TestRunAllNames(t *testing.T) {
 	// Every name in Names dispatches (seeds excluded: it is the sweep).
 	for _, name := range []string{"fig3", "fig4", "table2", "stability", "parametric", "selfsim-models"} {
-		o, err := Run(name, testCfg())
+		o, err := Run(context.Background(), name, testCfg(), RunOptions{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

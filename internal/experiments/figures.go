@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
 	"coplot/internal/core"
+	"coplot/internal/engine"
 	"coplot/internal/machine"
 	"coplot/internal/models"
 	"coplot/internal/rng"
@@ -89,13 +91,12 @@ var fig1Vars = []string{
 }
 
 // Figure1 regenerates the Co-plot of all ten production workloads.
-func Figure1(cfg Config) (*FigureResult, error) {
-	cfg = cfg.WithDefaults()
-	t1, err := Table1(cfg)
+func Figure1(ctx context.Context, env *Env) (*FigureResult, error) {
+	t1, err := Table1(ctx, env)
 	if err != nil {
 		return nil, err
 	}
-	return figure1From(cfg, t1)
+	return figure1From(env.Cfg, t1)
 }
 
 func figure1From(cfg Config, t1 *TableResult) (*FigureResult, error) {
@@ -175,13 +176,12 @@ var fig2Vars = []string{
 }
 
 // Figure2 regenerates the Co-plot without the two batch outliers.
-func Figure2(cfg Config) (*FigureResult, error) {
-	cfg = cfg.WithDefaults()
-	t1, err := Table1(cfg)
+func Figure2(ctx context.Context, env *Env) (*FigureResult, error) {
+	t1, err := Table1(ctx, env)
 	if err != nil {
 		return nil, err
 	}
-	return figure2From(cfg, t1)
+	return figure2From(env.Cfg, t1)
 }
 
 func figure2From(cfg Config, t1 *TableResult) (*FigureResult, error) {
@@ -267,17 +267,16 @@ var fig3Vars = []string{
 
 // Figure3 regenerates the over-time Co-plot: the ten Table 1
 // observations plus the eight half-year periods.
-func Figure3(cfg Config) (*FigureResult, error) {
-	cfg = cfg.WithDefaults()
-	t1, err := Table1(cfg)
+func Figure3(ctx context.Context, env *Env) (*FigureResult, error) {
+	t1, err := Table1(ctx, env)
 	if err != nil {
 		return nil, err
 	}
-	t2, err := Table2(cfg)
+	t2, err := Table2(ctx, env)
 	if err != nil {
 		return nil, err
 	}
-	return figure3From(cfg, t1, t2)
+	return figure3From(env.Cfg, t1, t2)
 }
 
 func figure3From(cfg Config, t1, t2 *TableResult) (*FigureResult, error) {
@@ -378,46 +377,64 @@ func modelMachines() map[string]machine.Machine {
 	}
 }
 
-// ModelLogs generates the five model outputs.
-func ModelLogs(cfg Config) (map[string]*swf.Log, []string, error) {
-	cfg = cfg.WithDefaults()
-	machines := modelMachines()
-	names := []string{"Feitelson96", "Feitelson97", "Downey", "Jann", "Lublin"}
-	logs := map[string]*swf.Log{}
-	for i, name := range names {
-		procs := machines[name].Procs
-		var gen models.Model
-		switch name {
-		case "Feitelson96":
-			gen = models.NewFeitelson96(procs)
-		case "Feitelson97":
-			gen = models.NewFeitelson97(procs)
-		case "Downey":
-			gen = models.NewDowney(procs)
-		case "Jann":
-			gen = models.NewJann(procs)
-		case "Lublin":
-			gen = models.NewLublin(procs)
+// modelLogsArtifact bundles the generated model logs with their fixed
+// ordering so the pair can live under one store key.
+type modelLogsArtifact struct {
+	Logs  map[string]*swf.Log
+	Names []string
+}
+
+// ModelLogs generates the five model outputs. Each model draws from its
+// own seed stream derived from Config.Seed, so the logs are identical no
+// matter which experiment triggers the (memoized) generation first.
+func ModelLogs(ctx context.Context, env *Env) (map[string]*swf.Log, []string, error) {
+	art, err := engine.Memo(env.Store, "artifact:modellogs", func() (modelLogsArtifact, error) {
+		if err := ctx.Err(); err != nil {
+			return modelLogsArtifact{}, err
 		}
-		r := rng.New(cfg.Seed + uint64(i+1)*0x9e3779b97f4a7c15)
-		logs[name] = gen.Generate(r, cfg.ModelJobs)
+		cfg := env.Cfg
+		machines := modelMachines()
+		names := []string{"Feitelson96", "Feitelson97", "Downey", "Jann", "Lublin"}
+		logs := map[string]*swf.Log{}
+		for i, name := range names {
+			procs := machines[name].Procs
+			var gen models.Model
+			switch name {
+			case "Feitelson96":
+				gen = models.NewFeitelson96(procs)
+			case "Feitelson97":
+				gen = models.NewFeitelson97(procs)
+			case "Downey":
+				gen = models.NewDowney(procs)
+			case "Jann":
+				gen = models.NewJann(procs)
+			case "Lublin":
+				gen = models.NewLublin(procs)
+			}
+			r := rng.New(cfg.Seed + uint64(i+1)*0x9e3779b97f4a7c15)
+			logs[name] = gen.Generate(r, cfg.ModelJobs)
+		}
+		return modelLogsArtifact{Logs: logs, Names: names}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return logs, names, nil
+	return art.Logs, art.Names, nil
 }
 
 // Figure4 regenerates the comparison of production workloads and the
 // five synthetic models.
-func Figure4(cfg Config) (*FigureResult, error) {
-	cfg = cfg.WithDefaults()
-	t1, err := Table1(cfg)
+func Figure4(ctx context.Context, env *Env) (*FigureResult, error) {
+	t1, err := Table1(ctx, env)
 	if err != nil {
 		return nil, err
 	}
-	return figure4From(cfg, t1)
+	return figure4From(ctx, env, t1)
 }
 
-func figure4From(cfg Config, t1 *TableResult) (*FigureResult, error) {
-	modelLogs, modelNames, err := ModelLogs(cfg)
+func figure4From(ctx context.Context, env *Env, t1 *TableResult) (*FigureResult, error) {
+	cfg := env.Cfg
+	modelLogs, modelNames, err := ModelLogs(ctx, env)
 	if err != nil {
 		return nil, err
 	}
@@ -543,13 +560,12 @@ var params3Vars = []string{
 
 // Params3 regenerates the section-8 three-parameter map (alienation
 // 0.02, average correlation 0.94 in the paper).
-func Params3(cfg Config) (*FigureResult, error) {
-	cfg = cfg.WithDefaults()
-	t1, err := Table1(cfg)
+func Params3(ctx context.Context, env *Env) (*FigureResult, error) {
+	t1, err := Table1(ctx, env)
 	if err != nil {
 		return nil, err
 	}
-	return params3From(cfg, t1)
+	return params3From(env.Cfg, t1)
 }
 
 func params3From(cfg Config, t1 *TableResult) (*FigureResult, error) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -37,8 +38,8 @@ type HomogeneityResult struct {
 // Homogeneity splits the log into `periods` consecutive windows, maps
 // them together with the ten production observations, and measures how
 // tightly the periods cluster.
-func Homogeneity(log *swf.Log, m machine.Machine, periods int, cfg Config) (*HomogeneityResult, error) {
-	cfg = cfg.WithDefaults()
+func Homogeneity(ctx context.Context, env *Env, log *swf.Log, m machine.Machine, periods int) (*HomogeneityResult, error) {
+	cfg := env.Cfg
 	if periods < 2 {
 		return nil, fmt.Errorf("experiments: need at least 2 periods, got %d", periods)
 	}
@@ -46,7 +47,7 @@ func Homogeneity(log *swf.Log, m machine.Machine, periods int, cfg Config) (*Hom
 	if parts == nil {
 		return nil, fmt.Errorf("experiments: empty log")
 	}
-	t1, err := Table1(cfg)
+	t1, err := Table1(ctx, env)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestHomogeneityStableLog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Homogeneity(log, sdsc.Machine, 4, testCfg())
+	res, err := Homogeneity(context.Background(), testEnv(), log, sdsc.Machine, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestHomogeneityRegimeChange(t *testing.T) {
 	}
 	shift := l1.Duration() + 1000
 	spliced := swf.Merge(l1, l3.ShiftTime(shift))
-	res, err := Homogeneity(spliced, specs[0].Machine, 4, testCfg())
+	res, err := Homogeneity(context.Background(), testEnv(), spliced, specs[0].Machine, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,13 +63,13 @@ func TestHomogeneityValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Homogeneity(log, specs[0].Machine, 1, testCfg()); err == nil {
+	if _, err := Homogeneity(context.Background(), testEnv(), log, specs[0].Machine, 1); err == nil {
 		t.Fatal("1 period accepted")
 	}
-	if _, err := Homogeneity(&swf.Log{}, specs[0].Machine, 4, testCfg()); err == nil {
+	if _, err := Homogeneity(context.Background(), testEnv(), &swf.Log{}, specs[0].Machine, 4); err == nil {
 		t.Fatal("empty log accepted")
 	}
-	if _, err := Homogeneity(log, specs[0].Machine, 500, testCfg()); err == nil {
+	if _, err := Homogeneity(context.Background(), testEnv(), log, specs[0].Machine, 500); err == nil {
 		t.Fatal("periods with too few jobs accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,8 +25,8 @@ type LoadScalingResult struct {
 
 // LoadScalingStudy applies each operator to a Lublin stream at factor 2
 // and reports the side effects.
-func LoadScalingStudy(cfg Config) (*LoadScalingResult, error) {
-	cfg = cfg.WithDefaults()
+func LoadScalingStudy(ctx context.Context, env *Env) (*LoadScalingResult, error) {
+	cfg := env.Cfg
 	m := machine.Machine{Name: "study", Procs: 128,
 		Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorUnlimited}
 	log := models.NewLublin(m.Procs).Generate(rng.New(cfg.Seed+9), cfg.ModelJobs)
@@ -36,6 +37,9 @@ func LoadScalingStudy(cfg Config) (*LoadScalingResult, error) {
 	fmt.Fprintf(&b, "%-20s %6s %6s %6s %6s %6s %6s\n",
 		"method", "load", "Rm", "Ri", "Pm", "Im", "Ii")
 	for _, method := range loadctl.Methods {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		se, _, err := loadctl.Measure(log, m, method, 2)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -87,8 +88,11 @@ var Table1PaperNames = []string{
 // Tables 1 and 3, reproducing Figures 1, 2, the section-8
 // three-parameter map, and Figure 5 from the exact inputs the authors
 // used.
-func PaperFigures(cfg Config) (*Output, error) {
-	cfg = cfg.WithDefaults()
+func PaperFigures(ctx context.Context, env *Env) (*Output, error) {
+	cfg := env.Cfg
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var b strings.Builder
 	var checks []Check
 

@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
+
+	"coplot/internal/engine"
 )
 
 // Output is one experiment's rendered artifacts.
@@ -16,87 +20,196 @@ type Output struct {
 	Checks []Check
 }
 
-// Names lists the runnable experiments: the paper's tables and figures
-// in order, then the extension studies (moment stability from §3,
-// leave-one-out map stability from §4/§6, the §8 load-scaling and
-// parametric-model studies, and the §9 self-similar model extension).
-var Names = []string{
-	"table1", "fig1", "fig2", "table2", "fig3", "fig4", "params3", "table3", "fig5",
-	"paper", "table3ci", "seeds",
-	"moments", "stability", "loadscale", "parametric", "selfsim-models",
+// registry holds the runnable experiments: the paper's tables and
+// figures in order, then the extension studies. Dependency edges record
+// which experiments consume another experiment's result (the shared
+// artifact store additionally dedups sub-artifacts like the generated
+// site and model logs). Registration order is the paper order used for
+// listings and deterministic output.
+var registry = engine.NewRegistry[*Env]()
+
+// experiment wraps a typed experiment function as an engine run func.
+func experiment(fn func(context.Context, *Env) (*Output, error)) engine.RunFunc[*Env] {
+	return func(ctx context.Context, env *Env) (any, error) {
+		o, err := fn(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		return o, nil
+	}
 }
 
-// Run executes one named experiment.
-func Run(name string, cfg Config) (*Output, error) {
-	cfg = cfg.WithDefaults()
-	switch name {
-	case "table1":
-		r, err := Table1(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &Output{Name: name, Text: r.Text + "\n" + renderChecks(r.Checks), Checks: r.Checks}, nil
-	case "table2":
-		r, err := Table2(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &Output{Name: name, Text: r.Text + "\n" + renderChecks(r.Checks), Checks: r.Checks}, nil
-	case "fig1":
-		fig, err := Figure1(cfg)
-		return figOutput(name, fig, err)
-	case "fig2":
-		fig, err := Figure2(cfg)
-		return figOutput(name, fig, err)
-	case "fig3":
-		fig, err := Figure3(cfg)
-		return figOutput(name, fig, err)
-	case "fig4":
-		fig, err := Figure4(cfg)
-		return figOutput(name, fig, err)
-	case "params3":
-		fig, err := Params3(cfg)
-		return figOutput(name, fig, err)
-	case "table3":
-		r, err := Table3(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &Output{Name: name, Text: r.Text, Checks: r.Checks}, nil
-	case "fig5":
-		fig, err := Figure5(cfg)
-		return figOutput(name, fig, err)
-	case "paper":
-		return PaperFigures(cfg)
-	case "table3ci":
-		return Table3CI(cfg)
-	case "seeds":
-		return SeedSweep(cfg, nil)
-	case "moments":
-		r, err := MomentStability(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &Output{Name: name, Text: r.Text, Checks: r.Checks}, nil
-	case "stability":
-		r, err := MapStability(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &Output{Name: name, Text: r.Text, Checks: r.Checks}, nil
-	case "loadscale":
-		r, err := LoadScalingStudy(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &Output{Name: name, Text: r.Text, Checks: r.Checks}, nil
-	case "parametric":
-		fig, err := ParametricRoundTrip(cfg)
-		return figOutput(name, fig, err)
-	case "selfsim-models":
-		return SelfSimilarModels(cfg)
+func init() {
+	reg := func(name string, deps []string, fn func(context.Context, *Env) (*Output, error)) {
+		registry.MustRegister(name, deps, experiment(fn))
 	}
-	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", name, strings.Join(Names, ", "))
+	reg("table1", nil, func(ctx context.Context, env *Env) (*Output, error) {
+		r, err := Table1(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Name: "table1", Text: r.Text + "\n" + renderChecks(r.Checks), Checks: r.Checks}, nil
+	})
+	reg("fig1", []string{"table1"}, func(ctx context.Context, env *Env) (*Output, error) {
+		t1, err := Table1(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		fig, err := figure1From(env.Cfg, t1)
+		return figOutput("fig1", fig, err)
+	})
+	reg("fig2", []string{"table1"}, func(ctx context.Context, env *Env) (*Output, error) {
+		t1, err := Table1(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		fig, err := figure2From(env.Cfg, t1)
+		return figOutput("fig2", fig, err)
+	})
+	reg("table2", nil, func(ctx context.Context, env *Env) (*Output, error) {
+		r, err := Table2(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Name: "table2", Text: r.Text + "\n" + renderChecks(r.Checks), Checks: r.Checks}, nil
+	})
+	reg("fig3", []string{"table1", "table2"}, func(ctx context.Context, env *Env) (*Output, error) {
+		t1, err := Table1(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		t2, err := Table2(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		fig, err := figure3From(env.Cfg, t1, t2)
+		return figOutput("fig3", fig, err)
+	})
+	reg("fig4", []string{"table1"}, func(ctx context.Context, env *Env) (*Output, error) {
+		t1, err := Table1(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		fig, err := figure4From(ctx, env, t1)
+		return figOutput("fig4", fig, err)
+	})
+	reg("params3", []string{"table1"}, func(ctx context.Context, env *Env) (*Output, error) {
+		t1, err := Table1(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		fig, err := params3From(env.Cfg, t1)
+		return figOutput("params3", fig, err)
+	})
+	reg("table3", nil, func(ctx context.Context, env *Env) (*Output, error) {
+		r, err := Table3(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Name: "table3", Text: r.Text, Checks: r.Checks}, nil
+	})
+	reg("fig5", []string{"table3"}, func(ctx context.Context, env *Env) (*Output, error) {
+		t3, err := Table3(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		fig, err := figure5From(env.Cfg, t3)
+		return figOutput("fig5", fig, err)
+	})
+	reg("paper", nil, PaperFigures)
+	reg("table3ci", nil, Table3CI)
+	reg("seeds", nil, func(ctx context.Context, env *Env) (*Output, error) {
+		return SeedSweep(ctx, env, nil)
+	})
+	reg("moments", nil, func(ctx context.Context, env *Env) (*Output, error) {
+		r, err := MomentStability(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Name: "moments", Text: r.Text, Checks: r.Checks}, nil
+	})
+	reg("stability", []string{"table1"}, func(ctx context.Context, env *Env) (*Output, error) {
+		r, err := MapStability(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Name: "stability", Text: r.Text, Checks: r.Checks}, nil
+	})
+	reg("loadscale", nil, func(ctx context.Context, env *Env) (*Output, error) {
+		r, err := LoadScalingStudy(ctx, env)
+		if err != nil {
+			return nil, err
+		}
+		return &Output{Name: "loadscale", Text: r.Text, Checks: r.Checks}, nil
+	})
+	reg("parametric", []string{"table1"}, func(ctx context.Context, env *Env) (*Output, error) {
+		fig, err := ParametricRoundTrip(ctx, env)
+		return figOutput("parametric", fig, err)
+	})
+	reg("selfsim-models", nil, SelfSimilarModels)
+	if err := registry.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+// Names lists the runnable experiments in paper order.
+func Names() []string { return registry.Names() }
+
+// Deps exposes the dependency edges of one experiment.
+func Deps(name string) ([]string, error) { return registry.Deps(name) }
+
+// RunOptions configure engine execution.
+type RunOptions struct {
+	// Jobs bounds how many experiments run concurrently (<=0 means
+	// GOMAXPROCS). Any value produces byte-identical outputs.
+	Jobs int
+	// Timeout limits each experiment's wall-clock time (0 = none).
+	Timeout time.Duration
+}
+
+// Run executes one named experiment — and, first, its dependencies —
+// against a fresh environment.
+func Run(ctx context.Context, name string, cfg Config, opts RunOptions) (*Output, error) {
+	if !registry.Has(name) {
+		return nil, fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	outs, err := runNames(ctx, []string{name}, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// RunAll executes every experiment once over one shared environment, so
+// the figures and tables derive each upstream artifact exactly once.
+// Results come back in paper order regardless of completion order. The
+// seed sweep is excluded (it re-runs the headline experiments several
+// times; invoke it explicitly).
+func RunAll(ctx context.Context, cfg Config, opts RunOptions) ([]*Output, error) {
+	var names []string
+	for _, n := range registry.Names() {
+		if n != "seeds" {
+			names = append(names, n)
+		}
+	}
+	return runNames(ctx, names, cfg, opts)
+}
+
+func runNames(ctx context.Context, names []string, cfg Config, opts RunOptions) ([]*Output, error) {
+	env := NewEnv(cfg)
+	results, err := engine.Run(ctx, registry, names, env, engine.Options{Jobs: opts.Jobs, Timeout: opts.Timeout})
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*Output, len(results))
+	for i, r := range results {
+		o, ok := r.Value.(*Output)
+		if !ok {
+			return nil, fmt.Errorf("experiments: %s produced %T, want *Output", r.Name, r.Value)
+		}
+		outs[i] = o
+	}
+	return outs, nil
 }
 
 func figOutput(name string, fig *FigureResult, err error) (*Output, error) {
@@ -104,77 +217,6 @@ func figOutput(name string, fig *FigureResult, err error) (*Output, error) {
 		return nil, err
 	}
 	return &Output{Name: name, Text: fig.Text, SVG: fig.SVG, Checks: fig.Checks}, nil
-}
-
-// RunAll executes every experiment once, sharing the generated site logs
-// where the figures derive from the same tables. Results come back in
-// paper order.
-func RunAll(cfg Config) ([]*Output, error) {
-	cfg = cfg.WithDefaults()
-	var outs []*Output
-
-	t1, err := Table1(cfg)
-	if err != nil {
-		return nil, err
-	}
-	outs = append(outs, &Output{Name: "table1", Text: t1.Text + "\n" + renderChecks(t1.Checks), Checks: t1.Checks})
-
-	f1, err := figure1From(cfg, t1)
-	if err != nil {
-		return nil, err
-	}
-	outs = append(outs, &Output{Name: "fig1", Text: f1.Text, SVG: f1.SVG, Checks: f1.Checks})
-
-	f2, err := figure2From(cfg, t1)
-	if err != nil {
-		return nil, err
-	}
-	outs = append(outs, &Output{Name: "fig2", Text: f2.Text, SVG: f2.SVG, Checks: f2.Checks})
-
-	t2, err := Table2(cfg)
-	if err != nil {
-		return nil, err
-	}
-	outs = append(outs, &Output{Name: "table2", Text: t2.Text + "\n" + renderChecks(t2.Checks), Checks: t2.Checks})
-
-	f3, err := figure3From(cfg, t1, t2)
-	if err != nil {
-		return nil, err
-	}
-	outs = append(outs, &Output{Name: "fig3", Text: f3.Text, SVG: f3.SVG, Checks: f3.Checks})
-
-	f4, err := figure4From(cfg, t1)
-	if err != nil {
-		return nil, err
-	}
-	outs = append(outs, &Output{Name: "fig4", Text: f4.Text, SVG: f4.SVG, Checks: f4.Checks})
-
-	p3, err := params3From(cfg, t1)
-	if err != nil {
-		return nil, err
-	}
-	outs = append(outs, &Output{Name: "params3", Text: p3.Text, SVG: p3.SVG, Checks: p3.Checks})
-
-	t3, err := Table3(cfg)
-	if err != nil {
-		return nil, err
-	}
-	outs = append(outs, &Output{Name: "table3", Text: t3.Text, Checks: t3.Checks})
-
-	f5, err := figure5From(cfg, t3)
-	if err != nil {
-		return nil, err
-	}
-	outs = append(outs, &Output{Name: "fig5", Text: f5.Text, SVG: f5.SVG, Checks: f5.Checks})
-
-	for _, name := range []string{"paper", "table3ci", "moments", "stability", "loadscale", "parametric", "selfsim-models"} {
-		o, err := Run(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		outs = append(outs, o)
-	}
-	return outs, nil
 }
 
 // WriteOutputs saves text (and SVG, when present) artifacts under dir.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -8,8 +9,9 @@ import (
 // SeedSweep re-runs the headline figure checks across several master
 // seeds and reports per-check pass rates — evidence that the preserved
 // findings are properties of the system, not of one lucky random stream.
-func SeedSweep(cfg Config, seeds []uint64) (*Output, error) {
-	cfg = cfg.WithDefaults()
+// Each seed gets its own environment (and therefore its own artifact
+// cache); within a seed the usual sharing applies.
+func SeedSweep(ctx context.Context, env *Env, seeds []uint64) (*Output, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{11, 23, 47, 89, 131}
 	}
@@ -28,34 +30,38 @@ func SeedSweep(cfg Config, seeds []uint64) (*Output, error) {
 		}
 	}
 	for _, seed := range seeds {
-		c := cfg
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c := env.Cfg
 		c.Seed = seed
-		t1, err := Table1(c)
+		e := NewEnv(c)
+		t1, err := Table1(ctx, e)
 		if err != nil {
 			return nil, err
 		}
 		record(t1.Checks)
-		f1, err := figure1From(c, t1)
+		f1, err := figure1From(e.Cfg, t1)
 		if err != nil {
 			return nil, err
 		}
 		record(f1.Checks)
-		f2, err := figure2From(c, t1)
+		f2, err := figure2From(e.Cfg, t1)
 		if err != nil {
 			return nil, err
 		}
 		record(f2.Checks)
-		f4, err := figure4From(c, t1)
+		f4, err := figure4From(ctx, e, t1)
 		if err != nil {
 			return nil, err
 		}
 		record(f4.Checks)
-		t3, err := Table3(c)
+		t3, err := Table3(ctx, e)
 		if err != nil {
 			return nil, err
 		}
 		record(t3.Checks)
-		f5, err := figure5From(c, t3)
+		f5, err := figure5From(e.Cfg, t3)
 		if err != nil {
 			return nil, err
 		}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"coplot/internal/core"
+	"coplot/internal/engine"
 	"coplot/internal/rng"
 	"coplot/internal/selfsim"
 	"coplot/internal/sites"
@@ -48,14 +50,20 @@ func estimateWorkload(log *swf.Log) []float64 {
 	return out
 }
 
-// Table3 regenerates the paper's Table 3.
-func Table3(cfg Config) (*Table3Result, error) {
-	cfg = cfg.WithDefaults()
-	siteLogs, err := sites.GenerateAll(sites.Table1Specs(cfg.Jobs), cfg.Seed)
+// Table3 regenerates the paper's Table 3. The Hurst matrix is memoized
+// in the environment; Figure 5 reuses it instead of re-estimating.
+func Table3(ctx context.Context, env *Env) (*Table3Result, error) {
+	return engine.Memo(env.Store, "artifact:table3", func() (*Table3Result, error) {
+		return table3Compute(ctx, env)
+	})
+}
+
+func table3Compute(ctx context.Context, env *Env) (*Table3Result, error) {
+	siteLogs, err := env.siteLogs(ctx)
 	if err != nil {
 		return nil, err
 	}
-	modelLogs, modelNames, err := ModelLogs(cfg)
+	modelLogs, modelNames, err := ModelLogs(ctx, env)
 	if err != nil {
 		return nil, err
 	}
@@ -154,13 +162,12 @@ func rowMean(res *Table3Result, name string) float64 {
 var fig5Estimators = []string{"vp", "pp", "rr", "vr", "pr", "vc", "ri", "vi", "pi"}
 
 // Figure5 regenerates the Co-plot of the self-similarity estimates.
-func Figure5(cfg Config) (*FigureResult, error) {
-	cfg = cfg.WithDefaults()
-	t3, err := Table3(cfg)
+func Figure5(ctx context.Context, env *Env) (*FigureResult, error) {
+	t3, err := Table3(ctx, env)
 	if err != nil {
 		return nil, err
 	}
-	return figure5From(cfg, t3)
+	return figure5From(env.Cfg, t3)
 }
 
 func figure5From(cfg Config, t3 *Table3Result) (*FigureResult, error) {
@@ -270,14 +277,17 @@ func figure5From(cfg Config, t3 *Table3Result) (*FigureResult, error) {
 // Moving-block bootstrap intervals for the arrival-series variance-time
 // estimate of one production site and one synthetic model show the
 // separation is statistically meaningful, not estimator noise.
-func Table3CI(cfg Config) (*Output, error) {
-	cfg = cfg.WithDefaults()
-	sdscSpec := sites.Table1Specs(cfg.Jobs)[7] // SDSC: strongest arrival LRD
-	siteLog, err := sdscSpec.Generate(cfg.Seed)
+func Table3CI(ctx context.Context, env *Env) (*Output, error) {
+	cfg := env.Cfg
+	// SDSC shows the strongest arrival LRD. Per-spec generation is a pure
+	// function of the seed, so the shared sitelogs artifact carries the
+	// same log the dedicated sites.Spec.Generate call used to produce.
+	logs, err := env.siteLogs(ctx)
 	if err != nil {
 		return nil, err
 	}
-	modelLogs, _, err := ModelLogs(cfg)
+	siteLog := logs["SDSC"]
+	modelLogs, _, err := ModelLogs(ctx, env)
 	if err != nil {
 		return nil, err
 	}

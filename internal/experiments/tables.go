@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"coplot/internal/engine"
 	"coplot/internal/sites"
 	"coplot/internal/swf"
 	"coplot/internal/workload"
@@ -59,26 +61,18 @@ var paperTable2 = map[string][]float64{
 	workload.VarInterArrInterval: {1948, 1765, 2448, 1834, 2422, 5836, 4516, 5040},
 }
 
-// buildTable generates logs for the given specs and assembles the
-// variables table.
-func buildTable(specs []sites.Spec, seed uint64) (*workload.Table, map[string]*swf.Log, error) {
-	logs, err := sites.GenerateAll(specs, seed)
-	if err != nil {
-		return nil, nil, err
-	}
+// tableFromLogs assembles the variables table from already-generated
+// logs, one row per spec.
+func tableFromLogs(specs []sites.Spec, logs map[string]*swf.Log) (*workload.Table, error) {
 	var rows []workload.Variables
 	for _, s := range specs {
 		v, err := workload.Compute(s.Name, logs[s.Name], s.Machine)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		rows = append(rows, v)
 	}
-	tab, err := workload.BuildTable(rows, workload.AllVariables)
-	if err != nil {
-		return nil, nil, err
-	}
-	return tab, logs, nil
+	return workload.BuildTable(rows, workload.AllVariables)
 }
 
 // checkAgainstPaper compares the regenerated table against the published
@@ -125,106 +119,121 @@ func colIndex(tab *workload.Table, code string) int {
 }
 
 // Table1 regenerates the paper's Table 1: the eighteen workload variables
-// of the ten production observations.
-func Table1(cfg Config) (*TableResult, error) {
-	cfg = cfg.WithDefaults()
-	tab, logs, err := buildTable(sites.Table1Specs(cfg.Jobs), cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	res := &TableResult{Table: tab, Logs: logs}
-	res.Text = formatTable("Table 1: data of production workloads (regenerated)",
-		tab.Observations, tab.Codes, func(row, col int) string {
-			return fnum(tab.Data[col][row])
+// of the ten production observations. The result is memoized in the
+// environment, so the five figures that read it share one computation.
+func Table1(ctx context.Context, env *Env) (*TableResult, error) {
+	return engine.Memo(env.Store, "artifact:table1", func() (*TableResult, error) {
+		logs, err := env.siteLogs(ctx)
+		if err != nil {
+			return nil, err
+		}
+		tab, err := tableFromLogs(sites.Table1Specs(env.Cfg.Jobs), logs)
+		if err != nil {
+			return nil, err
+		}
+		res := &TableResult{Table: tab, Logs: logs}
+		res.Text = formatTable("Table 1: data of production workloads (regenerated)",
+			tab.Observations, tab.Codes, func(row, col int) string {
+				return fnum(tab.Data[col][row])
+			})
+		strict := []string{
+			workload.VarRuntimeMedian, workload.VarRuntimeInterval,
+			workload.VarProcsMedian, workload.VarWorkMedian,
+			workload.VarInterArrMedian, workload.VarNormUsers,
+			workload.VarCompleted,
+		}
+		res.Checks = checkAgainstPaper(tab, paperTable1, strict, 0.35)
+		// Shape check: interactive loads are tiny, batch/full loads are
+		// substantial — the property behind "interactive jobs provide only a
+		// fraction of the total load".
+		rl := colIndex(tab, workload.VarRuntimeLoad)
+		loads := map[string]float64{}
+		for i, obs := range tab.Observations {
+			loads[obs] = tab.Data[i][rl]
+		}
+		interactiveLow := loads["LANLi"] < 0.15 && loads["SDSCi"] < 0.15
+		batchHigh := loads["CTC"] > 0.2 && loads["SDSC"] > 0.2 && loads["LANL"] > 0.2
+		res.Checks = append(res.Checks, Check{
+			Name:     "interactive vs batch load",
+			Paper:    "interactive RL ~0.01-0.02, batch/full 0.56-0.70",
+			Measured: fmt.Sprintf("LANLi %.3f SDSCi %.3f / CTC %.2f SDSC %.2f LANL %.2f", loads["LANLi"], loads["SDSCi"], loads["CTC"], loads["SDSC"], loads["LANL"]),
+			Pass:     interactiveLow && batchHigh,
 		})
-	strict := []string{
-		workload.VarRuntimeMedian, workload.VarRuntimeInterval,
-		workload.VarProcsMedian, workload.VarWorkMedian,
-		workload.VarInterArrMedian, workload.VarNormUsers,
-		workload.VarCompleted,
-	}
-	res.Checks = checkAgainstPaper(tab, paperTable1, strict, 0.35)
-	// Shape check: interactive loads are tiny, batch/full loads are
-	// substantial — the property behind "interactive jobs provide only a
-	// fraction of the total load".
-	rl := colIndex(tab, workload.VarRuntimeLoad)
-	loads := map[string]float64{}
-	for i, obs := range tab.Observations {
-		loads[obs] = tab.Data[i][rl]
-	}
-	interactiveLow := loads["LANLi"] < 0.15 && loads["SDSCi"] < 0.15
-	batchHigh := loads["CTC"] > 0.2 && loads["SDSC"] > 0.2 && loads["LANL"] > 0.2
-	res.Checks = append(res.Checks, Check{
-		Name:     "interactive vs batch load",
-		Paper:    "interactive RL ~0.01-0.02, batch/full 0.56-0.70",
-		Measured: fmt.Sprintf("LANLi %.3f SDSCi %.3f / CTC %.2f SDSC %.2f LANL %.2f", loads["LANLi"], loads["SDSCi"], loads["CTC"], loads["SDSC"], loads["LANL"]),
-		Pass:     interactiveLow && batchHigh,
+		return res, nil
 	})
-	return res, nil
 }
 
 // Table2 regenerates the paper's Table 2: the half-year sub-logs of LANL
-// and SDSC.
-func Table2(cfg Config) (*TableResult, error) {
-	cfg = cfg.WithDefaults()
-	tab, logs, err := buildTable(sites.Table2Specs(cfg.PeriodJobs), cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	res := &TableResult{Table: tab, Logs: logs}
-	// Table 2 reports 15 of the variables (no MP/SF/AL).
-	rowCodes := []string{
-		workload.VarRuntimeLoad, workload.VarCPULoad,
-		workload.VarNormExecutables, workload.VarNormUsers, workload.VarCompleted,
-		workload.VarRuntimeMedian, workload.VarRuntimeInterval,
-		workload.VarProcsMedian, workload.VarProcsInterval,
-		workload.VarNormProcsMedian, workload.VarNormProcsIntvl,
-		workload.VarWorkMedian, workload.VarWorkInterval,
-		workload.VarInterArrMedian, workload.VarInterArrInterval,
-	}
-	res.Text = formatTable("Table 2: production workloads divided into six-month periods (regenerated)",
-		tab.Observations, rowCodes, func(row, col int) string {
-			return fnum(tab.Data[col][colIndex(tab, rowCodes[row])])
+// and SDSC. Memoized per run like Table1.
+func Table2(ctx context.Context, env *Env) (*TableResult, error) {
+	return engine.Memo(env.Store, "artifact:table2", func() (*TableResult, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		specs := sites.Table2Specs(env.Cfg.PeriodJobs)
+		logs, err := sites.GenerateAll(specs, env.Cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tab, err := tableFromLogs(specs, logs)
+		if err != nil {
+			return nil, err
+		}
+		res := &TableResult{Table: tab, Logs: logs}
+		// Table 2 reports 15 of the variables (no MP/SF/AL).
+		rowCodes := []string{
+			workload.VarRuntimeLoad, workload.VarCPULoad,
+			workload.VarNormExecutables, workload.VarNormUsers, workload.VarCompleted,
+			workload.VarRuntimeMedian, workload.VarRuntimeInterval,
+			workload.VarProcsMedian, workload.VarProcsInterval,
+			workload.VarNormProcsMedian, workload.VarNormProcsIntvl,
+			workload.VarWorkMedian, workload.VarWorkInterval,
+			workload.VarInterArrMedian, workload.VarInterArrInterval,
+		}
+		res.Text = formatTable("Table 2: production workloads divided into six-month periods (regenerated)",
+			tab.Observations, rowCodes, func(row, col int) string {
+				return fnum(tab.Data[col][colIndex(tab, rowCodes[row])])
+			})
+		strict := []string{
+			workload.VarRuntimeMedian, workload.VarProcsMedian,
+			workload.VarWorkMedian, workload.VarInterArrMedian,
+		}
+		res.Checks = checkAgainstPaper(tab, paperTable2, strict, 0.35)
+		// Shape check: the LANL regime change — L3 runtimes and work far
+		// above L1/L2.
+		rm := colIndex(tab, workload.VarRuntimeMedian)
+		get := func(obs string) float64 {
+			for i, o := range tab.Observations {
+				if o == obs {
+					return tab.Data[i][rm]
+				}
+			}
+			return math.NaN()
+		}
+		res.Checks = append(res.Checks, Check{
+			Name:     "LANL end-of-life regime (L3)",
+			Paper:    "L3 runtime median 643 vs 62-79 in other periods",
+			Measured: fmt.Sprintf("L1 %.0f L2 %.0f L3 %.0f L4 %.0f", get("L1"), get("L2"), get("L3"), get("L4")),
+			Pass:     get("L3") > 4*get("L1") && get("L3") > 4*get("L4"),
 		})
-	strict := []string{
-		workload.VarRuntimeMedian, workload.VarProcsMedian,
-		workload.VarWorkMedian, workload.VarInterArrMedian,
-	}
-	res.Checks = checkAgainstPaper(tab, paperTable2, strict, 0.35)
-	// Shape check: the LANL regime change — L3 runtimes and work far
-	// above L1/L2.
-	rm := colIndex(tab, workload.VarRuntimeMedian)
-	get := func(obs string) float64 {
-		for i, o := range tab.Observations {
-			if o == obs {
-				return tab.Data[i][rm]
+		// The regime change is also a population change: "fewer jobs of
+		// fewer users" — users-per-job doubles in L3 (Table 2: 0.0076 vs
+		// 0.0038), visible in the generated logs' user columns.
+		uj := colIndex(tab, workload.VarNormUsers)
+		getU := func(obs string) float64 {
+			for i, o := range tab.Observations {
+				if o == obs {
+					return tab.Data[i][uj]
+				}
 			}
+			return math.NaN()
 		}
-		return math.NaN()
-	}
-	res.Checks = append(res.Checks, Check{
-		Name:     "LANL end-of-life regime (L3)",
-		Paper:    "L3 runtime median 643 vs 62-79 in other periods",
-		Measured: fmt.Sprintf("L1 %.0f L2 %.0f L3 %.0f L4 %.0f", get("L1"), get("L2"), get("L3"), get("L4")),
-		Pass:     get("L3") > 4*get("L1") && get("L3") > 4*get("L4"),
+		res.Checks = append(res.Checks, Check{
+			Name:     "LANL L3 user-population shift",
+			Paper:    "users per job 0.0076 in L3 vs 0.0038 in L1/L2",
+			Measured: fmt.Sprintf("L1 %.4f L3 %.4f", getU("L1"), getU("L3")),
+			Pass:     getU("L3") > 1.5*getU("L1"),
+		})
+		return res, nil
 	})
-	// The regime change is also a population change: "fewer jobs of
-	// fewer users" — users-per-job doubles in L3 (Table 2: 0.0076 vs
-	// 0.0038), visible in the generated logs' user columns.
-	uj := colIndex(tab, workload.VarNormUsers)
-	getU := func(obs string) float64 {
-		for i, o := range tab.Observations {
-			if o == obs {
-				return tab.Data[i][uj]
-			}
-		}
-		return math.NaN()
-	}
-	res.Checks = append(res.Checks, Check{
-		Name:     "LANL L3 user-population shift",
-		Paper:    "users per job 0.0076 in L3 vs 0.0038 in L1/L2",
-		Measured: fmt.Sprintf("L1 %.4f L3 %.4f", getU("L1"), getU("L3")),
-		Pass:     getU("L3") > 1.5*getU("L1"),
-	})
-	return res, nil
 }

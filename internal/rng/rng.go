@@ -34,6 +34,24 @@ func New(seed uint64) *Source {
 	return &src
 }
 
+// Derive maps a master seed and a stream label to a child seed. Distinct
+// labels give decorrelated seeds (the label is FNV-1a hashed, combined
+// with the master, and finalized with the SplitMix64 mixer), so callers
+// can name their sub-streams ("model:Lublin", "bootstrap") instead of
+// maintaining ad-hoc seed offsets, and streams stay independent of the
+// order — or the worker — in which they are created.
+func Derive(master uint64, label string) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211 // FNV-1a prime
+	}
+	z := h ^ master
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Split derives a new independent Source from the current stream. The
 // derived stream is seeded from two outputs of the parent, so distinct
 // call sites observe distinct streams while the parent remains usable.
