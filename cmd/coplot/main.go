@@ -14,6 +14,11 @@
 // SWF logs are parsed and characterized in parallel; -jobs bounds the
 // workers and -timeout caps the per-file time. The resulting dataset is
 // identical at any -jobs setting.
+//
+// Observability: -manifest records a JSON run manifest of the per-file
+// fan-out (wall time per file, jobs/timeout settings), -trace appends
+// the engine events as JSON lines, and -cpuprofile/-memprofile/-pprof
+// expose the standard Go profilers.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"coplot/internal/engine"
 	"coplot/internal/machine"
 	"coplot/internal/mds"
+	"coplot/internal/obs"
 	"coplot/internal/swf"
 	"coplot/internal/workload"
 )
@@ -44,9 +50,42 @@ func main() {
 	procs := flag.Int("procs", 128, "machine size for SWF inputs")
 	jobs := flag.Int("jobs", 0, "SWF files to load concurrently (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-file parse/characterize time limit (0 = none)")
+	manifestPath := flag.String("manifest", "", "write the run manifest to this file")
+	tracePath := flag.String("trace", "", "append engine events as JSON lines to this file")
+	var prof obs.Profile
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	ds, err := loadDataset(*csvPath, flag.Args(), *procs, *jobs, *timeout)
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coplot:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "coplot: profile:", err)
+		}
+	}()
+	metrics := obs.NewMetrics()
+	sinks := []obs.Sink{metrics}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coplot:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sinks = append(sinks, obs.NewTrace(f))
+	}
+
+	ds, err := loadDataset(*csvPath, flag.Args(), *procs, *jobs, *timeout, obs.Multi(sinks...))
+	if *manifestPath != "" {
+		m := metrics.Manifest(obs.RunInfo{Tool: "coplot", Seed: *seed, Jobs: *jobs, Timeout: *timeout})
+		if werr := m.WriteFile(*manifestPath); werr != nil {
+			fmt.Fprintln(os.Stderr, "coplot: manifest:", werr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coplot:", err)
 		os.Exit(1)
@@ -86,14 +125,14 @@ func main() {
 	}
 }
 
-func loadDataset(csvPath string, swfPaths []string, procs, jobs int, timeout time.Duration) (*core.Dataset, error) {
+func loadDataset(csvPath string, swfPaths []string, procs, jobs int, timeout time.Duration, sink obs.Sink) (*core.Dataset, error) {
 	switch {
 	case csvPath != "" && len(swfPaths) > 0:
 		return nil, fmt.Errorf("choose either -csv or SWF files, not both")
 	case csvPath != "":
 		return loadCSV(csvPath)
 	case len(swfPaths) >= 3:
-		return loadSWF(swfPaths, procs, jobs, timeout)
+		return loadSWF(swfPaths, procs, jobs, timeout, sink)
 	}
 	return nil, fmt.Errorf("need -csv FILE or at least 3 SWF logs")
 }
@@ -140,12 +179,14 @@ var swfVars = []string{
 	workload.VarInterArrMedian, workload.VarInterArrInterval,
 }
 
-func loadSWF(paths []string, procs, jobs int, timeout time.Duration) (*core.Dataset, error) {
+func loadSWF(paths []string, procs, jobs int, timeout time.Duration, sink obs.Sink) (*core.Dataset, error) {
 	m := machine.Machine{Name: "cli", Procs: procs,
 		Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorUnlimited}
 	// Each file parses and characterizes independently; engine.Map keeps
 	// the rows in argument order regardless of completion order.
-	rows, err := engine.Map(context.Background(), len(paths), jobs, timeout,
+	opts := engine.MapOptions{Workers: jobs, Timeout: timeout, Sink: sink,
+		Label: func(i int) string { return paths[i] }}
+	rows, err := engine.Map(context.Background(), len(paths), opts,
 		func(ctx context.Context, i int) (workload.Variables, error) {
 			path := paths[i]
 			f, err := os.Open(path)

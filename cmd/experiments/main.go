@@ -5,6 +5,9 @@
 //	experiments [-run NAME|all] [-out DIR] [-seed N]
 //	            [-jobs N] [-timeout D]
 //	            [-sitejobs N] [-modeljobs N] [-periodjobs N]
+//	            [-manifest FILE] [-trace FILE]
+//	            [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
+//	experiments -report [-manifest FILE] [-report-into FILE]
 //
 // NAME is one of the paper's artifacts — table1, fig1, fig2, table2,
 // fig3, fig4, params3, table3, fig5 — or an extension study: paper (the
@@ -17,6 +20,19 @@
 // time. Shared artifacts (generated logs, workload tables) are computed
 // once per invocation, and outputs are byte-identical at any -jobs
 // setting.
+//
+// Every run is observed: -manifest (default out/manifest.json, "" to
+// disable) records a JSON run manifest — per-experiment wall time,
+// dependency edges, artifact-cache hit ratio, run settings — that is
+// identical across same-seed runs except for its timing fields, and
+// -trace appends every engine event (experiment start/finish,
+// store hit/miss/wait, pool occupancy) as JSON lines. -cpuprofile,
+// -memprofile and -pprof expose the standard Go profilers.
+//
+// -report renders an existing manifest as a Markdown timing table: to
+// stdout, or into the marked run-report section of a documentation
+// file with -report-into (this is how EXPERIMENTS.md gets its measured
+// timings).
 //
 // Text renderings go to stdout; with -out, per-experiment .txt (and .svg
 // for figures) artifacts are written under DIR. "-run all" runs
@@ -32,6 +48,7 @@ import (
 	"os"
 
 	"coplot/internal/experiments"
+	"coplot/internal/obs"
 )
 
 func main() {
@@ -51,29 +68,91 @@ func run(args []string, stdout io.Writer) error {
 	siteJobs := fs.Int("sitejobs", 0, "jobs per production-site log (0 = default)")
 	modelJobs := fs.Int("modeljobs", 0, "jobs per synthetic-model log (0 = default)")
 	periodJobs := fs.Int("periodjobs", 0, "jobs per half-year period log (0 = default)")
+	manifest := fs.String("manifest", "out/manifest.json", "write the run manifest to this file ('' = off)")
+	trace := fs.String("trace", "", "append engine events as JSON lines to this file")
+	report := fs.Bool("report", false, "render the manifest as a Markdown timing table and exit")
+	reportInto := fs.String("report-into", "", "with -report: update the run-report section of this file instead of printing")
+	var prof obs.Profile
+	prof.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *report {
+		if *manifest == "" {
+			return fmt.Errorf("-report needs -manifest FILE")
+		}
+		m, err := obs.ReadManifest(*manifest)
+		if err != nil {
+			return err
+		}
+		if *reportInto != "" {
+			if err := obs.UpdateReportSection(*reportInto, m.Report()); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "run report updated in %s\n", *reportInto)
+			return nil
+		}
+		fmt.Fprint(stdout, m.Report())
+		return nil
+	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: profile:", err)
+		}
+	}()
+
+	metrics := obs.NewMetrics()
+	sinks := []obs.Sink{metrics}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ts := obs.NewTrace(f)
+		defer func() {
+			if err := ts.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace:", err)
+			}
+		}()
+		sinks = append(sinks, ts)
 	}
 
 	cfg := experiments.Config{
 		Seed: *seed, Jobs: *siteJobs, ModelJobs: *modelJobs, PeriodJobs: *periodJobs,
 	}
-	opts := experiments.RunOptions{Jobs: *jobs, Timeout: *timeout}
+	opts := experiments.RunOptions{Jobs: *jobs, Timeout: *timeout, Sink: obs.Multi(sinks...)}
 	ctx := context.Background()
 
 	var outs []*experiments.Output
-	var err error
+	var runErr error
 	if *runName == "all" {
-		outs, err = experiments.RunAll(ctx, cfg, opts)
+		outs, runErr = experiments.RunAll(ctx, cfg, opts)
 	} else {
 		var o *experiments.Output
-		o, err = experiments.Run(ctx, *runName, cfg, opts)
+		o, runErr = experiments.Run(ctx, *runName, cfg, opts)
 		if o != nil {
 			outs = []*experiments.Output{o}
 		}
 	}
-	if err != nil {
-		return err
+	// The manifest documents failed runs too, so write it before
+	// surfacing the run error.
+	if *manifest != "" {
+		m := metrics.Manifest(obs.RunInfo{
+			Tool: "experiments", Seed: cfg.WithDefaults().Seed, Jobs: *jobs, Timeout: *timeout,
+		})
+		if err := m.WriteFile(*manifest); err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+	}
+	if runErr != nil {
+		return runErr
 	}
 	for _, o := range outs {
 		fmt.Fprintf(stdout, "==== %s ====\n%s\n", o.Name, o.Text)
@@ -87,6 +166,9 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("writing artifacts: %w", err)
 		}
 		fmt.Fprintf(stdout, "artifacts written to %s\n", *out)
+	}
+	if *manifest != "" {
+		fmt.Fprintf(stdout, "manifest written to %s\n", *manifest)
 	}
 	return nil
 }

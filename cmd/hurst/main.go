@@ -12,6 +12,11 @@
 // others. With -svgdir, the three diagnostic plots (pox plot,
 // variance-time plot, periodogram) of each series are written as SVG
 // files.
+//
+// Observability: -manifest records a JSON run manifest of the per-file
+// fan-out (wall time per file, jobs/timeout settings), -trace appends
+// the engine events as JSON lines, and -cpuprofile/-memprofile/-pprof
+// expose the standard Go profilers.
 package main
 
 import (
@@ -24,20 +29,59 @@ import (
 	"time"
 
 	"coplot/internal/engine"
+	"coplot/internal/obs"
 	"coplot/internal/selfsim"
 	"coplot/internal/swf"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain runs the CLI and returns its exit code, so deferred
+// cleanups (profile flush, trace close) run before the process exits.
+func realMain() int {
 	svgDir := flag.String("svgdir", "", "write diagnostic plots as SVG under this directory")
 	jobs := flag.Int("jobs", 0, "files to estimate concurrently (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-file time limit (0 = none)")
+	manifestPath := flag.String("manifest", "", "write the run manifest to this file")
+	tracePath := flag.String("trace", "", "append engine events as JSON lines to this file")
+	var prof obs.Profile
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "hurst: no input files")
-		os.Exit(2)
+		return 2
 	}
-	reports := estimateAll(flag.Args(), *svgDir, *jobs, *timeout)
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hurst:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "hurst: profile:", err)
+		}
+	}()
+	metrics := obs.NewMetrics()
+	sinks := []obs.Sink{metrics}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hurst:", err)
+			return 1
+		}
+		defer f.Close()
+		sinks = append(sinks, obs.NewTrace(f))
+	}
+	reports := estimateAll(flag.Args(), *svgDir, *jobs, *timeout, obs.Multi(sinks...))
+	if *manifestPath != "" {
+		m := metrics.Manifest(obs.RunInfo{Tool: "hurst", Jobs: *jobs, Timeout: *timeout})
+		if err := m.WriteFile(*manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "hurst: manifest:", err)
+			return 1
+		}
+	}
 	exit := 0
 	for i, rep := range reports {
 		if rep.err != nil {
@@ -47,7 +91,7 @@ func main() {
 		}
 		fmt.Print(rep.text)
 	}
-	os.Exit(exit)
+	return exit
 }
 
 // report holds one file's rendered estimates, or its failure. Errors
@@ -59,8 +103,10 @@ type report struct {
 
 // estimateAll runs estimate over the files on a bounded worker pool and
 // returns the reports in argument order.
-func estimateAll(paths []string, svgDir string, jobs int, timeout time.Duration) []report {
-	reports, err := engine.Map(context.Background(), len(paths), jobs, timeout,
+func estimateAll(paths []string, svgDir string, jobs int, timeout time.Duration, sink obs.Sink) []report {
+	opts := engine.MapOptions{Workers: jobs, Timeout: timeout, Sink: sink,
+		Label: func(i int) string { return paths[i] }}
+	reports, err := engine.Map(context.Background(), len(paths), opts,
 		func(ctx context.Context, i int) (report, error) {
 			text, err := estimate(ctx, paths[i], svgDir)
 			if err != nil {

@@ -2,41 +2,64 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"coplot/internal/obs"
 )
+
+// MapOptions configure one Map fan-out.
+type MapOptions struct {
+	// Workers bounds the concurrent items (<=0 means GOMAXPROCS).
+	Workers int
+	// Timeout bounds each item's wall-clock time (0 = none).
+	Timeout time.Duration
+	// Sink receives per-item task events and pool occupancy samples.
+	// Nil means no observation.
+	Sink obs.Sink
+	// Label names item i in emitted events; nil falls back to "#i".
+	Label func(i int) string
+}
 
 // Map runs fn for every index in [0,n) on a bounded worker pool and
 // returns the results in index order, regardless of completion order.
 // The first error cancels the remaining work and is returned (ties
 // between concurrent failures resolve to the lowest index, so the
-// reported error is deterministic). A positive timeout bounds each
-// item's wall-clock time. workers <= 0 means GOMAXPROCS.
+// reported error is deterministic). A positive opts.Timeout bounds each
+// item's wall-clock time.
 //
 // The CLIs use Map to fan out per-file work (parsing logs, estimating
-// Hurst parameters) with the same cancellation and determinism
-// guarantees the DAG runner gives experiments.
-func Map[T any](ctx context.Context, n, workers int, timeout time.Duration, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+// Hurst parameters) with the same cancellation, determinism and
+// observability guarantees the DAG runner gives experiments.
+func Map[T any](ctx context.Context, n int, opts MapOptions, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	sink := opts.Sink
+	label := opts.Label
+	if label == nil {
+		label = func(i int) string { return fmt.Sprintf("#%d", i) }
+	}
 	out := make([]T, n)
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
-		next     atomic.Int64
-		mu       sync.Mutex
-		errIdx   = n // lowest failing index seen so far
-		firstErr error
+		next      atomic.Int64
+		occupancy atomic.Int64
+		mu        sync.Mutex
+		errIdx    = n // lowest failing index seen so far
+		firstErr  error
 	)
 	fail := func(i int, err error) {
 		mu.Lock()
@@ -47,6 +70,8 @@ func Map[T any](ctx context.Context, n, workers int, timeout time.Duration, fn f
 		cancel()
 	}
 
+	runStart := time.Now()
+	obs.Emit(sink, obs.Event{Kind: obs.KindRunStart, Capacity: workers})
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -58,20 +83,30 @@ func Map[T any](ctx context.Context, n, workers int, timeout time.Duration, fn f
 					return
 				}
 				if err := runCtx.Err(); err != nil {
+					obs.Emit(sink, obs.Event{Kind: obs.KindTaskCancel, Name: label(i), Err: err.Error()})
 					fail(i, err)
 					return
 				}
 				ictx := runCtx
 				icancel := context.CancelFunc(func() {})
-				if timeout > 0 {
-					ictx, icancel = context.WithTimeout(runCtx, timeout)
+				if opts.Timeout > 0 {
+					ictx, icancel = context.WithTimeout(runCtx, opts.Timeout)
 				}
+				obs.Emit(sink, obs.Event{Kind: obs.KindPoolSample, InUse: int(occupancy.Add(1)), Capacity: workers})
+				obs.Emit(sink, obs.Event{Kind: obs.KindTaskStart, Name: label(i)})
+				start := time.Now()
 				v, err := fn(ictx, i)
 				if err == nil && ictx.Err() != nil {
 					// fn swallowed its timeout or cancellation.
 					err = ictx.Err()
 				}
 				icancel()
+				fin := obs.Event{Kind: obs.KindTaskFinish, Name: label(i), Elapsed: time.Since(start)}
+				if err != nil {
+					fin.Err = err.Error()
+				}
+				obs.Emit(sink, fin)
+				obs.Emit(sink, obs.Event{Kind: obs.KindPoolSample, InUse: int(occupancy.Add(-1)), Capacity: workers})
 				if err != nil {
 					fail(i, err)
 					return
@@ -81,6 +116,7 @@ func Map[T any](ctx context.Context, n, workers int, timeout time.Duration, fn f
 		}()
 	}
 	wg.Wait()
+	obs.Emit(sink, obs.Event{Kind: obs.KindRunFinish, Elapsed: time.Since(runStart)})
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -10,7 +10,7 @@ import (
 )
 
 func TestMapOrderedResults(t *testing.T) {
-	got, err := Map(context.Background(), 20, 4, 0, func(ctx context.Context, i int) (int, error) {
+	got, err := Map(context.Background(), 20, MapOptions{Workers: 4}, func(ctx context.Context, i int) (int, error) {
 		if i%3 == 0 {
 			time.Sleep(time.Millisecond) // scramble completion order
 		}
@@ -27,7 +27,7 @@ func TestMapOrderedResults(t *testing.T) {
 }
 
 func TestMapEmpty(t *testing.T) {
-	got, err := Map(context.Background(), 0, 4, 0, func(ctx context.Context, i int) (int, error) {
+	got, err := Map(context.Background(), 0, MapOptions{Workers: 4}, func(ctx context.Context, i int) (int, error) {
 		return 0, fmt.Errorf("must not run")
 	})
 	if err != nil || got != nil {
@@ -37,7 +37,7 @@ func TestMapEmpty(t *testing.T) {
 
 func TestMapFirstErrorWins(t *testing.T) {
 	boom := errors.New("boom")
-	_, err := Map(context.Background(), 50, 8, 0, func(ctx context.Context, i int) (int, error) {
+	_, err := Map(context.Background(), 50, MapOptions{Workers: 8}, func(ctx context.Context, i int) (int, error) {
 		if i == 7 {
 			return 0, fmt.Errorf("item %d: %w", i, boom)
 		}
@@ -56,7 +56,7 @@ func TestMapCancellationStopsWork(t *testing.T) {
 		<-done
 		cancel()
 	}()
-	_, err := Map(ctx, 1000, 2, 0, func(ctx context.Context, i int) (int, error) {
+	_, err := Map(ctx, 1000, MapOptions{Workers: 2}, func(ctx context.Context, i int) (int, error) {
 		if ran.Add(1) == 2 {
 			close(done)
 		}
@@ -76,7 +76,7 @@ func TestMapCancellationStopsWork(t *testing.T) {
 }
 
 func TestMapPerItemTimeout(t *testing.T) {
-	_, err := Map(context.Background(), 3, 2, 10*time.Millisecond, func(ctx context.Context, i int) (int, error) {
+	_, err := Map(context.Background(), 3, MapOptions{Workers: 2, Timeout: 10 * time.Millisecond}, func(ctx context.Context, i int) (int, error) {
 		if i == 1 {
 			select {
 			case <-ctx.Done():
@@ -93,7 +93,7 @@ func TestMapPerItemTimeout(t *testing.T) {
 
 func TestMapWorkerClamp(t *testing.T) {
 	var inFlight, peak atomic.Int64
-	_, err := Map(context.Background(), 30, 3, 0, func(ctx context.Context, i int) (int, error) {
+	_, err := Map(context.Background(), 30, MapOptions{Workers: 3}, func(ctx context.Context, i int) (int, error) {
 		cur := inFlight.Add(1)
 		for {
 			p := peak.Load()

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"coplot/internal/obs"
 )
 
 // Options configure one engine run.
@@ -17,13 +20,21 @@ type Options struct {
 	// Timeout is the wall-clock budget of each experiment (its
 	// dependencies have their own budgets). Zero means no limit.
 	Timeout time.Duration
+	// Sink receives structured run events (task start/finish/skip/
+	// cancel, pool occupancy samples). Nil means no observation; the
+	// sink must be safe for concurrent use.
+	Sink obs.Sink
 }
 
 // Result is one experiment's outcome.
 type Result struct {
-	Name    string
-	Value   any
-	Err     error
+	// Name is the experiment's registered name.
+	Name string
+	// Value is whatever the run function returned.
+	Value any
+	// Err is the experiment's failure, or nil.
+	Err error
+	// Elapsed is the run function's wall-clock time.
 	Elapsed time.Duration
 }
 
@@ -95,6 +106,10 @@ func Run[E any](ctx context.Context, reg *Registry[E], names []string, env E, op
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	slots := make(chan struct{}, workers)
+	sink := opts.Sink
+	var occupancy atomic.Int64
+	runStart := time.Now()
+	obs.Emit(sink, obs.Event{Kind: obs.KindRunStart, Capacity: workers})
 
 	var wg sync.WaitGroup
 	for _, t := range order {
@@ -106,6 +121,7 @@ func Run[E any](ctx context.Context, reg *Registry[E], names []string, env E, op
 				<-d.done
 				if d.res.Err != nil {
 					t.res.Err = &skipDep{fmt.Errorf("engine: %s skipped: dependency %s failed: %w", t.name, d.name, d.res.Err)}
+					obs.Emit(sink, obs.Event{Kind: obs.KindTaskSkip, Name: t.name, Err: t.res.Err.Error()})
 					return
 				}
 			}
@@ -113,11 +129,17 @@ func Run[E any](ctx context.Context, reg *Registry[E], names []string, env E, op
 			case slots <- struct{}{}:
 			case <-runCtx.Done():
 				t.res.Err = runCtx.Err()
+				obs.Emit(sink, obs.Event{Kind: obs.KindTaskCancel, Name: t.name, Err: t.res.Err.Error()})
 				return
 			}
-			defer func() { <-slots }()
+			obs.Emit(sink, obs.Event{Kind: obs.KindPoolSample, InUse: int(occupancy.Add(1)), Capacity: workers})
+			defer func() {
+				obs.Emit(sink, obs.Event{Kind: obs.KindPoolSample, InUse: int(occupancy.Add(-1)), Capacity: workers})
+				<-slots
+			}()
 			if err := runCtx.Err(); err != nil {
 				t.res.Err = err
+				obs.Emit(sink, obs.Event{Kind: obs.KindTaskCancel, Name: t.name, Err: err.Error()})
 				return
 			}
 			tctx := runCtx
@@ -126,6 +148,7 @@ func Run[E any](ctx context.Context, reg *Registry[E], names []string, env E, op
 				tctx, tcancel = context.WithTimeout(runCtx, opts.Timeout)
 				defer tcancel()
 			}
+			obs.Emit(sink, obs.Event{Kind: obs.KindTaskStart, Name: t.name, Deps: t.spec.deps})
 			start := time.Now()
 			t.res.Value, t.res.Err = t.spec.run(tctx, env)
 			t.res.Elapsed = time.Since(start)
@@ -134,12 +157,18 @@ func Run[E any](ctx context.Context, reg *Registry[E], names []string, env E, op
 				// must not report success.
 				t.res.Err = tctx.Err()
 			}
+			fin := obs.Event{Kind: obs.KindTaskFinish, Name: t.name, Elapsed: t.res.Elapsed}
+			if t.res.Err != nil {
+				fin.Err = t.res.Err.Error()
+			}
+			obs.Emit(sink, fin)
 			if t.res.Err != nil {
 				cancel() // first failure stops the rest of the DAG
 			}
 		}(t)
 	}
 	wg.Wait()
+	obs.Emit(sink, obs.Event{Kind: obs.KindRunFinish, Elapsed: time.Since(runStart)})
 
 	// Pick the aggregate error deterministically: the topologically
 	// first root failure — one that is neither a skipped dependent nor

@@ -3,6 +3,9 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"coplot/internal/obs"
 )
 
 // Store is a memoized artifact cache shared by the experiments of one
@@ -20,6 +23,7 @@ import (
 type Store struct {
 	mu      sync.Mutex
 	entries map[string]*storeEntry
+	sink    obs.Sink
 }
 
 type storeEntry struct {
@@ -33,6 +37,14 @@ func NewStore() *Store {
 	return &Store{entries: map[string]*storeEntry{}}
 }
 
+// Observe routes the store's cache events (hit, miss, single-flight
+// wait) to sink. Call it before the store sees concurrent traffic —
+// typically right after NewStore; the setting is not synchronized
+// against in-flight Do calls.
+func (s *Store) Observe(sink obs.Sink) {
+	s.sink = sink
+}
+
 // Do returns the artifact under key, computing it with compute on the
 // first call. Errors are cached too: a failed computation is not
 // retried within the same run (the run aborts on first error anyway).
@@ -43,15 +55,24 @@ func (s *Store) Do(key string, compute func() (any, error)) (any, error) {
 	}
 	if e, ok := s.entries[key]; ok {
 		s.mu.Unlock()
-		<-e.done
+		select {
+		case <-e.done: // already materialized: a plain cache hit
+			obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreHit, Name: key})
+		default: // single flight: block on the in-progress compute
+			start := time.Now()
+			<-e.done
+			obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreWait, Name: key, Elapsed: time.Since(start)})
+		}
 		return e.val, e.err
 	}
 	e := &storeEntry{done: make(chan struct{})}
 	s.entries[key] = e
 	s.mu.Unlock()
 
+	start := time.Now()
 	e.val, e.err = compute()
 	close(e.done)
+	obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreMiss, Name: key, Elapsed: time.Since(start)})
 	return e.val, e.err
 }
 

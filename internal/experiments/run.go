@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"coplot/internal/engine"
+	"coplot/internal/obs"
 )
 
 // Output is one experiment's rendered artifacts.
@@ -165,6 +166,10 @@ type RunOptions struct {
 	Jobs int
 	// Timeout limits each experiment's wall-clock time (0 = none).
 	Timeout time.Duration
+	// Sink observes the run: experiment and artifact-store events flow
+	// to it (nil = no observation). Observability never alters the
+	// experiment outputs, only describes how they were produced.
+	Sink obs.Sink
 }
 
 // Run executes one named experiment — and, first, its dependencies —
@@ -197,7 +202,8 @@ func RunAll(ctx context.Context, cfg Config, opts RunOptions) ([]*Output, error)
 
 func runNames(ctx context.Context, names []string, cfg Config, opts RunOptions) ([]*Output, error) {
 	env := NewEnv(cfg)
-	results, err := engine.Run(ctx, registry, names, env, engine.Options{Jobs: opts.Jobs, Timeout: opts.Timeout})
+	env.Store.Observe(opts.Sink)
+	results, err := engine.Run(ctx, registry, names, env, engine.Options{Jobs: opts.Jobs, Timeout: opts.Timeout, Sink: opts.Sink})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// feed replays a fixed event stream describing a small run: two tasks,
+// one skip, store traffic, pool samples. With wait set, the final store
+// lookup blocks on the in-flight compute instead of hitting cache — the
+// real-world timing difference between two runs of the same config.
+func feed(m *Metrics, wait bool) {
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	m.Event(Event{Time: t0, Kind: KindRunStart, Capacity: 2})
+	m.Event(Event{Kind: KindPoolSample, InUse: 1, Capacity: 2})
+	m.Event(Event{Kind: KindTaskStart, Name: "table1"})
+	m.Event(Event{Kind: KindStoreMiss, Name: "artifact:sitelogs", Elapsed: 80 * time.Millisecond})
+	m.Event(Event{Kind: KindTaskFinish, Name: "table1", Elapsed: 100 * time.Millisecond})
+	m.Event(Event{Kind: KindPoolSample, InUse: 2, Capacity: 2})
+	m.Event(Event{Kind: KindTaskStart, Name: "fig1", Deps: []string{"table1"}})
+	m.Event(Event{Kind: KindStoreHit, Name: "artifact:sitelogs"})
+	if wait {
+		m.Event(Event{Kind: KindStoreWait, Name: "artifact:sitelogs", Elapsed: time.Millisecond})
+	} else {
+		m.Event(Event{Kind: KindStoreHit, Name: "artifact:sitelogs"})
+	}
+	m.Event(Event{Kind: KindTaskFinish, Name: "fig1", Elapsed: 50 * time.Millisecond, Err: "boom"})
+	m.Event(Event{Kind: KindTaskSkip, Name: "fig3", Err: "dependency fig1 failed"})
+	m.Event(Event{Kind: KindRunFinish, Elapsed: 200 * time.Millisecond})
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	m := NewMetrics()
+	feed(m, true)
+	mf := m.Manifest(RunInfo{Tool: "experiments", Seed: 42, Jobs: 2, Timeout: time.Minute})
+	if mf.Schema != ManifestSchema || mf.Tool != "experiments" || mf.Seed != 42 || mf.Jobs != 2 {
+		t.Fatalf("header = %+v", mf)
+	}
+	if mf.Timeout != "1m0s" || mf.GoVersion == "" {
+		t.Fatalf("settings = %+v", mf)
+	}
+	if mf.ElapsedMS != 200 {
+		t.Fatalf("elapsed = %v", mf.ElapsedMS)
+	}
+	// Tasks sorted by name: fig1, fig3, table1.
+	names := []string{}
+	for _, task := range mf.Tasks {
+		names = append(names, task.Name)
+	}
+	if !reflect.DeepEqual(names, []string{"fig1", "fig3", "table1"}) {
+		t.Fatalf("task order = %v", names)
+	}
+	if mf.Tasks[0].Status != "error" || mf.Tasks[0].Err != "boom" {
+		t.Fatalf("fig1 = %+v", mf.Tasks[0])
+	}
+	if !reflect.DeepEqual(mf.Tasks[0].Deps, []string{"table1"}) {
+		t.Fatalf("fig1 deps = %v", mf.Tasks[0].Deps)
+	}
+	if mf.Tasks[1].Status != "skipped" {
+		t.Fatalf("fig3 = %+v", mf.Tasks[1])
+	}
+	if mf.Tasks[2].Status != "ok" || mf.Tasks[2].ElapsedMS != 100 {
+		t.Fatalf("table1 = %+v", mf.Tasks[2])
+	}
+	want := StoreStats{Lookups: 3, Misses: 1, Waits: 1, HitRatio: 2.0 / 3.0}
+	if mf.Store != want {
+		t.Fatalf("store = %+v, want %+v", mf.Store, want)
+	}
+	if mf.Pool.Capacity != 2 || mf.Pool.MaxInUse != 2 || mf.Pool.Samples != 2 {
+		t.Fatalf("pool = %+v", mf.Pool)
+	}
+}
+
+// TestManifestStableStripsTimingFields checks the documented contract:
+// after Stable(), two manifests of the same run configuration compare
+// equal even though their wall-clock fields differ.
+func TestManifestStableStripsTimingFields(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	feed(a, false)
+	feed(b, true) // same run config, different cache-timing interleaving
+	// Perturb the remaining timing fields of b's stream.
+	b.Event(Event{Kind: KindRunFinish, Elapsed: 999 * time.Millisecond})
+	b.Event(Event{Kind: KindTaskFinish, Name: "table1", Elapsed: time.Second})
+	b.Event(Event{Kind: KindPoolSample, InUse: 7, Capacity: 2})
+	info := RunInfo{Tool: "experiments", Seed: 42, Jobs: 2}
+	am, bm := a.Manifest(info), b.Manifest(info)
+	if reflect.DeepEqual(am, bm) {
+		t.Fatal("perturbation had no effect; test is vacuous")
+	}
+	as, bs := am.Stable(), bm.Stable()
+	aj, _ := json.Marshal(as)
+	bj, _ := json.Marshal(bs)
+	if string(aj) != string(bj) {
+		t.Fatalf("stable manifests differ:\n%s\n%s", aj, bj)
+	}
+	if as.Started != (time.Time{}) || as.ElapsedMS != 0 || as.Store.Waits != 0 ||
+		as.Pool.MaxInUse != 0 || as.Pool.Samples != 0 {
+		t.Fatalf("timing fields survived Stable: %+v", as)
+	}
+	for _, task := range as.Tasks {
+		if task.ElapsedMS != 0 {
+			t.Fatalf("task timing survived Stable: %+v", task)
+		}
+	}
+	// Stable must not mutate the original.
+	if am.Tasks[2].ElapsedMS != 100 {
+		t.Fatalf("Stable mutated its receiver: %+v", am.Tasks[2])
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewMetrics()
+	feed(m, true)
+	mf := m.Manifest(RunInfo{Tool: "experiments", Seed: 7, Jobs: 1})
+	path := filepath.Join(t.TempDir(), "nested", "manifest.json")
+	if err := mf.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, mf) {
+		t.Fatalf("round trip changed the manifest:\n%+v\n%+v", got, mf)
+	}
+}
+
+func TestReadManifestRejectsWrongSchema(t *testing.T) {
+	m := NewMetrics()
+	mf := m.Manifest(RunInfo{Tool: "x"})
+	mf.Schema = ManifestSchema + 1
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := mf.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector is a threadsafe test sink recording every event.
+type collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (c *collector) Event(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func (c *collector) kinds() map[Kind]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := map[Kind]int{}
+	for _, e := range c.events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+func TestEmitStampsTimeAndToleratesNil(t *testing.T) {
+	Emit(nil, Event{Kind: KindTaskStart}) // must not panic
+	c := &collector{}
+	Emit(c, Event{Kind: KindTaskStart, Name: "a"})
+	if len(c.events) != 1 || c.events[0].Time.IsZero() {
+		t.Fatalf("events = %+v", c.events)
+	}
+	fixed := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	Emit(c, Event{Kind: KindTaskFinish, Time: fixed})
+	if !c.events[1].Time.Equal(fixed) {
+		t.Fatalf("preset time overwritten: %v", c.events[1].Time)
+	}
+}
+
+func TestMultiFansOutAndCollapses(t *testing.T) {
+	a, b := &collector{}, &collector{}
+	m := Multi(a, nil, Discard, b)
+	m.Event(Event{Kind: KindRunStart})
+	if len(a.events) != 1 || len(b.events) != 1 {
+		t.Fatalf("fan-out missed a sink: %d, %d", len(a.events), len(b.events))
+	}
+	if Multi() != Discard || Multi(nil, Discard) != Discard {
+		t.Fatal("empty Multi should collapse to Discard")
+	}
+	if Multi(a, nil) != Sink(a) {
+		t.Fatal("single-sink Multi should collapse to the sink itself")
+	}
+}
+
+func TestDiscardDropsEvents(t *testing.T) {
+	Discard.Event(Event{Kind: KindRunFinish}) // must not panic
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureManifest is a hand-built manifest with fixed timings, so the
+// rendered report can be compared against a golden string.
+func fixtureManifest() *Manifest {
+	return &Manifest{
+		Schema:    ManifestSchema,
+		Tool:      "experiments",
+		GoVersion: "go1.22.0",
+		Seed:      19990401,
+		Jobs:      4,
+		Timeout:   "0s",
+		ElapsedMS: 2350,
+		Tasks: []TaskRecord{
+			{Name: "fig1", Deps: []string{"table1"}, Status: "ok", ElapsedMS: 420},
+			{Name: "table1", Status: "ok", ElapsedMS: 1800.4},
+			{Name: "table3", Status: "ok", ElapsedMS: 420},
+		},
+		Store: StoreStats{Lookups: 8, Misses: 2, Waits: 1, HitRatio: 0.75},
+		Pool:  PoolStats{Capacity: 4, MaxInUse: 3, Samples: 6},
+	}
+}
+
+const goldenReport = "## Run report — measured timings\n" +
+	"\n" +
+	"Generated from a `experiments` run manifest by `cmd/experiments -report`.\n" +
+	"\n" +
+	"- settings: seed 19990401, jobs 4, timeout 0s, go1.22.0\n" +
+	"- total wall time: 2.35s across 3 tasks\n" +
+	"- artifact store: 8 lookups, 2 misses (75% served from cache; 1 waited on an in-flight compute)\n" +
+	"- worker pool: capacity 4, peak occupancy 3\n" +
+	"\n" +
+	"| experiment | depends on | status | wall time |\n" +
+	"|---|---|---|---|\n" +
+	"| table1 | — | ok | 1.80s |\n" +
+	"| fig1 | table1 | ok | 420ms |\n" +
+	"| table3 | — | ok | 420ms |\n"
+
+// TestReportGolden pins the exact Markdown rendering: rows in
+// descending wall-time order, ties broken by name.
+func TestReportGolden(t *testing.T) {
+	got := fixtureManifest().Report()
+	if got != goldenReport {
+		t.Fatalf("report drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, goldenReport)
+	}
+}
+
+func TestUpdateReportSectionAppendsThenReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "EXPERIMENTS.md")
+	if err := os.WriteFile(path, []byte("# Doc\n\nbody text\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateReportSection(path, "first report\n"); err != nil {
+		t.Fatal(err)
+	}
+	once, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(once), "body text") ||
+		!strings.Contains(string(once), ReportBegin) ||
+		!strings.Contains(string(once), "first report") {
+		t.Fatalf("append failed:\n%s", once)
+	}
+	// Regenerating must replace the marked section, not stack a second one.
+	if err := UpdateReportSection(path, "second report\n"); err != nil {
+		t.Fatal(err)
+	}
+	twice, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(twice), "first report") {
+		t.Fatalf("old section survived regeneration:\n%s", twice)
+	}
+	if strings.Count(string(twice), ReportBegin) != 1 {
+		t.Fatalf("duplicate sections:\n%s", twice)
+	}
+	// Idempotent: a third run with the same report changes nothing.
+	if err := UpdateReportSection(path, "second report\n"); err != nil {
+		t.Fatal(err)
+	}
+	thrice, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(thrice) != string(twice) {
+		t.Fatalf("regeneration not idempotent:\n%s\nvs\n%s", thrice, twice)
+	}
+}
+
+func TestUpdateReportSectionMissingFile(t *testing.T) {
+	err := UpdateReportSection(filepath.Join(t.TempDir(), "nope.md"), "r")
+	if err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

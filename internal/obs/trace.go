@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Trace is a Sink that writes every event as one JSON object per line
+// (JSON lines), in arrival order. It serializes concurrent emitters
+// with a mutex, so a line is never interleaved with another; the write
+// order of concurrent events is whatever order they won the lock in.
+//
+// Write failures are sticky: the first error stops all further output
+// and is reported by Err, so a full disk surfaces once instead of once
+// per event.
+type Trace struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewTrace returns a trace sink writing JSON lines to w. The caller
+// owns w and closes it after the run; Trace itself never closes.
+func NewTrace(w io.Writer) *Trace {
+	return &Trace{enc: json.NewEncoder(w)}
+}
+
+// Event implements Sink by appending e as one JSON line.
+func (t *Trace) Event(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(e)
+}
+
+// Err reports the first write failure, or nil.
+func (t *Trace) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

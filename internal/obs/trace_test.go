@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceConcurrentEmitters hammers one Trace from many goroutines
+// (run under -race in CI) and checks that every event comes out as a
+// complete, parseable JSON line — no interleaving, no loss.
+func TestTraceConcurrentEmitters(t *testing.T) {
+	const goroutines, perG = 32, 25
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				Emit(tr, Event{
+					Kind:    KindTaskFinish,
+					Name:    fmt.Sprintf("task-%d-%d", g, i),
+					Elapsed: time.Duration(i) * time.Millisecond,
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("unparseable trace line %q: %v", sc.Text(), err)
+		}
+		if e.Kind != KindTaskFinish || e.Time.IsZero() {
+			t.Fatalf("malformed event: %+v", e)
+		}
+		seen[e.Name] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("trace lines = %d, want %d", len(seen), goroutines*perG)
+	}
+}
+
+// failAfter errors on the nth write, exercising sticky error handling.
+type failAfter struct {
+	n      int
+	writes int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.n {
+		return 0, fmt.Errorf("disk full")
+	}
+	return len(p), nil
+}
+
+func TestTraceStickyWriteError(t *testing.T) {
+	w := &failAfter{n: 1}
+	tr := NewTrace(w)
+	for i := 0; i < 5; i++ {
+		Emit(tr, Event{Kind: KindRunStart})
+	}
+	if tr.Err() == nil {
+		t.Fatal("write failure not reported")
+	}
+	if !strings.Contains(tr.Err().Error(), "disk full") {
+		t.Fatalf("err = %v", tr.Err())
+	}
+	if w.writes > 2 {
+		t.Fatalf("writer hit %d times after failing; error should be sticky", w.writes)
+	}
+}
+
+func TestTraceOmitsZeroFields(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	Emit(tr, Event{Kind: KindStoreHit, Name: "artifact:x"})
+	line := buf.String()
+	for _, forbidden := range []string{"deps", "err", "in_use", "capacity", "elapsed_ns"} {
+		if strings.Contains(line, forbidden) {
+			t.Fatalf("zero field %q serialized: %s", forbidden, line)
+		}
+	}
+}
