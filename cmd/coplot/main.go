@@ -13,7 +13,10 @@
 //
 // SWF logs are parsed and characterized in parallel; -jobs bounds the
 // workers and -timeout caps the per-file time. The resulting dataset is
-// identical at any -jobs setting.
+// identical at any -jobs setting. -retries re-attempts a failing file
+// with deterministic backoff, -task-timeout bounds each attempt, and
+// -keep-going drops unreadable logs (with a warning and a non-zero
+// exit) instead of aborting, as long as at least 3 logs survive.
 //
 // Observability: -manifest records a JSON run manifest of the per-file
 // fan-out (wall time per file, jobs/timeout settings), -trace appends
@@ -24,6 +27,7 @@ package main
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +45,24 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// loadOptions carries the SWF fan-out settings from the flags.
+type loadOptions struct {
+	procs          int
+	jobs           int
+	timeout        time.Duration
+	attemptTimeout time.Duration
+	retries        int
+	backoff        time.Duration
+	keepGoing      bool
+	sink           obs.Sink
+}
+
+// realMain runs the CLI and returns its exit code, so deferred
+// cleanups (profile flush, trace close) run before the process exits.
+func realMain() int {
 	csvPath := flag.String("csv", "", "CSV data matrix input")
 	svgPath := flag.String("svg", "", "write the map as SVG to this file")
 	shepardPath := flag.String("shepard", "", "write the Shepard diagram as SVG to this file")
@@ -49,7 +71,11 @@ func main() {
 	seed := flag.Uint64("seed", 7, "MDS restart seed")
 	procs := flag.Int("procs", 128, "machine size for SWF inputs")
 	jobs := flag.Int("jobs", 0, "SWF files to load concurrently (0 = GOMAXPROCS)")
-	timeout := flag.Duration("timeout", 0, "per-file parse/characterize time limit (0 = none)")
+	timeout := flag.Duration("timeout", 0, "per-file parse/characterize time limit across all attempts (0 = none)")
+	retries := flag.Int("retries", 0, "retry a failing file up to N more times (0 = fail on first error)")
+	backoff := flag.Duration("backoff", 0, "base delay before the first retry, doubling per retry (0 = engine default)")
+	taskTimeout := flag.Duration("task-timeout", 0, "per-attempt time limit; a timed-out attempt is retried under -retries (0 = none)")
+	keepGoing := flag.Bool("keep-going", false, "drop unreadable logs (warning + non-zero exit) instead of aborting; needs >=3 surviving logs")
 	manifestPath := flag.String("manifest", "", "write the run manifest to this file")
 	tracePath := flag.String("trace", "", "append engine events as JSON lines to this file")
 	var prof obs.Profile
@@ -59,7 +85,7 @@ func main() {
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coplot:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
@@ -72,29 +98,42 @@ func main() {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "coplot:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		sinks = append(sinks, obs.NewTrace(f))
 	}
 
-	ds, err := loadDataset(*csvPath, flag.Args(), *procs, *jobs, *timeout, obs.Multi(sinks...))
+	lopts := loadOptions{
+		procs: *procs, jobs: *jobs, timeout: *timeout, attemptTimeout: *taskTimeout,
+		retries: *retries, backoff: *backoff, keepGoing: *keepGoing,
+		sink: obs.Multi(sinks...),
+	}
+	ds, err := loadDataset(*csvPath, flag.Args(), lopts)
 	if *manifestPath != "" {
 		m := metrics.Manifest(obs.RunInfo{Tool: "coplot", Seed: *seed, Jobs: *jobs, Timeout: *timeout})
 		if werr := m.WriteFile(*manifestPath); werr != nil {
 			fmt.Fprintln(os.Stderr, "coplot: manifest:", werr)
-			os.Exit(1)
+			return 1
 		}
 	}
-	if err != nil {
+	exit := 0
+	var deg *engine.DegradedError
+	if errors.As(err, &deg) && ds != nil {
+		// Keep-going: analyze the surviving logs, but exit non-zero.
+		for i, name := range deg.Failed {
+			fmt.Fprintf(os.Stderr, "coplot: dropped %s: %v\n", name, deg.Errs[i])
+		}
+		exit = 1
+	} else if err != nil {
 		fmt.Fprintln(os.Stderr, "coplot:", err)
-		os.Exit(1)
+		return 1
 	}
 	if *vars != "" {
 		ds, err = ds.Select(strings.Split(*vars, ","))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "coplot:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	res, err := core.Analyze(ds, core.Options{
@@ -103,36 +142,37 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coplot:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Print(res.Report())
 	if *svgPath != "" {
 		if err := os.WriteFile(*svgPath, []byte(res.SVG(720, 540)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "coplot:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *shepardPath != "" {
 		svg, err := res.ShepardSVG()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "coplot:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := os.WriteFile(*shepardPath, []byte(svg), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "coplot:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return exit
 }
 
-func loadDataset(csvPath string, swfPaths []string, procs, jobs int, timeout time.Duration, sink obs.Sink) (*core.Dataset, error) {
+func loadDataset(csvPath string, swfPaths []string, opts loadOptions) (*core.Dataset, error) {
 	switch {
 	case csvPath != "" && len(swfPaths) > 0:
 		return nil, fmt.Errorf("choose either -csv or SWF files, not both")
 	case csvPath != "":
 		return loadCSV(csvPath)
 	case len(swfPaths) >= 3:
-		return loadSWF(swfPaths, procs, jobs, timeout, sink)
+		return loadSWF(swfPaths, opts)
 	}
 	return nil, fmt.Errorf("need -csv FILE or at least 3 SWF logs")
 }
@@ -179,34 +219,63 @@ var swfVars = []string{
 	workload.VarInterArrMedian, workload.VarInterArrInterval,
 }
 
-func loadSWF(paths []string, procs, jobs int, timeout time.Duration, sink obs.Sink) (*core.Dataset, error) {
-	m := machine.Machine{Name: "cli", Procs: procs,
+func loadSWF(paths []string, lopts loadOptions) (*core.Dataset, error) {
+	m := machine.Machine{Name: "cli", Procs: lopts.procs,
 		Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorUnlimited}
 	// Each file parses and characterizes independently; engine.Map keeps
-	// the rows in argument order regardless of completion order.
-	opts := engine.MapOptions{Workers: jobs, Timeout: timeout, Sink: sink,
-		Label: func(i int) string { return paths[i] }}
+	// the rows in argument order regardless of completion order. The
+	// engine labels failures with the file path, so fn returns bare
+	// errors.
+	opts := engine.MapOptions{
+		Workers: lopts.jobs, Timeout: lopts.timeout, AttemptTimeout: lopts.attemptTimeout,
+		KeepGoing: lopts.keepGoing, Sink: lopts.sink,
+		Label: func(i int) string { return paths[i] },
+	}
+	if lopts.retries > 0 {
+		opts.Retry = engine.RetryPolicy{MaxAttempts: lopts.retries + 1, BaseBackoff: lopts.backoff}
+	}
+	itemErrs := make([]error, len(paths)) // index i written only by its worker
 	rows, err := engine.Map(context.Background(), len(paths), opts,
 		func(ctx context.Context, i int) (workload.Variables, error) {
-			path := paths[i]
-			f, err := os.Open(path)
-			if err != nil {
-				return workload.Variables{}, err
-			}
-			log, err := swf.Parse(f)
-			f.Close()
-			if err != nil {
-				return workload.Variables{}, fmt.Errorf("%s: %v", path, err)
-			}
-			return workload.Compute(path, log, m)
+			row, err := loadOne(paths[i], m)
+			itemErrs[i] = err
+			return row, err
 		})
-	if err != nil {
+	var deg *engine.DegradedError
+	if errors.As(err, &deg) {
+		// Keep-going: drop the failed logs and analyze the survivors,
+		// if enough remain to place on a map.
+		var kept []workload.Variables
+		for i, row := range rows {
+			if itemErrs[i] == nil {
+				kept = append(kept, row)
+			}
+		}
+		if len(kept) < 3 {
+			return nil, fmt.Errorf("only %d of %d logs loaded, need at least 3: %w", len(kept), len(paths), deg)
+		}
+		rows = kept
+	} else if err != nil {
 		return nil, err
 	}
-	tab, err := workload.BuildTable(rows, swfVars)
-	if err != nil {
-		return nil, err
+	tab, berr := workload.BuildTable(rows, swfVars)
+	if berr != nil {
+		return nil, berr
 	}
 	ds := &core.Dataset{Observations: tab.Observations, Variables: tab.Codes, X: tab.Data}
-	return ds, nil
+	return ds, err // err is nil or the *engine.DegradedError
+}
+
+// loadOne parses and characterizes one SWF log.
+func loadOne(path string, m machine.Machine) (workload.Variables, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return workload.Variables{}, err
+	}
+	defer f.Close()
+	log, err := swf.Parse(f)
+	if err != nil {
+		return workload.Variables{}, err
+	}
+	return workload.Compute(path, log, m)
 }

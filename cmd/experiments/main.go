@@ -2,10 +2,11 @@
 //
 // Usage:
 //
-//	experiments [-run NAME|all] [-out DIR] [-seed N]
-//	            [-jobs N] [-timeout D]
+//	experiments [-run NAME[,NAME...]|all] [-out DIR] [-seed N]
+//	            [-jobs N] [-timeout D] [-task-timeout D]
+//	            [-retries N] [-backoff D] [-keep-going]
 //	            [-sitejobs N] [-modeljobs N] [-periodjobs N]
-//	            [-manifest FILE] [-trace FILE]
+//	            [-manifest FILE] [-trace FILE] [-inject SPEC]
 //	            [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
 //	experiments -report [-manifest FILE] [-report-into FILE]
 //
@@ -13,13 +14,25 @@
 // fig3, fig4, params3, table3, fig5 — or an extension study: paper (the
 // published-data validation), table3ci (bootstrap confidence intervals),
 // seeds (robustness sweep across master seeds), moments, stability,
-// loadscale, parametric, selfsim-models.
+// loadscale, parametric, selfsim-models. -run accepts a comma-separated
+// list; dependencies shared between the named experiments run once.
 //
 // Experiments run on a dependency-aware parallel engine: -jobs bounds
 // how many run concurrently and -timeout caps each one's wall-clock
 // time. Shared artifacts (generated logs, workload tables) are computed
 // once per invocation, and outputs are byte-identical at any -jobs
 // setting.
+//
+// Fault tolerance: -retries re-attempts a failing experiment with
+// exponential backoff (-backoff sets the base delay; the jitter is
+// derived deterministically from the seed), -task-timeout bounds each
+// attempt (a timed-out attempt is retried; -timeout remains the hard
+// per-experiment ceiling), panics inside an experiment become typed
+// task errors, and -keep-going turns a failure into degradation: the
+// failed experiment is recorded, its dependents are skipped, every
+// independent experiment completes, and the process exits non-zero with
+// a failure summary in the manifest. -inject deterministically injects
+// faults ('fig1=error:2,table3=panic') to test those paths.
 //
 // Every run is observed: -manifest (default out/manifest.json, "" to
 // disable) records a JSON run manifest — per-experiment wall time,
@@ -42,12 +55,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"coplot/internal/engine"
 	"coplot/internal/experiments"
+	"coplot/internal/faultinject"
 	"coplot/internal/obs"
 )
 
@@ -60,11 +77,16 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	runName := fs.String("run", "all", "experiment to run (or 'all')")
+	runName := fs.String("run", "all", "experiments to run: 'all' or a comma-separated list of names")
 	out := fs.String("out", "", "directory for .txt/.svg artifacts (optional)")
 	seed := fs.Uint64("seed", 0, "master seed (0 = paper default)")
 	jobs := fs.Int("jobs", 0, "experiments to run concurrently (0 = GOMAXPROCS)")
-	timeout := fs.Duration("timeout", 0, "per-experiment time limit (0 = none)")
+	timeout := fs.Duration("timeout", 0, "per-experiment time limit across all attempts (0 = none)")
+	retries := fs.Int("retries", 0, "retry each failing experiment up to N more times (0 = fail on first error)")
+	backoff := fs.Duration("backoff", 0, "base delay before the first retry, doubling per retry (0 = engine default)")
+	taskTimeout := fs.Duration("task-timeout", 0, "per-attempt time limit; a timed-out attempt is retried under -retries (0 = none)")
+	keepGoing := fs.Bool("keep-going", false, "record failures and skip their dependents while independent experiments complete; exit non-zero with a failure summary")
+	inject := fs.String("inject", "", "fault-injection schedule 'target=error|panic|hang[:times],...' (testing)")
 	siteJobs := fs.Int("sitejobs", 0, "jobs per production-site log (0 = default)")
 	modelJobs := fs.Int("modeljobs", 0, "jobs per synthetic-model log (0 = default)")
 	periodJobs := fs.Int("periodjobs", 0, "jobs per half-year period log (0 = default)")
@@ -124,10 +146,21 @@ func run(args []string, stdout io.Writer) error {
 		sinks = append(sinks, ts)
 	}
 
+	var sched *faultinject.Schedule
+	if *inject != "" {
+		sched, err = faultinject.Parse(*inject)
+		if err != nil {
+			return err
+		}
+	}
 	cfg := experiments.Config{
 		Seed: *seed, Jobs: *siteJobs, ModelJobs: *modelJobs, PeriodJobs: *periodJobs,
 	}
-	opts := experiments.RunOptions{Jobs: *jobs, Timeout: *timeout, Sink: obs.Multi(sinks...)}
+	opts := experiments.RunOptions{
+		Jobs: *jobs, Timeout: *timeout, AttemptTimeout: *taskTimeout,
+		Retries: *retries, Backoff: *backoff, KeepGoing: *keepGoing,
+		Inject: sched, Sink: obs.Multi(sinks...),
+	}
 	ctx := context.Background()
 
 	var outs []*experiments.Output
@@ -135,11 +168,7 @@ func run(args []string, stdout io.Writer) error {
 	if *runName == "all" {
 		outs, runErr = experiments.RunAll(ctx, cfg, opts)
 	} else {
-		var o *experiments.Output
-		o, runErr = experiments.Run(ctx, *runName, cfg, opts)
-		if o != nil {
-			outs = []*experiments.Output{o}
-		}
+		outs, runErr = experiments.RunNames(ctx, strings.Split(*runName, ","), cfg, opts)
 	}
 	// The manifest documents failed runs too, so write it before
 	// surfacing the run error.
@@ -151,7 +180,10 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("writing manifest: %w", err)
 		}
 	}
-	if runErr != nil {
+	// A degraded keep-going run still reports and saves every completed
+	// output before surfacing its failure summary (and non-zero exit).
+	var deg *engine.DegradedError
+	if runErr != nil && !errors.As(runErr, &deg) {
 		return runErr
 	}
 	for _, o := range outs {
@@ -170,5 +202,5 @@ func run(args []string, stdout io.Writer) error {
 	if *manifest != "" {
 		fmt.Fprintf(stdout, "manifest written to %s\n", *manifest)
 	}
-	return nil
+	return runErr
 }

@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	hurst [-svgdir DIR] [-jobs N] [-timeout D] FILE.swf...
+//	hurst [-svgdir DIR] [-jobs N] [-timeout D]
+//	      [-retries N] [-backoff D] [-task-timeout D] [-keep-going=BOOL]
+//	      FILE.swf...
 //
 // Files are estimated in parallel (-jobs workers, -timeout per file);
-// reports print in argument order and a failing file does not stop the
-// others. With -svgdir, the three diagnostic plots (pox plot,
-// variance-time plot, periodogram) of each series are written as SVG
-// files.
+// reports print in argument order and — by default (-keep-going=true) —
+// a failing file does not stop the others; -keep-going=false makes the
+// first failure cancel the batch. -retries re-attempts a failing file
+// with deterministic backoff and -task-timeout bounds each attempt.
+// With -svgdir, the three diagnostic plots (pox plot, variance-time
+// plot, periodogram) of each series are written as SVG files.
 //
 // Observability: -manifest records a JSON run manifest of the per-file
 // fan-out (wall time per file, jobs/timeout settings), -trace appends
@@ -43,7 +47,11 @@ func main() {
 func realMain() int {
 	svgDir := flag.String("svgdir", "", "write diagnostic plots as SVG under this directory")
 	jobs := flag.Int("jobs", 0, "files to estimate concurrently (0 = GOMAXPROCS)")
-	timeout := flag.Duration("timeout", 0, "per-file time limit (0 = none)")
+	timeout := flag.Duration("timeout", 0, "per-file time limit across all attempts (0 = none)")
+	retries := flag.Int("retries", 0, "retry a failing file up to N more times (0 = fail on first error)")
+	backoff := flag.Duration("backoff", 0, "base delay before the first retry, doubling per retry (0 = engine default)")
+	taskTimeout := flag.Duration("task-timeout", 0, "per-attempt time limit; a timed-out attempt is retried under -retries (0 = none)")
+	keepGoing := flag.Bool("keep-going", true, "report failing files and continue; false cancels the batch on first failure")
 	manifestPath := flag.String("manifest", "", "write the run manifest to this file")
 	tracePath := flag.String("trace", "", "append engine events as JSON lines to this file")
 	var prof obs.Profile
@@ -74,7 +82,11 @@ func realMain() int {
 		defer f.Close()
 		sinks = append(sinks, obs.NewTrace(f))
 	}
-	reports := estimateAll(flag.Args(), *svgDir, *jobs, *timeout, obs.Multi(sinks...))
+	reports := estimateAll(flag.Args(), *svgDir, estimateOptions{
+		jobs: *jobs, timeout: *timeout, attemptTimeout: *taskTimeout,
+		retries: *retries, backoff: *backoff, keepGoing: *keepGoing,
+		sink: obs.Multi(sinks...),
+	})
 	if *manifestPath != "" {
 		m := metrics.Manifest(obs.RunInfo{Tool: "hurst", Jobs: *jobs, Timeout: *timeout})
 		if err := m.WriteFile(*manifestPath); err != nil {
@@ -94,32 +106,60 @@ func realMain() int {
 	return exit
 }
 
-// report holds one file's rendered estimates, or its failure. Errors
-// ride inside the value so one bad file never cancels the batch.
+// report holds one file's rendered estimates, or its failure.
 type report struct {
 	text string
 	err  error
 }
 
+// estimateOptions carries the fan-out settings from the flags.
+type estimateOptions struct {
+	jobs           int
+	timeout        time.Duration
+	attemptTimeout time.Duration
+	retries        int
+	backoff        time.Duration
+	keepGoing      bool
+	sink           obs.Sink
+}
+
 // estimateAll runs estimate over the files on a bounded worker pool and
-// returns the reports in argument order.
-func estimateAll(paths []string, svgDir string, jobs int, timeout time.Duration, sink obs.Sink) []report {
-	opts := engine.MapOptions{Workers: jobs, Timeout: timeout, Sink: sink,
-		Label: func(i int) string { return paths[i] }}
+// returns the reports in argument order. Failures surface through the
+// engine — so they are retried under opts.retries and, with
+// opts.keepGoing, degrade instead of cancelling the batch — and come
+// back inside the per-file reports.
+func estimateAll(paths []string, svgDir string, eopts estimateOptions) []report {
+	opts := engine.MapOptions{
+		Workers: eopts.jobs, Timeout: eopts.timeout, AttemptTimeout: eopts.attemptTimeout,
+		KeepGoing: eopts.keepGoing, Sink: eopts.sink,
+		Label: func(i int) string { return paths[i] },
+	}
+	if eopts.retries > 0 {
+		opts.Retry = engine.RetryPolicy{MaxAttempts: eopts.retries + 1, BaseBackoff: eopts.backoff}
+	}
+	itemErrs := make([]error, len(paths)) // index i written only by its worker
 	reports, err := engine.Map(context.Background(), len(paths), opts,
 		func(ctx context.Context, i int) (report, error) {
 			text, err := estimate(ctx, paths[i], svgDir)
+			itemErrs[i] = err
 			if err != nil {
-				return report{err: err}, nil
+				return report{}, err
 			}
 			return report{text: text}, nil
 		})
 	if err != nil {
-		// Map itself only fails on cancellation/timeout; surface it on
-		// every file that has no report yet.
+		// Degraded (or cancelled) batch: fill each missing report with
+		// its own failure, falling back to the batch error.
 		out := make([]report, len(paths))
 		for i := range out {
-			out[i] = report{err: err}
+			switch {
+			case reports != nil && itemErrs[i] == nil:
+				out[i] = reports[i]
+			case itemErrs[i] != nil:
+				out[i] = report{err: itemErrs[i]}
+			default:
+				out[i] = report{err: err}
+			}
 		}
 		return out
 	}

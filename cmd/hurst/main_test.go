@@ -61,7 +61,7 @@ func TestEstimateMissingFile(t *testing.T) {
 func TestEstimateAllContinuesPastErrors(t *testing.T) {
 	good := writeTestLog(t)
 	missing := filepath.Join(t.TempDir(), "none.swf")
-	reports := estimateAll([]string{good, missing, good}, "", 2, 0, nil)
+	reports := estimateAll([]string{good, missing, good}, "", estimateOptions{jobs: 2, keepGoing: true})
 	if len(reports) != 3 {
 		t.Fatalf("reports = %d", len(reports))
 	}
@@ -78,8 +78,8 @@ func TestEstimateAllContinuesPastErrors(t *testing.T) {
 
 func TestEstimateAllParallelDeterministic(t *testing.T) {
 	paths := []string{writeTestLog(t), writeTestLog(t), writeTestLog(t)}
-	serial := estimateAll(paths, "", 1, 0, nil)
-	parallel := estimateAll(paths, "", 4, 0, nil)
+	serial := estimateAll(paths, "", estimateOptions{jobs: 1, keepGoing: true})
+	parallel := estimateAll(paths, "", estimateOptions{jobs: 4, keepGoing: true})
 	for i := range serial {
 		if serial[i].text != parallel[i].text {
 			t.Fatalf("report %d differs between jobs=1 and jobs=4", i)

@@ -9,6 +9,13 @@
 //	wgen -site CTC|KTH|LANL|LANLi|LANLb|LLNL|NASA|SDSC|SDSCi|SDSCb|L1..L4|S1..S4 [-n N] [-seed N] [-o FILE]
 //	wgen -clone FILE.swf [-procs N]  # measure an existing log and generate a synthetic twin
 //	wgen -model lublin -simulate     # run the stream through the site scheduler
+//	wgen -spec FILE [-site NAME]     # generate from a user-written spec table (sites.ParseSpecs)
+//	wgen -dump-specs                 # export the built-in calibrations as a spec table
+//
+// A spec table (see internal/sites ParseSpecs) is a '#'-commented
+// whitespace table with one calibrated observation per line; -site
+// selects an observation by name when the file holds several, and the
+// table's own jobs column overrides -n.
 package main
 
 import (
@@ -29,6 +36,8 @@ func main() {
 	model := flag.String("model", "", "synthetic model to run")
 	site := flag.String("site", "", "calibrated production-site generator to run")
 	clone := flag.String("clone", "", "SWF log to measure and clone")
+	spec := flag.String("spec", "", "spec-table file of calibrated observations to generate from")
+	dumpSpecs := flag.Bool("dump-specs", false, "print the built-in calibrations as a spec table and exit")
 	procs := flag.Int("procs", 128, "machine size for -model")
 	n := flag.Int("n", 10000, "number of jobs")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -36,7 +45,11 @@ func main() {
 	simulate := flag.Bool("simulate", false, "replay the stream through the machine's scheduler to obtain wait times")
 	flag.Parse()
 
-	log, m, err := generate(*model, *site, *clone, *procs, *n, *seed)
+	if *dumpSpecs {
+		fmt.Print(sites.FormatSpecs(append(sites.Table1Specs(*n), sites.Table2Specs(*n)...)))
+		return
+	}
+	log, m, err := generate(*model, *site, *clone, *spec, *procs, *n, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wgen:", err)
 		os.Exit(1)
@@ -65,17 +78,22 @@ func main() {
 	}
 }
 
-func generate(model, site, clone string, procs, n int, seed uint64) (*swf.Log, machine.Machine, error) {
+func generate(model, site, clone, spec string, procs, n int, seed uint64) (*swf.Log, machine.Machine, error) {
 	selected := 0
-	for _, s := range []string{model, site, clone} {
+	for _, s := range []string{model, clone, spec} {
 		if s != "" {
 			selected++
 		}
 	}
+	if site != "" && spec == "" {
+		selected++
+	}
 	if selected > 1 {
-		return nil, machine.Machine{}, fmt.Errorf("choose exactly one of -model, -site or -clone")
+		return nil, machine.Machine{}, fmt.Errorf("choose exactly one of -model, -site, -clone or -spec")
 	}
 	switch {
+	case spec != "":
+		return fromSpecFile(spec, site, seed)
 	case clone != "":
 		return cloneLog(clone, procs, n, seed)
 	case model != "":
@@ -118,6 +136,49 @@ func generate(model, site, clone string, procs, n int, seed uint64) (*swf.Log, m
 		return nil, machine.Machine{}, fmt.Errorf("unknown site %q", site)
 	}
 	return nil, machine.Machine{}, fmt.Errorf("one of -model, -site or -clone is required")
+}
+
+// fromSpecFile generates from a user-written spec table: the -site name
+// selects an observation when the file holds several, a single-spec file
+// needs no selector. The table's jobs column wins over -n, so a file is
+// a complete, reproducible description of its logs.
+func fromSpecFile(path, site string, seed uint64) (*swf.Log, machine.Machine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, machine.Machine{}, err
+	}
+	defer f.Close()
+	specs, err := sites.ParseSpecs(f)
+	if err != nil {
+		return nil, machine.Machine{}, fmt.Errorf("%s: %v", path, err)
+	}
+	var chosen *sites.Spec
+	switch {
+	case site != "":
+		for i := range specs {
+			if specs[i].Name == site {
+				chosen = &specs[i]
+				break
+			}
+		}
+		if chosen == nil {
+			return nil, machine.Machine{}, fmt.Errorf("%s: no observation %q (have %s)", path, site, specNames(specs))
+		}
+	case len(specs) == 1:
+		chosen = &specs[0]
+	default:
+		return nil, machine.Machine{}, fmt.Errorf("%s holds %d observations; select one with -site (have %s)", path, len(specs), specNames(specs))
+	}
+	log, err := chosen.Generate(seed)
+	return log, chosen.Machine, err
+}
+
+func specNames(specs []sites.Spec) string {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return strings.Join(names, ", ")
 }
 
 // cloneLog measures an existing log and generates a synthetic twin.

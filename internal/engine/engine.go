@@ -99,6 +99,27 @@ func (r *Registry[E]) Deps(name string) ([]string, error) {
 	return append([]string(nil), s.deps...), nil
 }
 
+// Wrapped returns a copy of the registry with every run function passed
+// through wrap, preserving names, dependency edges and registration
+// order. A nil wrap yields a plain copy. Fault-injection harnesses use
+// Wrapped to splice failure injectors around registered experiments
+// without mutating the shared registry.
+func (r *Registry[E]) Wrapped(wrap func(name string, run RunFunc[E]) RunFunc[E]) *Registry[E] {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := NewRegistry[E]()
+	for _, name := range r.order {
+		s := r.specs[name]
+		run := s.run
+		if wrap != nil {
+			run = wrap(name, run)
+		}
+		out.specs[name] = &spec[E]{deps: append([]string(nil), s.deps...), run: run}
+		out.order = append(out.order, name)
+	}
+	return out
+}
+
 // Validate checks that every dependency edge resolves to a registered
 // experiment and that the dependency graph is acyclic.
 func (r *Registry[E]) Validate() error {

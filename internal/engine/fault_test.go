@@ -1,0 +1,393 @@
+package engine_test
+
+// Fault-tolerance suite: drives the runner and Map through every
+// retry/give-up/degradation path with the deterministic faultinject
+// harness, and pins the regression that a sibling's cancellation ripple
+// must never mask the genuine first error.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"coplot/internal/engine"
+	"coplot/internal/faultinject"
+	"coplot/internal/obs"
+)
+
+// instant is a RetryPolicy sleep that never waits (tests must not burn
+// wall-clock on backoff).
+func instant(context.Context, time.Duration) error { return nil }
+
+// recorder is a Sink capturing events for assertions.
+type recorder struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (r *recorder) Event(e obs.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// count tallies recorded events of one kind, optionally for one name.
+func (r *recorder) count(kind obs.Kind, name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == kind && (name == "" || e.Name == name) {
+			n++
+		}
+	}
+	return n
+}
+
+// find returns the first recorded event of kind for name.
+func (r *recorder) find(kind obs.Kind, name string) (obs.Event, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.events {
+		if e.Kind == kind && e.Name == name {
+			return e, true
+		}
+	}
+	return obs.Event{}, false
+}
+
+// newReg builds a registry of trivial named tasks returning their name.
+func newReg(names map[string][]string) *engine.Registry[int] {
+	reg := engine.NewRegistry[int]()
+	for name := range names {
+		n := name
+		reg.MustRegister(n, names[n], func(ctx context.Context, env int) (any, error) {
+			return n, nil
+		})
+	}
+	return reg
+}
+
+func TestRunRetriesTransientFailure(t *testing.T) {
+	sched := faultinject.New(faultinject.Fault{Target: "a", Kind: faultinject.KindError, Times: 2})
+	reg := faultinject.Wrap(sched, newReg(map[string][]string{"a": nil}))
+	rec := &recorder{}
+	metrics := obs.NewMetrics()
+	res, err := engine.Run(context.Background(), reg, []string{"a"}, 0, engine.Options{
+		Retry: engine.RetryPolicy{MaxAttempts: 3, Sleep: instant},
+		Sink:  obs.Multi(rec, metrics),
+	})
+	if err != nil {
+		t.Fatalf("run failed despite retry budget: %v", err)
+	}
+	if res[0].Value != "a" {
+		t.Fatalf("value = %v", res[0].Value)
+	}
+	if got := sched.Count("a"); got != 2 {
+		t.Fatalf("injected %d faults, want 2", got)
+	}
+	if got := rec.count(obs.KindTaskRetry, "a"); got != 2 {
+		t.Fatalf("task.retry events = %d, want 2", got)
+	}
+	m := metrics.Manifest(obs.RunInfo{Tool: "test"})
+	if len(m.Tasks) != 1 || m.Tasks[0].Retries != 2 || m.Tasks[0].Status != "ok" {
+		t.Fatalf("manifest task = %+v", m.Tasks)
+	}
+	if m.Failures == nil || m.Failures.Retries != 2 || len(m.Failures.Failed) != 0 {
+		t.Fatalf("manifest failures = %+v", m.Failures)
+	}
+	if s := m.Stable(); s.Failures == nil || s.Failures.Retries != 2 {
+		t.Fatalf("Stable() dropped the retry count: %+v", s.Failures)
+	}
+}
+
+func TestRunGivesUpWhenBudgetExhausted(t *testing.T) {
+	sched := faultinject.New(faultinject.Fault{Target: "a", Times: 5})
+	reg := faultinject.Wrap(sched, newReg(map[string][]string{"a": nil}))
+	rec := &recorder{}
+	metrics := obs.NewMetrics()
+	_, err := engine.Run(context.Background(), reg, []string{"a"}, 0, engine.Options{
+		Retry: engine.RetryPolicy{MaxAttempts: 3, Sleep: instant},
+		Sink:  obs.Multi(rec, metrics),
+	})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if !strings.Contains(err.Error(), "a") {
+		t.Fatalf("error lost its task label: %v", err)
+	}
+	if got := sched.Count("a"); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if got := rec.count(obs.KindTaskGiveUp, "a"); got != 1 {
+		t.Fatalf("task.giveup events = %d, want 1", got)
+	}
+	if e, ok := rec.find(obs.KindTaskGiveUp, "a"); !ok || e.Attempt != 3 {
+		t.Fatalf("giveup attempt = %+v", e)
+	}
+	m := metrics.Manifest(obs.RunInfo{Tool: "test"})
+	if m.Failures == nil || m.Failures.Retries != 2 || len(m.Failures.Failed) != 1 || m.Failures.Failed[0] != "a" {
+		t.Fatalf("manifest failures = %+v", m.Failures)
+	}
+}
+
+func TestRunPermanentErrorNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	reg := engine.NewRegistry[int]()
+	reg.MustRegister("a", nil, func(ctx context.Context, env int) (any, error) {
+		calls.Add(1)
+		return nil, engine.Permanent(errors.New("bad input"))
+	})
+	_, err := engine.Run(context.Background(), reg, []string{"a"}, 0, engine.Options{
+		Retry: engine.RetryPolicy{MaxAttempts: 5, Sleep: instant},
+	})
+	if err == nil || !strings.Contains(err.Error(), "bad input") {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls.Load())
+	}
+}
+
+func TestRunRecoversPanicAsTypedError(t *testing.T) {
+	sched := faultinject.New(faultinject.Fault{Target: "a", Kind: faultinject.KindPanic, Times: 5})
+	reg := faultinject.Wrap(sched, newReg(map[string][]string{"a": nil}))
+	_, err := engine.Run(context.Background(), reg, []string{"a"}, 0, engine.Options{
+		Retry: engine.RetryPolicy{MaxAttempts: 4, Sleep: instant},
+	})
+	var pe *engine.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Task != "a" || len(pe.Stack) == 0 {
+		t.Fatalf("panic error = %+v", pe)
+	}
+	if got := sched.Count("a"); got != 1 {
+		t.Fatalf("panic was retried: %d firings", got)
+	}
+}
+
+func TestRunHangRecoversViaAttemptTimeout(t *testing.T) {
+	sched := faultinject.New(faultinject.Fault{Target: "a", Kind: faultinject.KindHang, Times: 1})
+	reg := faultinject.Wrap(sched, newReg(map[string][]string{"a": nil}))
+	res, err := engine.Run(context.Background(), reg, []string{"a"}, 0, engine.Options{
+		AttemptTimeout: 30 * time.Millisecond,
+		Retry:          engine.RetryPolicy{MaxAttempts: 2, Sleep: instant},
+	})
+	if err != nil {
+		t.Fatalf("hung attempt not recovered: %v", err)
+	}
+	if res[0].Value != "a" {
+		t.Fatalf("value = %v", res[0].Value)
+	}
+}
+
+func TestRunKeepGoingDegrades(t *testing.T) {
+	// a fails permanently; b depends on a (skipped); c is independent
+	// and must still complete.
+	sched := faultinject.New(faultinject.Fault{Target: "a", Times: 99})
+	reg := faultinject.Wrap(sched, newReg(map[string][]string{"a": nil, "b": {"a"}, "c": nil}))
+	rec := &recorder{}
+	metrics := obs.NewMetrics()
+	res, err := engine.Run(context.Background(), reg, []string{"a", "b", "c"}, 0, engine.Options{
+		KeepGoing: true,
+		Sink:      obs.Multi(rec, metrics),
+	})
+	var deg *engine.DegradedError
+	if !errors.As(err, &deg) {
+		t.Fatalf("err = %T %v, want *DegradedError", err, err)
+	}
+	if len(deg.Failed) != 1 || deg.Failed[0] != "a" {
+		t.Fatalf("failed = %v", deg.Failed)
+	}
+	if len(deg.Skipped) != 1 || deg.Skipped[0] != "b" {
+		t.Fatalf("skipped = %v", deg.Skipped)
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("degraded error lost the cause chain: %v", err)
+	}
+	if res == nil || res[2].Value != "c" || res[2].Err != nil {
+		t.Fatalf("independent task did not complete: %+v", res)
+	}
+	if e, ok := rec.find(obs.KindTaskSkip, "b"); !ok || e.Reason != obs.SkipReasonUpstreamFailed {
+		t.Fatalf("skip event = %+v", e)
+	}
+	if got := rec.count(obs.KindRunDegraded, ""); got != 1 {
+		t.Fatalf("run.degraded events = %d", got)
+	}
+	m := metrics.Manifest(obs.RunInfo{Tool: "test"})
+	f := m.Failures
+	if f == nil || !f.Degraded {
+		t.Fatalf("manifest failures = %+v", f)
+	}
+	if len(f.Failed) != 1 || f.Failed[0] != "a" || len(f.Skipped) != 1 || f.Skipped[0] != "b" {
+		t.Fatalf("manifest failure lists = %+v", f)
+	}
+	for _, task := range m.Tasks {
+		if task.Name == "b" && task.Reason != obs.SkipReasonUpstreamFailed {
+			t.Fatalf("task b reason = %q", task.Reason)
+		}
+	}
+}
+
+func TestRunFailFastStillCancels(t *testing.T) {
+	// Without KeepGoing the first failure cancels the independent slow
+	// sibling.
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	reg := engine.NewRegistry[int]()
+	reg.MustRegister("fail", nil, func(ctx context.Context, env int) (any, error) {
+		<-started
+		return nil, boom
+	})
+	reg.MustRegister("slow", nil, func(ctx context.Context, env int) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	_, err := engine.Run(context.Background(), reg, []string{"fail", "slow"}, 0, engine.Options{Jobs: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestRunSiblingFailureKeepsTaskLabel(t *testing.T) {
+	// Regression: a slow task that swallows its cancellation used to be
+	// able to win error selection with a bare context.Canceled; the
+	// genuine failure must surface, labeled with its task name.
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	reg := engine.NewRegistry[int]()
+	// "a-slow" sorts/registers first and swallows the cancellation.
+	reg.MustRegister("a-slow", nil, func(ctx context.Context, env int) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return "late", nil // swallows cancel: runner must not call this success
+	})
+	reg.MustRegister("z-fail", nil, func(ctx context.Context, env int) (any, error) {
+		<-started
+		return nil, boom
+	})
+	_, err := engine.Run(context.Background(), reg, []string{"a-slow", "z-fail"}, 0, engine.Options{Jobs: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if !strings.Contains(err.Error(), "z-fail") {
+		t.Fatalf("error lost its task label: %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation ripple masked the root error: %v", err)
+	}
+}
+
+func TestMapSiblingFailureKeepsItemLabel(t *testing.T) {
+	// Regression (the ISSUE's satellite fix): item 3 fails while items
+	// 0-2 are slow successes that observe the cancellation; Map used to
+	// report bare context.Canceled from the lowest cancelled index.
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	_, err := engine.Map(context.Background(), 4, engine.MapOptions{
+		Workers: 4,
+		Label:   func(i int) string { return fmt.Sprintf("item-%d", i) },
+	}, func(ctx context.Context, i int) (int, error) {
+		if i == 3 {
+			<-started
+			return 0, boom
+		}
+		if i == 0 {
+			close(started)
+		}
+		<-ctx.Done()
+		return i, nil // swallows cancel
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if !strings.Contains(err.Error(), "item-3") {
+		t.Fatalf("error lost its item label: %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation ripple masked the root error: %v", err)
+	}
+}
+
+func TestMapRetriesAndKeepGoing(t *testing.T) {
+	sched := faultinject.New(
+		faultinject.Fault{Target: "item-1", Times: 1},
+		faultinject.Fault{Target: "item-2", Times: 99},
+	)
+	out, err := engine.Map(context.Background(), 4, engine.MapOptions{
+		Workers:   2,
+		KeepGoing: true,
+		Retry:     engine.RetryPolicy{MaxAttempts: 2, Sleep: instant},
+		Label:     func(i int) string { return fmt.Sprintf("item-%d", i) },
+	}, func(ctx context.Context, i int) (int, error) {
+		if err := sched.Fire(ctx, fmt.Sprintf("item-%d", i)); err != nil {
+			return 0, err
+		}
+		return i * 10, nil
+	})
+	var deg *engine.DegradedError
+	if !errors.As(err, &deg) {
+		t.Fatalf("err = %T %v, want *DegradedError", err, err)
+	}
+	if len(deg.Failed) != 1 || deg.Failed[0] != "item-2" {
+		t.Fatalf("failed = %v", deg.Failed)
+	}
+	// item-1 recovered via retry; item-2 exhausted its budget; the rest
+	// completed despite the failure.
+	want := []int{0, 10, 0, 30}
+	for i, v := range want {
+		if out[i] != v {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := engine.RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Seed: 42}
+	prevCap := time.Duration(0)
+	for attempt := 1; attempt <= 6; attempt++ {
+		d1 := p.Backoff("task", attempt)
+		d2 := p.Backoff("task", attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: backoff not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		nominal := 10 * time.Millisecond << (attempt - 1)
+		if nominal > 80*time.Millisecond {
+			nominal = 80 * time.Millisecond
+		}
+		if d1 < nominal/2 || d1 >= nominal {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, d1, nominal/2, nominal)
+		}
+		if nominal >= prevCap {
+			prevCap = nominal
+		}
+	}
+	if p.Backoff("task", 3) == p.Backoff("other", 3) {
+		t.Fatalf("different tasks share a jitter stream")
+	}
+	if (engine.RetryPolicy{Seed: 1}).Backoff("task", 1) == p.Backoff("task", 1) {
+		t.Fatalf("different seeds share a jitter stream")
+	}
+}
+
+func TestWrappedPreservesRegistry(t *testing.T) {
+	reg := newReg(map[string][]string{"a": nil, "b": {"a"}})
+	wrapped := reg.Wrapped(nil)
+	if got, want := strings.Join(wrapped.Names(), ","), strings.Join(reg.Names(), ","); got != want {
+		t.Fatalf("names = %q, want %q", got, want)
+	}
+	deps, err := wrapped.Deps("b")
+	if err != nil || len(deps) != 1 || deps[0] != "a" {
+		t.Fatalf("deps = %v, %v", deps, err)
+	}
+	if err := wrapped.Validate(); err != nil {
+		t.Fatalf("wrapped registry invalid: %v", err)
+	}
+}

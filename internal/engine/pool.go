@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,21 +16,38 @@ import (
 type MapOptions struct {
 	// Workers bounds the concurrent items (<=0 means GOMAXPROCS).
 	Workers int
-	// Timeout bounds each item's wall-clock time (0 = none).
+	// Timeout bounds each item's wall-clock time across all of its
+	// attempts (0 = none).
 	Timeout time.Duration
+	// AttemptTimeout bounds each individual attempt of an item; a
+	// timed-out attempt is retryable under Retry while Timeout is the
+	// hard per-item ceiling (0 = none).
+	AttemptTimeout time.Duration
+	// Retry is the per-item retry policy. The zero value runs each item
+	// exactly once.
+	Retry RetryPolicy
+	// KeepGoing keeps the fan-out alive after an item fails: every item
+	// is attempted, and Map returns the partial results alongside a
+	// *DegradedError listing the failed labels. False preserves
+	// fail-fast: the first failure cancels the remaining items.
+	KeepGoing bool
 	// Sink receives per-item task events and pool occupancy samples.
 	// Nil means no observation.
 	Sink obs.Sink
-	// Label names item i in emitted events; nil falls back to "#i".
+	// Label names item i in emitted events and errors; nil falls back
+	// to "#i".
 	Label func(i int) string
 }
 
 // Map runs fn for every index in [0,n) on a bounded worker pool and
 // returns the results in index order, regardless of completion order.
-// The first error cancels the remaining work and is returned (ties
-// between concurrent failures resolve to the lowest index, so the
-// reported error is deterministic). A positive opts.Timeout bounds each
-// item's wall-clock time.
+// By default the first error cancels the remaining work and is returned
+// labeled with its item name; ties between concurrent failures resolve
+// to the lowest index, and a sibling's cancellation ripple never
+// masks the genuine root error. With MapOptions.KeepGoing every item is
+// attempted and Map returns the partial results together with a
+// *DegradedError. A positive opts.Timeout bounds each item's wall-clock
+// time; opts.Retry retries transient per-item failures.
 //
 // The CLIs use Map to fan out per-file work (parsing logs, estimating
 // Hurst parameters) with the same cancellation, determinism and
@@ -51,24 +69,14 @@ func Map[T any](ctx context.Context, n int, opts MapOptions, fn func(ctx context
 		label = func(i int) string { return fmt.Sprintf("#%d", i) }
 	}
 	out := make([]T, n)
+	errs := make([]error, n) // slot i written only by the worker that claimed i
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
 		next      atomic.Int64
 		occupancy atomic.Int64
-		mu        sync.Mutex
-		errIdx    = n // lowest failing index seen so far
-		firstErr  error
 	)
-	fail := func(i int, err error) {
-		mu.Lock()
-		if i < errIdx {
-			errIdx, firstErr = i, err
-		}
-		mu.Unlock()
-		cancel()
-	}
 
 	runStart := time.Now()
 	obs.Emit(sink, obs.Event{Kind: obs.KindRunStart, Capacity: workers})
@@ -83,40 +91,81 @@ func Map[T any](ctx context.Context, n int, opts MapOptions, fn func(ctx context
 					return
 				}
 				if err := runCtx.Err(); err != nil {
+					errs[i] = err
 					obs.Emit(sink, obs.Event{Kind: obs.KindTaskCancel, Name: label(i), Err: err.Error()})
-					fail(i, err)
 					return
 				}
+				name := label(i)
 				ictx := runCtx
 				icancel := context.CancelFunc(func() {})
 				if opts.Timeout > 0 {
 					ictx, icancel = context.WithTimeout(runCtx, opts.Timeout)
 				}
 				obs.Emit(sink, obs.Event{Kind: obs.KindPoolSample, InUse: int(occupancy.Add(1)), Capacity: workers})
-				obs.Emit(sink, obs.Event{Kind: obs.KindTaskStart, Name: label(i)})
+				obs.Emit(sink, obs.Event{Kind: obs.KindTaskStart, Name: name})
 				start := time.Now()
-				v, err := fn(ictx, i)
-				if err == nil && ictx.Err() != nil {
-					// fn swallowed its timeout or cancellation.
-					err = ictx.Err()
-				}
+				v, err := runAttempts(ictx, name, func(c context.Context, _ struct{}) (any, error) {
+					return fn(c, i)
+				}, struct{}{}, opts.Retry, opts.AttemptTimeout, sink)
 				icancel()
-				fin := obs.Event{Kind: obs.KindTaskFinish, Name: label(i), Elapsed: time.Since(start)}
+				fin := obs.Event{Kind: obs.KindTaskFinish, Name: name, Elapsed: time.Since(start)}
 				if err != nil {
 					fin.Err = err.Error()
 				}
 				obs.Emit(sink, fin)
 				obs.Emit(sink, obs.Event{Kind: obs.KindPoolSample, InUse: int(occupancy.Add(-1)), Capacity: workers})
 				if err != nil {
-					fail(i, err)
+					errs[i] = err
+					ripple := errors.Is(err, context.Canceled) && ctx.Err() == nil
+					if ripple {
+						return // the run is already shutting down
+					}
+					if opts.KeepGoing {
+						continue // record and move on to the next item
+					}
+					cancel()
 					return
 				}
-				out[i] = v
+				if vv, ok := v.(T); ok {
+					out[i] = vv // a nil any (interface-typed T) keeps the zero value
+				}
 			}
 		}()
 	}
 	wg.Wait()
+
+	// Pick the aggregate error deterministically by index: the lowest
+	// genuine failure — never a cancellation ripple from a sibling —
+	// else the lowest error of any kind (external cancellation).
+	var firstErr, rootErr error
+	var rootName string
+	var deg DegradedError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			continue
+		}
+		if rootErr == nil {
+			rootErr, rootName = err, label(i)
+		}
+		deg.Failed = append(deg.Failed, label(i))
+		deg.Errs = append(deg.Errs, err)
+	}
+
+	if opts.KeepGoing && ctx.Err() == nil && len(deg.Failed) > 0 {
+		obs.Emit(sink, obs.Event{Kind: obs.KindRunDegraded, Failed: len(deg.Failed), Err: deg.summary()})
+		obs.Emit(sink, obs.Event{Kind: obs.KindRunFinish, Elapsed: time.Since(runStart)})
+		return out, &deg
+	}
 	obs.Emit(sink, obs.Event{Kind: obs.KindRunFinish, Elapsed: time.Since(runStart)})
+	if rootErr != nil {
+		return nil, labelErr(rootName, rootErr)
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

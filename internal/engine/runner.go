@@ -17,12 +17,26 @@ type Options struct {
 	// Jobs bounds how many experiments execute concurrently.
 	// Zero or negative means GOMAXPROCS.
 	Jobs int
-	// Timeout is the wall-clock budget of each experiment (its
-	// dependencies have their own budgets). Zero means no limit.
+	// Timeout is the wall-clock budget of each experiment across all of
+	// its attempts (its dependencies have their own budgets). Zero means
+	// no limit.
 	Timeout time.Duration
+	// AttemptTimeout bounds each individual attempt; a timed-out attempt
+	// is retryable under the Retry policy while Timeout is the hard
+	// per-task ceiling. Zero means no per-attempt limit.
+	AttemptTimeout time.Duration
+	// Retry is the per-task retry policy. The zero value runs each task
+	// exactly once.
+	Retry RetryPolicy
+	// KeepGoing keeps the run alive after a task fails: the failure is
+	// recorded, dependents are skipped, independent subgraphs run to
+	// completion, and Run returns the partial results alongside a
+	// *DegradedError. False preserves fail-fast: the first failure
+	// cancels everything in flight.
+	KeepGoing bool
 	// Sink receives structured run events (task start/finish/skip/
-	// cancel, pool occupancy samples). Nil means no observation; the
-	// sink must be safe for concurrent use.
+	// cancel/retry, pool occupancy samples). Nil means no observation;
+	// the sink must be safe for concurrent use.
 	Sink obs.Sink
 }
 
@@ -50,10 +64,13 @@ type task[E any] struct {
 // Run executes the requested experiments plus their transitive
 // dependencies on a bounded worker pool. An experiment starts once all
 // its dependencies succeeded; if a dependency fails, its dependents are
-// skipped, in-flight work is cancelled, and Run reports the root error.
-// Results come back for the requested names only, in request order,
-// regardless of completion order, so parallel runs are drop-in
-// replacements for serial ones.
+// skipped. By default the first failure cancels in-flight work and Run
+// reports the root error labeled with its task name; with
+// Options.KeepGoing, independent subgraphs complete and Run returns the
+// partial results together with a *DegradedError summarizing what
+// failed and what was skipped. Results come back for the requested
+// names only, in request order, regardless of completion order, so
+// parallel runs are drop-in replacements for serial ones.
 func Run[E any](ctx context.Context, reg *Registry[E], names []string, env E, opts Options) ([]Result, error) {
 	reg.mu.RLock()
 	// Resolve the requested names and expand the dependency closure.
@@ -121,7 +138,7 @@ func Run[E any](ctx context.Context, reg *Registry[E], names []string, env E, op
 				<-d.done
 				if d.res.Err != nil {
 					t.res.Err = &skipDep{fmt.Errorf("engine: %s skipped: dependency %s failed: %w", t.name, d.name, d.res.Err)}
-					obs.Emit(sink, obs.Event{Kind: obs.KindTaskSkip, Name: t.name, Err: t.res.Err.Error()})
+					obs.Emit(sink, obs.Event{Kind: obs.KindTaskSkip, Name: t.name, Err: t.res.Err.Error(), Reason: obs.SkipReasonUpstreamFailed})
 					return
 				}
 			}
@@ -150,31 +167,27 @@ func Run[E any](ctx context.Context, reg *Registry[E], names []string, env E, op
 			}
 			obs.Emit(sink, obs.Event{Kind: obs.KindTaskStart, Name: t.name, Deps: t.spec.deps})
 			start := time.Now()
-			t.res.Value, t.res.Err = t.spec.run(tctx, env)
+			t.res.Value, t.res.Err = runAttempts(tctx, t.name, t.spec.run, env, opts.Retry, opts.AttemptTimeout, sink)
 			t.res.Elapsed = time.Since(start)
-			if t.res.Err == nil && tctx.Err() != nil {
-				// A run function that swallowed the cancellation still
-				// must not report success.
-				t.res.Err = tctx.Err()
-			}
 			fin := obs.Event{Kind: obs.KindTaskFinish, Name: t.name, Elapsed: t.res.Elapsed}
 			if t.res.Err != nil {
 				fin.Err = t.res.Err.Error()
 			}
 			obs.Emit(sink, fin)
-			if t.res.Err != nil {
+			if t.res.Err != nil && !opts.KeepGoing {
 				cancel() // first failure stops the rest of the DAG
 			}
 		}(t)
 	}
 	wg.Wait()
-	obs.Emit(sink, obs.Event{Kind: obs.KindRunFinish, Elapsed: time.Since(runStart)})
 
-	// Pick the aggregate error deterministically: the topologically
-	// first root failure — one that is neither a skipped dependent nor
-	// a cancellation ripple from another task's failure — else the
-	// first error of any kind.
+	// Classify every failure deterministically in topological order:
+	// genuine root failures, skipped dependents, and cancellation
+	// ripples from another task's failure.
 	var firstErr, rootErr error
+	var rootName string
+	var failed, skipped []string
+	var failedErrs []error
 	for _, t := range order {
 		err := t.res.Err
 		if err == nil {
@@ -183,13 +196,34 @@ func Run[E any](ctx context.Context, reg *Registry[E], names []string, env E, op
 		if firstErr == nil {
 			firstErr = err
 		}
-		ripple := errors.Is(err, context.Canceled) && ctx.Err() == nil
-		if rootErr == nil && !isSkip(err) && !ripple {
-			rootErr = err
+		if isSkip(err) {
+			skipped = append(skipped, t.name)
+			continue
 		}
+		if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			continue // ripple from a sibling's failure, not a root cause
+		}
+		if rootErr == nil {
+			rootErr, rootName = err, t.name
+		}
+		failed = append(failed, t.name)
+		failedErrs = append(failedErrs, err)
 	}
+
+	if opts.KeepGoing && ctx.Err() == nil && len(failed) > 0 {
+		deg := &DegradedError{Failed: failed, Skipped: skipped, Errs: failedErrs}
+		obs.Emit(sink, obs.Event{Kind: obs.KindRunDegraded, Failed: len(failed), Skipped: len(skipped), Err: deg.summary()})
+		obs.Emit(sink, obs.Event{Kind: obs.KindRunFinish, Elapsed: time.Since(runStart)})
+		out := make([]Result, len(names))
+		for i, name := range names {
+			out[i] = tasks[name].res
+		}
+		return out, deg
+	}
+	obs.Emit(sink, obs.Event{Kind: obs.KindRunFinish, Elapsed: time.Since(runStart)})
+
 	if rootErr != nil {
-		return nil, rootErr
+		return nil, labelErr(rootName, rootErr)
 	}
 	if firstErr != nil {
 		return nil, firstErr
@@ -200,6 +234,55 @@ func Run[E any](ctx context.Context, reg *Registry[E], names []string, env E, op
 		out[i] = tasks[name].res
 	}
 	return out, nil
+}
+
+// runAttempts executes one task's run function under the retry policy:
+// each attempt is panic-protected and optionally bounded by
+// attemptTimeout; a retryable failure backs off deterministically and
+// tries again until the policy's budget, the classification, or the
+// surrounding context stops it. task.retry is emitted per retried
+// attempt and task.giveup once a retried task exhausts its budget.
+func runAttempts[E any](ctx context.Context, name string, run RunFunc[E], env E, pol RetryPolicy, attemptTimeout time.Duration, sink obs.Sink) (any, error) {
+	pol = pol.withDefaults()
+	for attempt := 1; ; attempt++ {
+		actx := ctx
+		acancel := context.CancelFunc(func() {})
+		if attemptTimeout > 0 {
+			actx, acancel = context.WithTimeout(ctx, attemptTimeout)
+		}
+		v, err := protect(name, run, actx, env)
+		if err == nil && actx.Err() != nil {
+			// A run function that swallowed its timeout or cancellation
+			// still must not report success.
+			err = actx.Err()
+		}
+		acancel()
+		if err == nil {
+			return v, nil
+		}
+		if attempt >= pol.MaxAttempts || ctx.Err() != nil || !pol.Classify(err) {
+			if attempt > 1 {
+				obs.Emit(sink, obs.Event{Kind: obs.KindTaskGiveUp, Name: name, Attempt: attempt, Err: err.Error()})
+			}
+			return nil, err
+		}
+		d := pol.Backoff(name, attempt)
+		obs.Emit(sink, obs.Event{Kind: obs.KindTaskRetry, Name: name, Attempt: attempt, Elapsed: d, Err: err.Error()})
+		if serr := pol.Sleep(ctx, d); serr != nil {
+			return nil, err
+		}
+	}
+}
+
+// labelErr wraps a root failure with its task name so the aggregate
+// error identifies which task failed. Errors that already carry the
+// task label (panics, dependency skips) pass through untouched.
+func labelErr(name string, err error) error {
+	var pe *PanicError
+	if errors.As(err, &pe) || isSkip(err) {
+		return err
+	}
+	return fmt.Errorf("engine: %s: %w", name, err)
 }
 
 // skipDep marks results of experiments whose dependencies failed, so

@@ -46,8 +46,10 @@ func (s *Store) Observe(sink obs.Sink) {
 }
 
 // Do returns the artifact under key, computing it with compute on the
-// first call. Errors are cached too: a failed computation is not
-// retried within the same run (the run aborts on first error anyway).
+// first call. A failed computation is evicted rather than cached:
+// callers already blocked on the in-flight compute observe the error,
+// but the next Do for the key computes afresh — so a retried task can
+// recover from a transient upstream failure instead of replaying it.
 func (s *Store) Do(key string, compute func() (any, error)) (any, error) {
 	s.mu.Lock()
 	if s.entries == nil {
@@ -71,6 +73,15 @@ func (s *Store) Do(key string, compute func() (any, error)) (any, error) {
 
 	start := time.Now()
 	e.val, e.err = compute()
+	if e.err != nil {
+		// Evict before waking waiters: the failure stays visible to
+		// everyone already blocked on e.done, while later lookups retry.
+		s.mu.Lock()
+		if s.entries[key] == e {
+			delete(s.entries, key)
+		}
+		s.mu.Unlock()
+	}
 	close(e.done)
 	obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreMiss, Name: key, Elapsed: time.Since(start)})
 	return e.val, e.err

@@ -40,7 +40,10 @@ func TestStoreComputesOnce(t *testing.T) {
 	}
 }
 
-func TestStoreCachesErrors(t *testing.T) {
+func TestStoreEvictsErrors(t *testing.T) {
+	// A failed compute must not poison the key: the next lookup retries
+	// (this is what lets a retried task recover from a transient
+	// upstream failure), and a success is then cached normally.
 	s := NewStore()
 	sentinel := errors.New("boom")
 	calls := 0
@@ -48,12 +51,16 @@ func TestStoreCachesErrors(t *testing.T) {
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v", err)
 	}
-	_, err = Memo(s, "k", func() (int, error) { calls++; return 7, nil })
-	if !errors.Is(err, sentinel) {
-		t.Fatalf("cached error not returned: %v", err)
+	v, err := Memo(s, "k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after error: v=%d err=%v", v, err)
 	}
-	if calls != 1 {
-		t.Fatalf("compute ran %d times", calls)
+	v, err = Memo(s, "k", func() (int, error) { calls++; return 0, sentinel })
+	if err != nil || v != 7 {
+		t.Fatalf("success not cached after recovery: v=%d err=%v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
 	}
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,7 +11,9 @@ import (
 	"time"
 
 	"coplot/internal/engine"
+	"coplot/internal/faultinject"
 	"coplot/internal/obs"
+	"coplot/internal/rng"
 )
 
 // Output is one experiment's rendered artifacts.
@@ -164,8 +167,27 @@ type RunOptions struct {
 	// Jobs bounds how many experiments run concurrently (<=0 means
 	// GOMAXPROCS). Any value produces byte-identical outputs.
 	Jobs int
-	// Timeout limits each experiment's wall-clock time (0 = none).
+	// Timeout limits each experiment's wall-clock time across all of
+	// its attempts (0 = none).
 	Timeout time.Duration
+	// AttemptTimeout limits each individual attempt; a timed-out
+	// attempt counts against Retries (0 = none).
+	AttemptTimeout time.Duration
+	// Retries is how many times a failing experiment is re-attempted
+	// beyond its first try (0 = fail on first error). Backoff jitter is
+	// derived deterministically from the run seed.
+	Retries int
+	// Backoff is the base delay before the first retry, doubling per
+	// further retry (0 = the engine default).
+	Backoff time.Duration
+	// KeepGoing records failures and skips their dependents while
+	// independent experiments complete; the run then returns the
+	// partial outputs together with an *engine.DegradedError.
+	KeepGoing bool
+	// Inject is an optional fault-injection schedule spliced around the
+	// registered experiments (nil = no injection). Used by tests and
+	// the -inject CLI flag to exercise failure paths deterministically.
+	Inject *faultinject.Schedule
 	// Sink observes the run: experiment and artifact-store events flow
 	// to it (nil = no observation). Observability never alters the
 	// experiment outputs, only describes how they were produced.
@@ -179,10 +201,28 @@ func Run(ctx context.Context, name string, cfg Config, opts RunOptions) (*Output
 		return nil, fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(Names(), ", "))
 	}
 	outs, err := runNames(ctx, []string{name}, cfg, opts)
-	if err != nil {
+	if len(outs) == 0 {
+		if err == nil {
+			err = fmt.Errorf("experiments: %s produced no output", name)
+		}
 		return nil, err
 	}
-	return outs[0], nil
+	return outs[0], err
+}
+
+// RunNames executes the named experiments — and, first, their
+// dependencies — over one shared environment, returning the completed
+// outputs in request order. Under RunOptions.KeepGoing a failure
+// degrades rather than aborts: the completed outputs come back
+// alongside an *engine.DegradedError naming the failed experiments and
+// their skipped dependents.
+func RunNames(ctx context.Context, names []string, cfg Config, opts RunOptions) ([]*Output, error) {
+	for _, name := range names {
+		if !registry.Has(name) {
+			return nil, fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(Names(), ", "))
+		}
+	}
+	return runNames(ctx, names, cfg, opts)
 }
 
 // RunAll executes every experiment once over one shared environment, so
@@ -203,17 +243,44 @@ func RunAll(ctx context.Context, cfg Config, opts RunOptions) ([]*Output, error)
 func runNames(ctx context.Context, names []string, cfg Config, opts RunOptions) ([]*Output, error) {
 	env := NewEnv(cfg)
 	env.Store.Observe(opts.Sink)
-	results, err := engine.Run(ctx, registry, names, env, engine.Options{Jobs: opts.Jobs, Timeout: opts.Timeout, Sink: opts.Sink})
-	if err != nil {
+	reg := registry
+	if opts.Inject.Enabled() {
+		reg = faultinject.Wrap(opts.Inject, registry)
+	}
+	eopts := engine.Options{
+		Jobs:           opts.Jobs,
+		Timeout:        opts.Timeout,
+		AttemptTimeout: opts.AttemptTimeout,
+		KeepGoing:      opts.KeepGoing,
+		Sink:           opts.Sink,
+	}
+	if opts.Retries > 0 {
+		eopts.Retry = engine.RetryPolicy{
+			MaxAttempts: opts.Retries + 1,
+			BaseBackoff: opts.Backoff,
+			Seed:        rng.Derive(cfg.WithDefaults().Seed, "engine:backoff"),
+		}
+	}
+	results, err := engine.Run(ctx, reg, names, env, eopts)
+	var deg *engine.DegradedError
+	if err != nil && !errors.As(err, &deg) {
 		return nil, err
 	}
-	outs := make([]*Output, len(results))
-	for i, r := range results {
+	// A degraded keep-going run still returns every completed output;
+	// failed and skipped experiments are absent, recorded in deg.
+	var outs []*Output
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
 		o, ok := r.Value.(*Output)
 		if !ok {
 			return nil, fmt.Errorf("experiments: %s produced %T, want *Output", r.Name, r.Value)
 		}
-		outs[i] = o
+		outs = append(outs, o)
+	}
+	if deg != nil {
+		return outs, deg
 	}
 	return outs, nil
 }

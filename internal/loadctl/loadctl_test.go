@@ -199,3 +199,73 @@ func BenchmarkApplyCombined(b *testing.B) {
 		}
 	}
 }
+
+// TestOperatorSideEffectDirections is the satellite's table-driven
+// check: for every operator, the direction each Table-1 variable moves
+// in — down, flat, or up — must match the package documentation. This
+// is the shape of the paper's section-8 argument: the classical
+// operators each drag exactly their own variable, while the combined
+// operator touches parallelism (up), leaves runtimes flat, and lets
+// arrivals absorb at most the remainder (down or flat).
+func TestOperatorSideEffectDirections(t *testing.T) {
+	type dir int
+	const (
+		down dir = iota - 1
+		flat
+		up
+		downOrFlat
+		upOrFlat
+	)
+	check := func(t *testing.T, what string, ratio float64, d dir) {
+		t.Helper()
+		switch d {
+		case down:
+			if ratio >= 0.95 {
+				t.Errorf("%s: ratio %v, want a decrease", what, ratio)
+			}
+		case flat:
+			if math.Abs(ratio-1) > 0.05 {
+				t.Errorf("%s: ratio %v, want unchanged", what, ratio)
+			}
+		case up:
+			if ratio <= 1.05 {
+				t.Errorf("%s: ratio %v, want an increase", what, ratio)
+			}
+		case downOrFlat:
+			if ratio > 1.01 {
+				t.Errorf("%s: ratio %v, want no increase", what, ratio)
+			}
+		case upOrFlat:
+			if ratio < 0.99 {
+				t.Errorf("%s: ratio %v, want no decrease", what, ratio)
+			}
+		}
+	}
+
+	l := testLog()
+	m := testMachine()
+	cases := []struct {
+		method                 Method
+		interArr, runtime, prc dir
+	}{
+		{ScaleInterArrival, down, flat, flat},
+		{ScaleRuntime, flat, up, flat},
+		{ScaleParallelism, flat, flat, up},
+		{Combined, downOrFlat, flat, upOrFlat},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.method.String(), func(t *testing.T) {
+			se, _, err := Measure(l, m, tc.method, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, "inter-arrival median", se.Changes[workload.VarInterArrMedian], tc.interArr)
+			check(t, "runtime median", se.Changes[workload.VarRuntimeMedian], tc.runtime)
+			check(t, "parallelism median", se.Changes[workload.VarProcsMedian], tc.prc)
+			if f := se.AchievedFactor(); f < 1.2 {
+				t.Errorf("load factor %v, operator did not raise the load", f)
+			}
+		})
+	}
+}

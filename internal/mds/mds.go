@@ -43,8 +43,15 @@ type Options struct {
 	MaxIter  int             // default 300
 	Tol      float64         // relative stress-improvement stop; default 1e-7
 	Method   DisparityMethod // default RankImage
-	Restarts int             // extra random restarts; best result wins. default 4
+	Restarts int             // extra random restarts; best result wins. default 4; -1 disables them
 	Seed     uint64          // seed for the random restarts
+
+	// Trace, when non-nil, observes every SMACOF iteration of every
+	// start: the start index (0 = classical scaling, then the random
+	// restarts), the iteration number, and the stress-1 value of the
+	// configuration entering that iteration. It never alters the fit —
+	// property tests use it to check the majorization descent.
+	Trace func(start, iter int, stress float64)
 }
 
 func (o Options) withDefaults() Options {
@@ -126,8 +133,8 @@ func SSA(d *mat.Matrix, opts Options) (Result, error) {
 
 	best := Result{Alienation: math.Inf(1)}
 	var firstErr error
-	run := func(x0 *mat.Matrix) {
-		res, err := ssaFrom(d, diss, x0, opts)
+	run := func(start int, x0 *mat.Matrix) {
+		res, err := ssaFrom(d, diss, x0, start, opts)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -141,7 +148,7 @@ func SSA(d *mat.Matrix, opts Options) (Result, error) {
 
 	x0, err := Classical(d, opts.Dims)
 	if err == nil {
-		run(x0)
+		run(0, x0)
 	} else {
 		firstErr = err
 	}
@@ -151,7 +158,7 @@ func SSA(d *mat.Matrix, opts Options) (Result, error) {
 		for i := range xr.Data {
 			xr.Data[i] = r.Norm()
 		}
-		run(xr)
+		run(k+1, xr)
 	}
 	if math.IsInf(best.Alienation, 1) {
 		return Result{}, fmt.Errorf("mds: no restart converged: %v", firstErr)
@@ -179,7 +186,7 @@ func flattenPairs(d *mat.Matrix) []pair {
 	return out
 }
 
-func ssaFrom(d *mat.Matrix, diss []pair, x0 *mat.Matrix, opts Options) (Result, error) {
+func ssaFrom(d *mat.Matrix, diss []pair, x0 *mat.Matrix, start int, opts Options) (Result, error) {
 	n := d.Rows
 	dims := opts.Dims
 	x := x0.Clone()
@@ -256,6 +263,9 @@ func ssaFrom(d *mat.Matrix, diss []pair, x0 *mat.Matrix, opts Options) (Result, 
 		computeDistances()
 		computeDisparities()
 		s := stress()
+		if opts.Trace != nil {
+			opts.Trace(start, iter, s)
+		}
 		if prev-s < opts.Tol*prev {
 			break
 		}

@@ -39,6 +39,8 @@ type Manifest struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Tasks lists every scheduled task, sorted by name.
 	Tasks []TaskRecord `json:"tasks"`
+	// Failures summarizes the run's failure set; nil for a clean run.
+	Failures *FailureSummary `json:"failures,omitempty"`
 	// Store aggregates the artifact-store counters.
 	Store StoreStats `json:"store"`
 	// Pool aggregates the worker-pool occupancy samples.
@@ -57,6 +59,28 @@ type TaskRecord struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Err is the failure message for non-ok statuses.
 	Err string `json:"error,omitempty"`
+	// Retries counts the failed attempts that were retried before the
+	// final outcome. Deterministic for a given fault schedule (the
+	// backoff delays are timing; the count is not).
+	Retries int `json:"retries,omitempty"`
+	// Reason classifies a skipped task (obs.SkipReasonUpstreamFailed).
+	Reason string `json:"reason,omitempty"`
+}
+
+// FailureSummary condenses what went wrong in a run: which tasks
+// failed, which dependents were skipped because of them, and how much
+// retrying happened. All fields are deterministic for a given fault
+// schedule, so Stable() keeps the summary intact.
+type FailureSummary struct {
+	// Degraded reports a keep-going run that completed with failures.
+	Degraded bool `json:"degraded,omitempty"`
+	// Failed lists the tasks whose final status is "error", sorted.
+	Failed []string `json:"failed,omitempty"`
+	// Skipped lists the dependents abandoned because an upstream task
+	// failed, sorted.
+	Skipped []string `json:"skipped,omitempty"`
+	// Retries is the total retried attempts across all tasks.
+	Retries int `json:"retries,omitempty"`
 }
 
 // StoreStats aggregates artifact-store traffic. Lookups, Misses and
@@ -90,7 +114,10 @@ type PoolStats struct {
 // Started, ElapsedMS, per-task ElapsedMS, Store.Waits, Pool.MaxInUse
 // and Pool.Samples. Golden comparisons and the determinism tests
 // compare Stable() forms; everything that remains is a pure function of
-// the run configuration.
+// the run configuration. Retry counts, skip reasons and the failure
+// summary survive: for a given fault schedule they are deterministic
+// (only the backoff *delays* are wall-clock accidents, and those are
+// never recorded in the manifest).
 func (m *Manifest) Stable() *Manifest {
 	c := *m
 	c.Started = time.Time{}
@@ -101,6 +128,12 @@ func (m *Manifest) Stable() *Manifest {
 	c.Tasks = append([]TaskRecord(nil), m.Tasks...)
 	for i := range c.Tasks {
 		c.Tasks[i].ElapsedMS = 0
+	}
+	if m.Failures != nil {
+		f := *m.Failures
+		f.Failed = append([]string(nil), m.Failures.Failed...)
+		f.Skipped = append([]string(nil), m.Failures.Skipped...)
+		c.Failures = &f
 	}
 	return &c
 }
@@ -153,12 +186,13 @@ type RunInfo struct {
 // Metrics is a Sink that aggregates a run's events into a Manifest.
 // One Metrics observes one run; create a fresh one per invocation.
 type Metrics struct {
-	mu      sync.Mutex
-	started time.Time
-	elapsed time.Duration
-	tasks   map[string]*TaskRecord
-	store   StoreStats
-	pool    PoolStats
+	mu       sync.Mutex
+	started  time.Time
+	elapsed  time.Duration
+	tasks    map[string]*TaskRecord
+	store    StoreStats
+	pool     PoolStats
+	degraded bool
 }
 
 // NewMetrics returns an empty metrics sink.
@@ -191,9 +225,14 @@ func (m *Metrics) Event(e Event) {
 	case KindTaskSkip:
 		t := m.task(e.Name)
 		t.Status, t.Err = "skipped", e.Err
+		t.Reason = e.Reason
 	case KindTaskCancel:
 		t := m.task(e.Name)
 		t.Status, t.Err = "cancelled", e.Err
+	case KindTaskRetry:
+		m.task(e.Name).Retries++
+	case KindRunDegraded:
+		m.degraded = true
 	case KindStoreHit:
 		m.store.Lookups++
 	case KindStoreMiss:
@@ -249,5 +288,18 @@ func (m *Metrics) Manifest(info RunInfo) *Manifest {
 		mf.Tasks = append(mf.Tasks, *t)
 	}
 	sort.Slice(mf.Tasks, func(i, j int) bool { return mf.Tasks[i].Name < mf.Tasks[j].Name })
+	sum := FailureSummary{Degraded: m.degraded}
+	for _, t := range mf.Tasks {
+		switch t.Status {
+		case "error":
+			sum.Failed = append(sum.Failed, t.Name)
+		case "skipped":
+			sum.Skipped = append(sum.Skipped, t.Name)
+		}
+		sum.Retries += t.Retries
+	}
+	if sum.Degraded || len(sum.Failed) > 0 || len(sum.Skipped) > 0 || sum.Retries > 0 {
+		mf.Failures = &sum
+	}
 	return mf
 }

@@ -1,11 +1,12 @@
 // Package obs is the observability layer of the experiment engine: a
 // structured event model describing what a run did (experiment
-// start/finish/skip/cancel, artifact-store hit/miss/wait, worker-pool
-// occupancy), a pluggable Sink interface the engine emits those events
-// to, and two concrete sinks — a JSON-lines trace writer for offline
-// inspection and an aggregating metrics sink that condenses a run into
-// a Manifest (per-task wall time, dependency edges, cache hit ratio,
-// run settings).
+// start/finish/skip/cancel, retry/giveup and degraded-run outcomes,
+// artifact-store hit/miss/wait, worker-pool occupancy), a pluggable
+// Sink interface the engine emits those events to, and two concrete
+// sinks — a JSON-lines trace writer for offline inspection and an
+// aggregating metrics sink that condenses a run into a Manifest
+// (per-task wall time, dependency edges, retry counts, cache hit
+// ratio, run settings, failure summary).
 //
 // The engine emits events from many goroutines concurrently, so every
 // Sink implementation must be safe for concurrent use. Events carry
@@ -33,11 +34,24 @@ const (
 	// KindTaskFinish marks a task leaving execution; Elapsed holds its
 	// wall time and Err its failure, if any.
 	KindTaskFinish Kind = "task.finish"
-	// KindTaskSkip marks a task abandoned because a dependency failed.
+	// KindTaskSkip marks a task abandoned because a dependency failed;
+	// Reason carries the skip classification (SkipReasonUpstreamFailed).
 	KindTaskSkip Kind = "task.skip"
 	// KindTaskCancel marks a task abandoned by run cancellation or
 	// timeout before it started executing.
 	KindTaskCancel Kind = "task.cancel"
+	// KindTaskRetry marks a failed attempt that will be retried: Attempt
+	// is the attempt that just failed (1-based), Err its failure, and
+	// Elapsed the backoff delay before the next attempt.
+	KindTaskRetry Kind = "task.retry"
+	// KindTaskGiveUp marks a task whose retry budget is exhausted:
+	// Attempt holds the total attempts made and Err the final failure.
+	// A task.finish with the same error follows.
+	KindTaskGiveUp Kind = "task.giveup"
+	// KindRunDegraded marks a keep-going run that completed with
+	// failures: Failed counts the failed tasks, Skipped their abandoned
+	// dependents, and Err summarizes the failure set.
+	KindRunDegraded Kind = "run.degraded"
 	// KindStoreHit marks an artifact-store lookup answered from cache.
 	KindStoreHit Kind = "store.hit"
 	// KindStoreMiss marks the lookup that computed an artifact; Elapsed
@@ -72,7 +86,20 @@ type Event struct {
 	InUse int `json:"in_use,omitempty"`
 	// Capacity is the pool size of a pool.sample or run.start.
 	Capacity int `json:"capacity,omitempty"`
+	// Attempt is the 1-based attempt number of a task.retry (the attempt
+	// that failed) or task.giveup (the total attempts made).
+	Attempt int `json:"attempt,omitempty"`
+	// Reason classifies a task.skip (SkipReasonUpstreamFailed).
+	Reason string `json:"reason,omitempty"`
+	// Failed counts the failed tasks of a run.degraded.
+	Failed int `json:"failed,omitempty"`
+	// Skipped counts the skipped dependents of a run.degraded.
+	Skipped int `json:"skipped,omitempty"`
 }
+
+// SkipReasonUpstreamFailed is the Reason of a task.skip emitted for a
+// task whose dependency (direct or transitive) failed.
+const SkipReasonUpstreamFailed = "upstream-failed"
 
 // Sink consumes engine events. Implementations must be safe for
 // concurrent use; Event must not block longer than necessary, since it

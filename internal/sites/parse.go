@@ -1,0 +1,240 @@
+package sites
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"coplot/internal/machine"
+	"coplot/internal/swf"
+)
+
+// The spec-table text format: one observation per line, 22
+// whitespace-separated columns mirroring the Spec fields, '#' lines and
+// blank lines ignored. It is the external counterpart of the built-in
+// Table1Specs/Table2Specs calibrations, so users can generate logs for
+// machines and workloads outside the paper's sample (cmd/wgen -spec).
+const specColumns = 22
+
+// specHeader documents the column order; FormatSpecs emits it and
+// ParseSpecs accepts it back as a comment.
+const specHeader = "# name machine jobs queue interMed interIv runtimeMed runtimeIv " +
+	"procsMed procsIv workMed workIv pow2 minPart rtProcsCorr " +
+	"hArrival hRuntime hProcs usersPerJob execsPerJob completedFrac cpuFraction"
+
+// namedMachines are the Table 1 machines accepted (and preferred when
+// formatting) as a bare machine column.
+var namedMachines = []machine.Machine{
+	machine.CTC, machine.KTH, machine.LANL, machine.LLNL, machine.NASA, machine.SDSC,
+}
+
+// ParseSpecs reads a spec table. Every accepted spec passes
+// Spec.Validate, all numeric cells are finite, and observation names are
+// unique — hostile tables error with the offending line named, they
+// never produce a generator that panics later.
+func ParseSpecs(r io.Reader) ([]Spec, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var specs []Spec
+	seen := map[string]bool{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		spec, err := parseSpecLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("sites: line %d: %v", lineNo, err)
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("sites: line %d: duplicate observation %q", lineNo, spec.Name)
+		}
+		seen[spec.Name] = true
+		specs = append(specs, spec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sites: %v", err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sites: spec table has no observations")
+	}
+	return specs, nil
+}
+
+func parseSpecLine(line string) (Spec, error) {
+	fields := strings.Fields(line)
+	if len(fields) != specColumns {
+		return Spec{}, fmt.Errorf("has %d columns, want %d", len(fields), specColumns)
+	}
+	var s Spec
+	var err error
+	col := 0
+	next := func() string { f := fields[col]; col++; return f }
+	geti := func(what string) int {
+		f := next()
+		if err != nil {
+			return 0
+		}
+		v, e := strconv.Atoi(f)
+		if e != nil {
+			err = fmt.Errorf("%s: %v", what, e)
+		}
+		return v
+	}
+	getf := func(what string) float64 {
+		f := next()
+		if err != nil {
+			return 0
+		}
+		v, e := strconv.ParseFloat(f, 64)
+		switch {
+		case e != nil:
+			err = fmt.Errorf("%s: %v", what, e)
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			err = fmt.Errorf("%s: non-finite value %q", what, f)
+		}
+		return v
+	}
+	getb := func(what string) bool {
+		f := next()
+		if err != nil {
+			return false
+		}
+		v, e := strconv.ParseBool(f)
+		if e != nil {
+			err = fmt.Errorf("%s: %v", what, e)
+		}
+		return v
+	}
+
+	s.Name = next()
+	if strings.HasPrefix(s.Name, "#") {
+		return Spec{}, fmt.Errorf("observation name %q may not start with '#'", s.Name)
+	}
+	if s.Machine, err = parseMachine(next()); err != nil {
+		return Spec{}, err
+	}
+	s.Jobs = geti("jobs")
+	switch q := next(); q {
+	case "interactive":
+		s.Queue = swf.QueueInteractive
+	case "batch":
+		s.Queue = swf.QueueBatch
+	default:
+		return Spec{}, fmt.Errorf("queue %q, want interactive or batch", q)
+	}
+	s.InterMed = getf("interMed")
+	s.InterIv = getf("interIv")
+	s.RuntimeMed = getf("runtimeMed")
+	s.RuntimeIv = getf("runtimeIv")
+	s.ProcsMed = getf("procsMed")
+	s.ProcsIv = getf("procsIv")
+	s.WorkMed = getf("workMed")
+	s.WorkIv = getf("workIv")
+	s.Pow2Procs = getb("pow2")
+	s.MinPartition = geti("minPart")
+	s.RTProcsCorr = getf("rtProcsCorr")
+	s.HArrival = getf("hArrival")
+	s.HRuntime = getf("hRuntime")
+	s.HProcs = getf("hProcs")
+	s.UsersPerJob = getf("usersPerJob")
+	s.ExecsPerJob = getf("execsPerJob")
+	s.CompletedFrac = getf("completedFrac")
+	s.CPUFraction = getf("cpuFraction")
+	if err != nil {
+		return Spec{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// parseMachine accepts a Table 1 machine name (CTC, KTH, LANL, LLNL,
+// NASA, SDSC) or a custom procs/scheduler/allocator triple such as
+// "128/EASY/unlimited" (scheduler: nqs|easy|gang; allocator:
+// pow2|limited|unlimited).
+func parseMachine(f string) (machine.Machine, error) {
+	for _, m := range namedMachines {
+		if m.Name == f {
+			return m, nil
+		}
+	}
+	parts := strings.Split(f, "/")
+	if len(parts) != 3 {
+		return machine.Machine{}, fmt.Errorf("machine %q, want a Table 1 name or procs/scheduler/allocator", f)
+	}
+	procs, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return machine.Machine{}, fmt.Errorf("machine %q: %v", f, err)
+	}
+	m := machine.Machine{Name: "custom", Procs: procs}
+	switch strings.ToLower(parts[1]) {
+	case "nqs":
+		m.Scheduler = machine.SchedulerNQS
+	case "easy":
+		m.Scheduler = machine.SchedulerEASY
+	case "gang":
+		m.Scheduler = machine.SchedulerGang
+	default:
+		return machine.Machine{}, fmt.Errorf("machine %q: scheduler %q, want nqs, easy or gang", f, parts[1])
+	}
+	switch strings.ToLower(parts[2]) {
+	case "pow2":
+		m.Allocator = machine.AllocatorPow2
+	case "limited":
+		m.Allocator = machine.AllocatorLimited
+	case "unlimited":
+		m.Allocator = machine.AllocatorUnlimited
+	default:
+		return machine.Machine{}, fmt.Errorf("machine %q: allocator %q, want pow2, limited or unlimited", f, parts[2])
+	}
+	return m, nil
+}
+
+// FormatSpecs renders specs as a spec table that ParseSpecs reads back
+// unchanged. Used by cmd/wgen -dump-specs to export the built-in
+// calibrations as an editable starting point.
+func FormatSpecs(specs []Spec) string {
+	var b strings.Builder
+	b.WriteString(specHeader + "\n")
+	for _, s := range specs {
+		queue := "batch"
+		if s.Queue == swf.QueueInteractive {
+			queue = "interactive"
+		}
+		cols := []string{
+			s.Name, formatMachine(s.Machine), strconv.Itoa(s.Jobs), queue,
+			g(s.InterMed), g(s.InterIv), g(s.RuntimeMed), g(s.RuntimeIv),
+			g(s.ProcsMed), g(s.ProcsIv), g(s.WorkMed), g(s.WorkIv),
+			strconv.FormatBool(s.Pow2Procs), strconv.Itoa(s.MinPartition), g(s.RTProcsCorr),
+			g(s.HArrival), g(s.HRuntime), g(s.HProcs),
+			g(s.UsersPerJob), g(s.ExecsPerJob), g(s.CompletedFrac), g(s.CPUFraction),
+		}
+		b.WriteString(strings.Join(cols, " ") + "\n")
+	}
+	return b.String()
+}
+
+func formatMachine(m machine.Machine) string {
+	for _, named := range namedMachines {
+		if m == named {
+			return m.Name
+		}
+	}
+	sched := map[machine.Scheduler]string{
+		machine.SchedulerNQS: "nqs", machine.SchedulerEASY: "easy", machine.SchedulerGang: "gang",
+	}[m.Scheduler]
+	alloc := map[machine.Allocator]string{
+		machine.AllocatorPow2: "pow2", machine.AllocatorLimited: "limited", machine.AllocatorUnlimited: "unlimited",
+	}[m.Allocator]
+	return fmt.Sprintf("%d/%s/%s", m.Procs, sched, alloc)
+}
+
+// g renders a float with full round-trip precision.
+func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,95 @@
+package sites
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSpecTableRoundTripsBuiltins pins the format against the built-in
+// calibrations: dumping Table 1 + Table 2 and parsing the dump must
+// reproduce every spec exactly.
+func TestSpecTableRoundTripsBuiltins(t *testing.T) {
+	specs := append(Table1Specs(20000), Table2Specs(20000)...)
+	got, err := ParseSpecs(strings.NewReader(FormatSpecs(specs)))
+	if err != nil {
+		t.Fatalf("ParseSpecs rejected FormatSpecs output: %v", err)
+	}
+	if !reflect.DeepEqual(got, specs) {
+		t.Fatalf("round trip changed the specs:\ngot  %+v\nwant %+v", got, specs)
+	}
+}
+
+func TestParseSpecsCustomMachine(t *testing.T) {
+	const table = `
+# comment line
+demo 64/easy/unlimited 2000 batch 60 1500 900 50000 2 30 0 0 false 0 0 0.7 0.7 0.7 0.01 0 0.8 0.9
+`
+	specs, err := ParseSpecs(strings.NewReader(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	s := specs[0]
+	if s.Name != "demo" || s.Machine.Procs != 64 || s.Jobs != 2000 {
+		t.Fatalf("spec = %+v", s)
+	}
+	if _, err := s.Generate(1); err != nil {
+		t.Fatalf("parsed spec does not generate: %v", err)
+	}
+}
+
+func TestParseSpecsRejects(t *testing.T) {
+	valid := "demo CTC 2000 batch 60 1500 900 50000 2 30 0 0 false 0 0 0.7 0.7 0.7 0.01 0 0.8 0.9"
+	cases := map[string]string{
+		"empty table":      "# nothing here\n",
+		"short line":       "demo CTC 2000 batch 60\n",
+		"bad machine":      strings.Replace(valid, "CTC", "XYZ", 1),
+		"bad triple":       strings.Replace(valid, "CTC", "64/easy", 1),
+		"bad queue":        strings.Replace(valid, "batch", "express", 1),
+		"NaN cell":         strings.Replace(valid, "1500", "NaN", 1),
+		"Inf cell":         strings.Replace(valid, "1500", "+Inf", 1),
+		"bad hurst":        strings.Replace(valid, "0.7 0.7 0.7", "1.7 0.7 0.7", 1),
+		"too few jobs":     strings.Replace(valid, "2000", "3", 1),
+		"duplicate name":   valid + "\n" + valid,
+		"comment-ish name": strings.Replace(valid, "demo", "#demo", 1),
+	}
+	for name, table := range cases {
+		if _, err := ParseSpecs(strings.NewReader(table)); err == nil {
+			t.Errorf("%s: accepted %q", name, table)
+		}
+	}
+}
+
+// FuzzParseSpecs feeds arbitrary bytes to the spec-table parser. It must
+// never panic; accepted tables must survive a FormatSpecs→ParseSpecs
+// round trip unchanged, and every accepted spec must validate (so a
+// later Generate cannot die on calibration nonsense).
+func FuzzParseSpecs(f *testing.F) {
+	f.Add(FormatSpecs(Table1Specs(20000)))
+	f.Add("demo 64/easy/unlimited 2000 batch 60 1500 900 50000 2 30 0 0 false 0 0 0.7 0.7 0.7 0.01 0 0.8 0.9\n")
+	f.Add("demo LANL 2000 interactive 16 276 57 267 32 96 128 2560 true 32 -0.3 0.59 0.8 0.81 0.0049 0.0019 0.99 0.3\n")
+	f.Add("# only comments\n\n")
+	f.Add("demo CTC 2000 batch 60 NaN 900 50000 2 30 0 0 false 0 0 0.7 0.7 0.7 0.01 0 0.8 0.9\n")
+	f.Add("demo CTC 2000 batch 60 1e999 900 50000 2 30 0 0 false 0 0 0.7 0.7 0.7 0.01 0 0.8 0.9\n")
+	f.Fuzz(func(t *testing.T, table string) {
+		specs, err := ParseSpecs(strings.NewReader(table))
+		if err != nil {
+			return
+		}
+		for _, s := range specs {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("accepted an invalid spec: %v", err)
+			}
+		}
+		again, err := ParseSpecs(strings.NewReader(FormatSpecs(specs)))
+		if err != nil {
+			t.Fatalf("round trip rejected its own output: %v", err)
+		}
+		if !reflect.DeepEqual(again, specs) {
+			t.Fatalf("round trip changed the specs:\ngot  %+v\nwant %+v", again, specs)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package swf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes to the SWF parser. Parse must never
+// panic; when it accepts an input, every float field must be finite
+// (hostile "NaN"/"Inf" tokens are rejected at parse time) and the log
+// must survive a Write→Parse round trip with its structure intact.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte("; Computer: test\n; Procs: 4\n1 0 5 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))
+	f.Add([]byte("1 0.5 5 10 2 8.25 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n2 1.5 0 3 1 -1 -1 1 4 -1 0 2 1 2 1 -1 -1 -1\n"))
+	f.Add([]byte("\n   \n; only a header\n"))
+	f.Add([]byte("1 2 3\n"))                                                 // short line
+	f.Add([]byte("x 0 0 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))           // bad int
+	f.Add([]byte("1 NaN 0 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))         // non-finite
+	f.Add([]byte("1 +Inf 0 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))        // non-finite
+	f.Add([]byte("1 1e999 0 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))       // float overflow
+	f.Add([]byte("1 0 0 10 99999999999999999999 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n")) // int overflow
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, j := range log.Jobs {
+			for _, v := range []float64{j.Submit, j.Wait, j.Runtime, j.CPUTime,
+				j.Memory, j.ReqTime, j.ReqMemory, j.ThinkTime} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("job %d: accepted a non-finite field: %+v", i, j)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, log); err != nil {
+			t.Fatalf("Write of a parsed log failed: %v", err)
+		}
+		again, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected its own output: %v\n%s", err, buf.String())
+		}
+		if len(again.Jobs) != len(log.Jobs) || len(again.Header) != len(log.Header) {
+			t.Fatalf("round trip changed shape: %d/%d jobs, %d/%d header lines",
+				len(again.Jobs), len(log.Jobs), len(again.Header), len(log.Header))
+		}
+		for i := range log.Jobs {
+			a, b := log.Jobs[i], again.Jobs[i]
+			if a.ID != b.ID || a.Procs != b.Procs || a.Status != b.Status ||
+				a.User != b.User || a.Queue != b.Queue {
+				t.Fatalf("round trip changed job %d: %+v != %+v", i, a, b)
+			}
+		}
+	})
+}
+
+// TestParseRejectsNonFinite pins the hardening FuzzParse relies on:
+// tokens ParseFloat accepts but no sane log contains must error with the
+// offending line and field named.
+func TestParseRejectsNonFinite(t *testing.T) {
+	for _, tok := range []string{"NaN", "nan", "Inf", "+Inf", "-Inf", "infinity", "1e999"} {
+		line := "1 " + tok + " 0 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"
+		_, err := Parse(strings.NewReader(line))
+		if err == nil {
+			t.Errorf("submit time %q accepted", tok)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 1 field 2") {
+			t.Errorf("submit time %q: error does not locate the field: %v", tok, err)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -236,8 +237,14 @@ func Parse(r io.Reader) (*Log, error) {
 				return 0
 			}
 			v, e := strconv.ParseFloat(fields[idx], 64)
-			if e != nil {
+			switch {
+			case e != nil:
 				err = fmt.Errorf("swf: line %d field %d: %v", lineNo, idx+1, e)
+			case math.IsNaN(v) || math.IsInf(v, 0):
+				// ParseFloat accepts "NaN" and "Inf"; a log carrying them
+				// would poison every downstream statistic, so reject the
+				// line instead of propagating non-finite values.
+				err = fmt.Errorf("swf: line %d field %d: non-finite value %q", lineNo, idx+1, fields[idx])
 			}
 			return v
 		}
