@@ -9,14 +9,18 @@ package coplot
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"testing"
 
 	"coplot/internal/core"
 	"coplot/internal/experiments"
 	"coplot/internal/fgn"
+	"coplot/internal/mat"
 	"coplot/internal/mds"
+	"coplot/internal/par"
 	"coplot/internal/rng"
+	"coplot/internal/selfsim"
 )
 
 // benchCfg scales the experiments down enough for iteration while
@@ -264,3 +268,83 @@ func benchRunAll(b *testing.B, jobs int) {
 
 func BenchmarkRunAllSerial(b *testing.B)    { benchRunAll(b, 1) }
 func BenchmarkRunAllParallel4(b *testing.B) { benchRunAll(b, 4) }
+
+// ---- Parallel kernels --------------------------------------------------
+
+// The three kernels below run as jobs=1 / jobs=4 sub-benchmark pairs;
+// cmd/benchjson parses this naming to compute per-kernel speedups and
+// gate CI on regressions. Outputs are byte-identical across the pair —
+// only wall-clock may differ.
+
+// benchKernelJobs runs fn once per worker-budget variant.
+func benchKernelJobs(b *testing.B, fn func(b *testing.B, budget *par.Budget)) {
+	b.Helper()
+	for _, jobs := range []int{1, 4} {
+		budget := par.NewBudget(jobs)
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) { fn(b, budget) })
+	}
+}
+
+// kernelMatrix builds a reproducible n×p data matrix large enough that
+// the kernels' fan-outs dominate their setup cost.
+func kernelMatrix(n, p int, seed uint64) *mat.Matrix {
+	r := rng.New(seed)
+	z := mat.New(n, p)
+	for i := range z.Data {
+		z.Data[i] = r.Norm()
+	}
+	return z
+}
+
+// BenchmarkSSAMultiStart measures the multi-start solver: classical
+// scaling plus 7 random restarts (8 independent SMACOF runs), the
+// fan-out the -jobs budget parallelizes.
+func BenchmarkSSAMultiStart(b *testing.B) {
+	d := core.CityBlock(kernelMatrix(40, 9, 17))
+	benchKernelJobs(b, func(b *testing.B, budget *par.Budget) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			res, err := mds.SSA(d, mds.Options{Seed: 3, Restarts: 7, Par: budget})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res.Alienation
+		}
+		b.ReportMetric(last, "alienation")
+	})
+}
+
+// BenchmarkEstimateSet measures the Table 3 shape: the three-estimator
+// triple fanned over a set of series.
+func BenchmarkEstimateSet(b *testing.B) {
+	series := make([][]float64, 12)
+	for i := range series {
+		h := 0.55 + 0.025*float64(i)
+		x, err := fgn.DaviesHarte(rng.New(uint64(100+i)), h, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series[i] = x
+	}
+	benchKernelJobs(b, func(b *testing.B, budget *par.Budget) {
+		for i := 0; i < b.N; i++ {
+			if _, err := selfsim.EstimateSet(context.Background(), budget, series); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCityBlock measures the blocked dissimilarity-matrix build on
+// a matrix well past the row-blocking threshold.
+func BenchmarkCityBlock(b *testing.B) {
+	z := kernelMatrix(256, 32, 23)
+	benchKernelJobs(b, func(b *testing.B, budget *par.Budget) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			d := core.CityBlockWith(z, budget)
+			sink = d.At(0, 1)
+		}
+		_ = sink
+	})
+}

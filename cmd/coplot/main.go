@@ -12,7 +12,9 @@
 //	coplot -procs 128 a.swf b.swf c.swf ...
 //
 // SWF logs are parsed and characterized in parallel; -jobs bounds the
-// workers and -timeout caps the per-file time. The resulting dataset is
+// workers and -timeout caps the per-file time, and the same budget
+// drives the analysis kernels (the SSA multi-start fan-out and the
+// dissimilarity row blocks). The resulting dataset and map are
 // identical at any -jobs setting. -retries re-attempts a failing file
 // with deterministic backoff, -task-timeout bounds each attempt, and
 // -keep-going drops unreadable logs (with a warning and a non-zero
@@ -40,6 +42,7 @@ import (
 	"coplot/internal/machine"
 	"coplot/internal/mds"
 	"coplot/internal/obs"
+	"coplot/internal/par"
 	"coplot/internal/swf"
 	"coplot/internal/workload"
 )
@@ -70,7 +73,7 @@ func realMain() int {
 	vars := flag.String("vars", "", "comma-separated variable subset to analyze")
 	seed := flag.Uint64("seed", 7, "MDS restart seed")
 	procs := flag.Int("procs", 128, "machine size for SWF inputs")
-	jobs := flag.Int("jobs", 0, "SWF files to load concurrently (0 = GOMAXPROCS)")
+	jobs := flag.Int("jobs", 0, "worker budget: SWF files loaded concurrently and analysis kernel workers (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-file parse/characterize time limit across all attempts (0 = none)")
 	retries := flag.Int("retries", 0, "retry a failing file up to N more times (0 = fail on first error)")
 	backoff := flag.Duration("backoff", 0, "base delay before the first retry, doubling per retry (0 = engine default)")
@@ -137,7 +140,9 @@ func realMain() int {
 		}
 	}
 	res, err := core.Analyze(ds, core.Options{
-		MDS:            mds.Options{Seed: *seed},
+		// The same -jobs budget that bounded the file fan-out drives
+		// the analysis kernels (SSA multi-starts, dissimilarity rows).
+		MDS:            mds.Options{Seed: *seed, Par: par.NewBudget(*jobs)},
 		PruneThreshold: *prune,
 	})
 	if err != nil {

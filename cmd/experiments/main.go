@@ -19,9 +19,11 @@
 //
 // Experiments run on a dependency-aware parallel engine: -jobs bounds
 // how many run concurrently and -timeout caps each one's wall-clock
-// time. Shared artifacts (generated logs, workload tables) are computed
-// once per invocation, and outputs are byte-identical at any -jobs
-// setting.
+// time. The same -jobs budget is shared with the numeric kernels inside
+// each experiment (SSA multi-starts, Hurst estimator fan-outs, blocked
+// matrix loops), so total compute parallelism stays bounded. Shared
+// artifacts (generated logs, workload tables) are computed once per
+// invocation, and outputs are byte-identical at any -jobs setting.
 //
 // Fault tolerance: -retries re-attempts a failing experiment with
 // exponential backoff (-backoff sets the base delay; the jitter is
@@ -80,7 +82,7 @@ func run(args []string, stdout io.Writer) error {
 	runName := fs.String("run", "all", "experiments to run: 'all' or a comma-separated list of names")
 	out := fs.String("out", "", "directory for .txt/.svg artifacts (optional)")
 	seed := fs.Uint64("seed", 0, "master seed (0 = paper default)")
-	jobs := fs.Int("jobs", 0, "experiments to run concurrently (0 = GOMAXPROCS)")
+	jobs := fs.Int("jobs", 0, "worker budget: concurrent experiments and kernel workers inside them (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "per-experiment time limit across all attempts (0 = none)")
 	retries := fs.Int("retries", 0, "retry each failing experiment up to N more times (0 = fail on first error)")
 	backoff := fs.Duration("backoff", 0, "base delay before the first retry, doubling per retry (0 = engine default)")

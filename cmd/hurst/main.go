@@ -9,8 +9,10 @@
 //	      [-retries N] [-backoff D] [-task-timeout D] [-keep-going=BOOL]
 //	      FILE.swf...
 //
-// Files are estimated in parallel (-jobs workers, -timeout per file);
-// reports print in argument order and — by default (-keep-going=true) —
+// Files are estimated in parallel (-jobs workers, -timeout per file),
+// and the same -jobs budget feeds the per-series estimator fan-out, so
+// total compute parallelism stays bounded; reports print in argument
+// order and — by default (-keep-going=true) —
 // a failing file does not stop the others; -keep-going=false makes the
 // first failure cancel the batch. -retries re-attempts a failing file
 // with deterministic backoff and -task-timeout bounds each attempt.
@@ -34,6 +36,7 @@ import (
 
 	"coplot/internal/engine"
 	"coplot/internal/obs"
+	"coplot/internal/par"
 	"coplot/internal/selfsim"
 	"coplot/internal/swf"
 )
@@ -46,7 +49,7 @@ func main() {
 // cleanups (profile flush, trace close) run before the process exits.
 func realMain() int {
 	svgDir := flag.String("svgdir", "", "write diagnostic plots as SVG under this directory")
-	jobs := flag.Int("jobs", 0, "files to estimate concurrently (0 = GOMAXPROCS)")
+	jobs := flag.Int("jobs", 0, "worker budget: files estimated concurrently and estimator workers (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-file time limit across all attempts (0 = none)")
 	retries := flag.Int("retries", 0, "retry a failing file up to N more times (0 = fail on first error)")
 	backoff := flag.Duration("backoff", 0, "base delay before the first retry, doubling per retry (0 = engine default)")
@@ -86,6 +89,9 @@ func realMain() int {
 		jobs: *jobs, timeout: *timeout, attemptTimeout: *taskTimeout,
 		retries: *retries, backoff: *backoff, keepGoing: *keepGoing,
 		sink: obs.Multi(sinks...),
+		// One budget for the whole batch: file workers and the
+		// estimator fan-out inside each file draw from the same -jobs.
+		budget: par.NewBudget(*jobs),
 	})
 	if *manifestPath != "" {
 		m := metrics.Manifest(obs.RunInfo{Tool: "hurst", Jobs: *jobs, Timeout: *timeout})
@@ -121,6 +127,7 @@ type estimateOptions struct {
 	backoff        time.Duration
 	keepGoing      bool
 	sink           obs.Sink
+	budget         *par.Budget // shared estimator workers, sized by jobs
 }
 
 // estimateAll runs estimate over the files on a bounded worker pool and
@@ -140,7 +147,7 @@ func estimateAll(paths []string, svgDir string, eopts estimateOptions) []report 
 	itemErrs := make([]error, len(paths)) // index i written only by its worker
 	reports, err := engine.Map(context.Background(), len(paths), opts,
 		func(ctx context.Context, i int) (report, error) {
-			text, err := estimate(ctx, paths[i], svgDir)
+			text, err := estimate(ctx, paths[i], svgDir, eopts.budget)
 			itemErrs[i] = err
 			if err != nil {
 				return report{}, err
@@ -166,7 +173,7 @@ func estimateAll(paths []string, svgDir string, eopts estimateOptions) []report 
 	return reports
 }
 
-func estimate(ctx context.Context, path, svgDir string) (string, error) {
+func estimate(ctx context.Context, path, svgDir string, budget *par.Budget) (string, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return "", err
@@ -184,7 +191,7 @@ func estimate(ctx context.Context, path, svgDir string) (string, error) {
 		if err := ctx.Err(); err != nil {
 			return "", err
 		}
-		e := selfsim.EstimateAll(series[name])
+		e := selfsim.EstimateAllWith(series[name], budget)
 		fmt.Fprintf(&b, "  %-14s %6.2f %6.2f %6.2f\n", name, e.RS, e.VT, e.Per)
 		if svgDir != "" {
 			if err := writeDiagnostics(svgDir, path, name, series[name]); err != nil {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"coplot/internal/models"
+	"coplot/internal/par"
 	"coplot/internal/rng"
 	"coplot/internal/swf"
 )
@@ -30,7 +31,7 @@ func writeTestLog(t *testing.T) string {
 func TestEstimateWritesDiagnostics(t *testing.T) {
 	path := writeTestLog(t)
 	svgDir := t.TempDir()
-	text, err := estimate(context.Background(), path, svgDir)
+	text, err := estimate(context.Background(), path, svgDir, par.NewBudget(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestEstimateWritesDiagnostics(t *testing.T) {
 }
 
 func TestEstimateMissingFile(t *testing.T) {
-	if _, err := estimate(context.Background(), filepath.Join(t.TempDir(), "none.swf"), ""); err == nil {
+	if _, err := estimate(context.Background(), filepath.Join(t.TempDir(), "none.swf"), "", nil); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

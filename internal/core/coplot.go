@@ -18,12 +18,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"coplot/internal/mat"
 	"coplot/internal/mds"
+	"coplot/internal/par"
 	"coplot/internal/stats"
 )
 
@@ -133,7 +135,9 @@ type RemovedVariable struct {
 
 // Options tune an analysis.
 type Options struct {
-	// MDS passes through to the SSA solver.
+	// MDS passes through to the SSA solver. Its Par budget also drives
+	// the stage-2 dissimilarity computation (CityBlockWith), so one
+	// -jobs setting governs the whole pipeline.
 	MDS mds.Options
 	// PruneThreshold removes, one at a time, variables whose maximal
 	// correlation is below this value, re-running the analysis after
@@ -164,19 +168,31 @@ type Result struct {
 
 // CityBlock computes the stage-2 dissimilarity matrix: the sum of
 // absolute deviations between normalized observation rows (equation 2).
-func CityBlock(z *mat.Matrix) *mat.Matrix {
+func CityBlock(z *mat.Matrix) *mat.Matrix { return CityBlockWith(z, nil) }
+
+// minCityBlockRows is the smallest row range worth handing to a helper
+// worker; the paper's 15-observation matrices always run inline.
+const minCityBlockRows = 64
+
+// CityBlockWith computes the same matrix with the row loop blocked on
+// the worker budget (nil = serial). Each block writes a disjoint set of
+// cells, so the result is identical at any worker count.
+func CityBlockWith(z *mat.Matrix, b *par.Budget) *mat.Matrix {
 	n := z.Rows
 	d := mat.New(n, n)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			s := 0.0
-			for c := 0; c < z.Cols; c++ {
-				s += math.Abs(z.At(i, c) - z.At(j, c))
+	_ = par.ForEachBlock(context.Background(), b, n, minCityBlockRows, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < n; j++ {
+				s := 0.0
+				for c := 0; c < z.Cols; c++ {
+					s += math.Abs(z.At(i, c) - z.At(j, c))
+				}
+				d.Set(i, j, s)
+				d.Set(j, i, s)
 			}
-			d.Set(i, j, s)
-			d.Set(j, i, s)
 		}
-	}
+		return nil
+	})
 	return d
 }
 
@@ -245,7 +261,7 @@ func Analyze(ds *Dataset, opts Options) (*Result, error) {
 // analyzeOnce runs stages 1–4 without pruning.
 func analyzeOnce(ds *Dataset, opts Options) (*Result, error) {
 	z := Normalize(ds)
-	d := CityBlock(z)
+	d := CityBlockWith(z, opts.MDS.Par)
 	fit, err := mds.SSA(d, opts.MDS)
 	if err != nil {
 		return nil, err

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"coplot/internal/mds"
+	"coplot/internal/par"
 )
 
 // Config sets the scale and seed of an experiment run. The zero value is
@@ -33,6 +34,13 @@ type Config struct {
 	PeriodJobs int
 	// MDSSeed seeds the SSA restarts.
 	MDSSeed uint64
+	// Par is the shared kernel worker budget (see internal/par): the
+	// SSA multi-starts, the Hurst estimator fan-outs and the blocked
+	// matrix loops all draw helper workers from it. Nil runs every
+	// kernel serially. RunNames/RunAll derive it from RunOptions.Jobs,
+	// so DAG tasks and intra-kernel workers share one -jobs budget. It
+	// never affects output bytes, only wall-clock time.
+	Par *par.Budget
 }
 
 // WithDefaults fills unset fields.
@@ -57,7 +65,7 @@ func (c Config) WithDefaults() Config {
 
 // mdsOptions returns the SSA configuration shared by all figures.
 func (c Config) mdsOptions() mds.Options {
-	return mds.Options{Seed: c.MDSSeed, Restarts: 6}
+	return mds.Options{Seed: c.MDSSeed, Restarts: 6, Par: c.Par}
 }
 
 // Check is one paper-versus-measured comparison.

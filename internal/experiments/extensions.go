@@ -320,8 +320,8 @@ func SelfSimilarModels(ctx context.Context, env *Env) (*Output, error) {
 		seed := cfg.Seed + uint64(i+1)*131
 		plain := base.Generate(rng.New(seed), cfg.ModelJobs)
 		wrapped := models.NewSelfSimilar(base, 0.85).Generate(rng.New(seed), cfg.ModelJobs)
-		hP := estimateWorkload(plain)
-		hW := estimateWorkload(wrapped)
+		hP := estimateWorkload(plain, cfg.Par)
+		hW := estimateWorkload(wrapped, cfg.Par)
 		// Columns: 10 = vi (variance-time, inter-arrival), 4 = vr.
 		fmt.Fprintf(&b, "%-16s %10.2f %10.2f %10.2f %10.2f\n", name,
 			hP[10], hW[10], hP[4], hW[4])

@@ -13,6 +13,7 @@ import (
 	"coplot/internal/engine"
 	"coplot/internal/faultinject"
 	"coplot/internal/obs"
+	"coplot/internal/par"
 	"coplot/internal/rng"
 )
 
@@ -164,8 +165,11 @@ func Deps(name string) ([]string, error) { return registry.Deps(name) }
 
 // RunOptions configure engine execution.
 type RunOptions struct {
-	// Jobs bounds how many experiments run concurrently (<=0 means
-	// GOMAXPROCS). Any value produces byte-identical outputs.
+	// Jobs bounds the run's compute parallelism (<=0 means GOMAXPROCS):
+	// it caps how many experiments run concurrently AND sizes the shared
+	// kernel worker budget (Config.Par) the SSA multi-starts and Hurst
+	// estimator fan-outs draw from. Any value produces byte-identical
+	// outputs.
 	Jobs int
 	// Timeout limits each experiment's wall-clock time across all of
 	// its attempts (0 = none).
@@ -242,6 +246,13 @@ func RunAll(ctx context.Context, cfg Config, opts RunOptions) ([]*Output, error)
 
 func runNames(ctx context.Context, names []string, cfg Config, opts RunOptions) ([]*Output, error) {
 	env := NewEnv(cfg)
+	if env.Cfg.Par == nil {
+		// One kernel worker budget per run, sized like the DAG pool:
+		// every experiment's SSA multi-starts, estimator fan-outs and
+		// blocked matrix loops share it, so -jobs bounds the run's
+		// compute parallelism instead of multiplying per layer.
+		env.Cfg.Par = par.NewBudget(opts.Jobs)
+	}
 	env.Store.Observe(opts.Sink)
 	reg := registry
 	if opts.Inject.Enabled() {

@@ -8,6 +8,7 @@ import (
 
 	"coplot/internal/core"
 	"coplot/internal/engine"
+	"coplot/internal/par"
 	"coplot/internal/rng"
 	"coplot/internal/selfsim"
 	"coplot/internal/sites"
@@ -38,13 +39,17 @@ var Table3Estimators = []string{
 	"ri", "vi", "pi", // inter-arrival time
 }
 
-// estimateWorkload computes the twelve estimates of one log.
-func estimateWorkload(log *swf.Log) []float64 {
+// estimateWorkload computes the twelve estimates of one log, fanning
+// the four series over the worker budget (nil = serial).
+func estimateWorkload(log *swf.Log, b *par.Budget) []float64 {
 	ser := selfsim.SeriesFromLog(log)
-	order := []string{selfsim.SeriesProcs, selfsim.SeriesRuntime, selfsim.SeriesWork, selfsim.SeriesInterArrival}
+	ordered := make([][]float64, len(selfsim.SeriesNames))
+	for i, name := range selfsim.SeriesNames {
+		ordered[i] = ser[name]
+	}
+	ests, _ := selfsim.EstimateSet(context.Background(), b, ordered)
 	out := make([]float64, 0, 12)
-	for _, name := range order {
-		e := selfsim.EstimateAll(ser[name])
+	for _, e := range ests {
 		out = append(out, e.RS, e.VT, e.Per)
 	}
 	return out
@@ -68,13 +73,44 @@ func table3Compute(ctx context.Context, env *Env) (*Table3Result, error) {
 		return nil, err
 	}
 	res := &Table3Result{Estimators: Table3Estimators}
+	logs := make([]*swf.Log, 0, len(sites.Table1Names)+len(modelNames))
 	for _, name := range sites.Table1Names {
 		res.Workloads = append(res.Workloads, name)
-		res.H = append(res.H, estimateWorkload(siteLogs[name]))
+		logs = append(logs, siteLogs[name])
 	}
 	for _, name := range modelNames {
 		res.Workloads = append(res.Workloads, name)
-		res.H = append(res.H, estimateWorkload(modelLogs[name]))
+		logs = append(logs, modelLogs[name])
+	}
+
+	// Fan the whole 15×4 grid of Table 3 series over the kernel budget:
+	// series extraction per workload, then the estimator triple per
+	// series. Estimates come back in input order, so the rows assemble
+	// identically at any worker count.
+	nSeries := len(selfsim.SeriesNames)
+	perLog, err := par.Map(ctx, env.Cfg.Par, len(logs), func(i int) (map[string][]float64, error) {
+		return selfsim.SeriesFromLog(logs[i]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	flat := make([][]float64, 0, len(logs)*nSeries)
+	for _, ser := range perLog {
+		for _, name := range selfsim.SeriesNames {
+			flat = append(flat, ser[name])
+		}
+	}
+	ests, err := selfsim.EstimateSet(ctx, env.Cfg.Par, flat)
+	if err != nil {
+		return nil, err
+	}
+	for w := range logs {
+		row := make([]float64, 0, 12)
+		for s := 0; s < nSeries; s++ {
+			e := ests[w*nSeries+s]
+			row = append(row, e.RS, e.VT, e.Per)
+		}
+		res.H = append(res.H, row)
 	}
 	res.Text = formatTable("Table 3: estimations of self-similarity (regenerated)",
 		res.Estimators, res.Workloads, func(row, col int) string {

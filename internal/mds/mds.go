@@ -12,11 +12,13 @@
 package mds
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"coplot/internal/mat"
+	"coplot/internal/par"
 	"coplot/internal/rng"
 	"coplot/internal/stats"
 )
@@ -46,11 +48,21 @@ type Options struct {
 	Restarts int             // extra random restarts; best result wins. default 4; -1 disables them
 	Seed     uint64          // seed for the random restarts
 
+	// Par is the shared worker budget (see internal/par) for the
+	// multi-start fan-out and the blocked distance loops. Nil runs the
+	// solver serially. Any budget produces byte-identical results: all
+	// start configurations are drawn from one serial RNG stream before
+	// the fan-out, and the winner is selected by the explicit
+	// (alienation, start index) order.
+	Par *par.Budget
+
 	// Trace, when non-nil, observes every SMACOF iteration of every
 	// start: the start index (0 = classical scaling, then the random
 	// restarts), the iteration number, and the stress-1 value of the
 	// configuration entering that iteration. It never alters the fit —
-	// property tests use it to check the majorization descent.
+	// property tests use it to check the majorization descent. A
+	// non-nil Trace forces the starts to run serially (Par is ignored)
+	// so the observed (start, iter) stream is totally ordered.
 	Trace func(start, iter int, stress float64)
 }
 
@@ -83,6 +95,47 @@ type Result struct {
 	Stress float64
 	// Iterations actually performed (best restart).
 	Iterations int
+	// Start is the index of the winning start: 0 for classical scaling,
+	// k for the k-th random restart.
+	Start int
+}
+
+// DegenerateInputError reports dissimilarities that admit no meaningful
+// non-metric fit — e.g. a constant matrix, whose rank order carries no
+// information: every configuration would report a perfect Alienation of
+// 0, so the solver refuses instead of returning one.
+type DegenerateInputError struct {
+	// Reason describes the degeneracy.
+	Reason string
+}
+
+func (e *DegenerateInputError) Error() string { return "mds: degenerate input: " + e.Reason }
+
+// better reports whether a is a strictly better fit than b under the
+// explicit (alienation, start index) order: lower alienation wins, and
+// a tie breaks toward the earlier start. This is the total order the
+// parallel multi-start reduction uses, chosen so it provably reproduces
+// the serial iteration order at any worker count.
+func better(a, b Result) bool {
+	if a.Alienation != b.Alienation {
+		return a.Alienation < b.Alienation
+	}
+	return a.Start < b.Start
+}
+
+// constantDissim reports whether every off-diagonal dissimilarity is
+// identical (checkDissim has already established symmetry).
+func constantDissim(d *mat.Matrix) bool {
+	n := d.Rows
+	first := d.At(0, 1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d.At(i, j) != first {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Classical performs Torgerson's classical scaling of the dissimilarity
@@ -119,7 +172,11 @@ func Classical(d *mat.Matrix, dims int) (*mat.Matrix, error) {
 	return x, nil
 }
 
-// SSA fits a non-metric MDS configuration to the dissimilarity matrix d.
+// SSA fits a non-metric MDS configuration to the dissimilarity matrix
+// d. The classical-scaling start and the random restarts run
+// concurrently on the Options.Par budget; the winner is reduced by the
+// explicit (alienation, start index) order, so the output is
+// byte-identical to the serial solver at any worker count.
 func SSA(d *mat.Matrix, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if err := checkDissim(d); err != nil {
@@ -129,28 +186,25 @@ func SSA(d *mat.Matrix, opts Options) (Result, error) {
 	if n < 3 {
 		return Result{}, fmt.Errorf("mds: need at least 3 observations, got %d", n)
 	}
-	diss := flattenPairs(d)
-
-	best := Result{Alienation: math.Inf(1)}
-	var firstErr error
-	run := func(start int, x0 *mat.Matrix) {
-		res, err := ssaFrom(d, diss, x0, start, opts)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return
-		}
-		if res.Alienation < best.Alienation {
-			best = res
+	if constantDissim(d) {
+		return Result{}, &DegenerateInputError{
+			Reason: fmt.Sprintf("constant dissimilarities (every pair at %g) carry no rank order", d.At(0, 1)),
 		}
 	}
+	diss := flattenPairs(d)
 
-	x0, err := Classical(d, opts.Dims)
-	if err == nil {
-		run(0, x0)
+	// Generate every start configuration up front from one serial RNG
+	// stream, so the fan-out below is free to run them in any order.
+	type startConfig struct {
+		idx int // 0 = classical scaling, then the random restarts
+		x0  *mat.Matrix
+	}
+	starts := make([]startConfig, 0, opts.Restarts+1)
+	var classicalErr error
+	if x0, err := Classical(d, opts.Dims); err == nil {
+		starts = append(starts, startConfig{idx: 0, x0: x0})
 	} else {
-		firstErr = err
+		classicalErr = err
 	}
 	r := rng.New(opts.Seed ^ 0x535341) // "SSA"
 	for k := 0; k < opts.Restarts; k++ {
@@ -158,10 +212,40 @@ func SSA(d *mat.Matrix, opts Options) (Result, error) {
 		for i := range xr.Data {
 			xr.Data[i] = r.Norm()
 		}
-		run(k+1, xr)
+		starts = append(starts, startConfig{idx: k + 1, x0: xr})
 	}
-	if math.IsInf(best.Alienation, 1) {
-		return Result{}, fmt.Errorf("mds: no restart converged: %v", firstErr)
+
+	budget := opts.Par
+	if opts.Trace != nil {
+		budget = nil // keep the observed (start, iter) stream totally ordered
+	}
+	results := make([]Result, len(starts))
+	errs := make([]error, len(starts))
+	_ = par.ForEach(context.Background(), budget, len(starts), func(si int) error {
+		res, err := ssaFrom(d, diss, starts[si].x0, starts[si].idx, opts)
+		if err != nil {
+			errs[si] = err // a failed start never cancels its siblings
+			return nil
+		}
+		results[si] = res
+		return nil
+	})
+
+	best := Result{Alienation: math.Inf(1), Start: -1}
+	firstErr := classicalErr
+	for si := range starts {
+		if errs[si] != nil {
+			if firstErr == nil {
+				firstErr = errs[si]
+			}
+			continue
+		}
+		if best.Start < 0 || better(results[si], best) {
+			best = results[si]
+		}
+	}
+	if best.Start < 0 {
+		return Result{}, fmt.Errorf("mds: no restart converged: %w", firstErr)
 	}
 	return best, nil
 }
@@ -186,6 +270,11 @@ func flattenPairs(d *mat.Matrix) []pair {
 	return out
 }
 
+// minPairsPerBlock is the smallest pair range worth handing to a helper
+// worker in the blocked distance loop; below it the goroutine overhead
+// outweighs the arithmetic.
+const minPairsPerBlock = 4096
+
 func ssaFrom(d *mat.Matrix, diss []pair, x0 *mat.Matrix, start int, opts Options) (Result, error) {
 	n := d.Rows
 	dims := opts.Dims
@@ -196,18 +285,25 @@ func ssaFrom(d *mat.Matrix, diss []pair, x0 *mat.Matrix, start int, opts Options
 	disp := make([]float64, m) // disparities in diss order
 	xNew := mat.New(n, dims)
 
+	// The distance loop is the per-iteration hot spot: embarrassingly
+	// parallel over pair ranges, so block it on the budget. Small pair
+	// counts (the paper's 15×15 matrices have 105 pairs) stay inline.
 	computeDistances := func() {
-		for k, p := range diss {
-			s := 0.0
-			for c := 0; c < dims; c++ {
-				df := x.At(p.i, c) - x.At(p.j, c)
-				s += df * df
+		_ = par.ForEachBlock(context.Background(), opts.Par, m, minPairsPerBlock, func(lo, hi int) error {
+			for k := lo; k < hi; k++ {
+				p := diss[k]
+				s := 0.0
+				for c := 0; c < dims; c++ {
+					df := x.At(p.i, c) - x.At(p.j, c)
+					s += df * df
+				}
+				dist[k] = math.Sqrt(s)
 			}
-			dist[k] = math.Sqrt(s)
-		}
+			return nil
+		})
 	}
 
-	computeDisparities := func() {
+	computeDisparities := func() error {
 		switch opts.Method {
 		case RankImage:
 			copy(disp, dist)
@@ -221,11 +317,18 @@ func ssaFrom(d *mat.Matrix, diss []pair, x0 *mat.Matrix, start int, opts Options
 				sd += dist[k] * dist[k]
 				sf += disp[k] * disp[k]
 			}
-			if sf > 0 {
+			switch {
+			case sf > 0:
 				f := math.Sqrt(sd / sf)
 				for k := range disp {
 					disp[k] *= f
 				}
+			case sd > 0:
+				// PAVA collapsed to an all-zero fit while the
+				// configuration still has extent. Iterating on zero
+				// disparities would majorize every point onto the
+				// origin and report Alienation ≈ 0 as a perfect fit.
+				return &DegenerateInputError{Reason: "monotone regression collapsed the disparities to zero"}
 			}
 		case Metric:
 			var sd, ss float64
@@ -241,6 +344,7 @@ func ssaFrom(d *mat.Matrix, diss []pair, x0 *mat.Matrix, start int, opts Options
 				}
 			}
 		}
+		return nil
 	}
 
 	stress := func() float64 {
@@ -261,7 +365,9 @@ func ssaFrom(d *mat.Matrix, diss []pair, x0 *mat.Matrix, start int, opts Options
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		iters = iter + 1
 		computeDistances()
-		computeDisparities()
+		if err := computeDisparities(); err != nil {
+			return Result{}, err
+		}
 		s := stress()
 		if opts.Trace != nil {
 			opts.Trace(start, iter, s)
@@ -274,7 +380,9 @@ func ssaFrom(d *mat.Matrix, diss []pair, x0 *mat.Matrix, start int, opts Options
 		x, xNew = xNew, x
 	}
 	computeDistances()
-	computeDisparities()
+	if err := computeDisparities(); err != nil {
+		return Result{}, err
+	}
 
 	center(x)
 	rotatePrincipal(x)
@@ -283,6 +391,7 @@ func ssaFrom(d *mat.Matrix, diss []pair, x0 *mat.Matrix, start int, opts Options
 		Alienation: AlienationOf(diss, dist),
 		Stress:     stress(),
 		Iterations: iters,
+		Start:      start,
 	}
 	return res, nil
 }

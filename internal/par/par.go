@@ -1,0 +1,223 @@
+// Package par is the bounded compute layer under the experiment engine:
+// a shared worker Budget sized by the run's -jobs flag, plus
+// deterministic fan-out helpers whose reductions are ordered by index.
+//
+// The contract every kernel in this repository relies on:
+//
+//   - One Budget per run. The engine's DAG workers and every
+//     intra-kernel fan-out (SSA multi-starts, the three Hurst
+//     estimators, blocked matrix loops) draw from the same budget, so
+//     -jobs bounds the run's compute parallelism instead of
+//     multiplying per layer.
+//   - The calling goroutine always works. A fan-out's caller executes
+//     items itself and only *additional* helper goroutines consume
+//     budget tokens; a Budget of 1 therefore degenerates to plain
+//     serial execution, and nested fan-outs can never deadlock on an
+//     exhausted budget.
+//   - Determinism. Results are written into index-addressed slots and
+//     reduced in index order; the first (lowest-index) genuine error
+//     wins; a panic in any worker is re-raised on the caller. Output
+//     is byte-identical at every worker count.
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Budget is a shared pool of helper-worker tokens. A nil *Budget is
+// valid everywhere and means "no helpers": every fan-out runs serially
+// on its calling goroutine.
+type Budget struct {
+	tokens chan struct{}
+	size   int
+}
+
+// NewBudget creates a budget for a total of n concurrent workers
+// (n <= 0 means GOMAXPROCS). Because every fan-out's caller works for
+// free, the budget holds n-1 helper tokens: NewBudget(1) yields pure
+// serial execution and a lone kernel at NewBudget(n) uses exactly n
+// workers.
+func NewBudget(n int) *Budget {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Budget{tokens: make(chan struct{}, n-1), size: n}
+}
+
+// Size returns the total worker count the budget was created for
+// (helper tokens + the free caller). A nil budget has size 1.
+func (b *Budget) Size() int {
+	if b == nil {
+		return 1
+	}
+	return b.size
+}
+
+// tryAcquire takes one helper token without blocking.
+func (b *Budget) tryAcquire() bool {
+	if b == nil {
+		return false
+	}
+	select {
+	case b.tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns one helper token.
+func (b *Budget) release() { <-b.tokens }
+
+// ForEach runs fn(i) for every i in [0,n) on the calling goroutine plus
+// as many helper goroutines as the budget has free tokens (at most n-1).
+// It returns the error of the lowest failed index; once any item fails,
+// workers stop claiming new items. A context cancellation surfaces as
+// ctx.Err() unless an item failed first. A panic in any item is
+// re-raised on the calling goroutine after the other workers drain.
+func ForEach(ctx context.Context, b *Budget, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	// Serial fast path: no budget, a single item, or no free helpers.
+	helpers := 0
+	if n > 1 {
+		for helpers < n-1 && b.tryAcquire() {
+			helpers++
+		}
+	}
+	if helpers == 0 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n) // slot i written only by the worker that claimed i
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		panicMu sync.Mutex
+	)
+	panicIdx, panicVal := -1, any(nil)
+	errPanicked := errors.New("par: item panicked")
+	item := func(i int) (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				panicMu.Lock()
+				// Lowest index wins so the re-raised value is
+				// deterministic under races between panicking items.
+				if panicIdx < 0 || i < panicIdx {
+					panicIdx, panicVal = i, p
+				}
+				panicMu.Unlock()
+				err = errPanicked
+			}
+		}()
+		return fn(i)
+	}
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || stopped.Load() {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				stopped.Store(true)
+				return
+			}
+			if err := item(i); err != nil {
+				errs[i] = err
+				stopped.Store(true)
+				return
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < helpers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer b.release()
+			work()
+		}()
+	}
+	work() // the caller is always a worker
+	wg.Wait()
+	if panicIdx >= 0 {
+		panic(panicVal)
+	}
+	// Deterministic reduction: the lowest-index genuine error wins; a
+	// bare context error surfaces only when no item failed on its own.
+	var ctxErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return err
+	}
+	return ctxErr
+}
+
+// Map runs fn for every index in [0,n) under ForEach's scheduling and
+// returns the results in index order, regardless of completion order.
+func Map[T any](ctx context.Context, b *Budget, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, b, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEachBlock splits [0,n) into contiguous ranges of at least minBlock
+// items — at most one per available worker — and runs fn(lo, hi) for
+// each. Small inputs run as a single inline block, so hot loops can call
+// it unconditionally without paying goroutine overhead on the paper's
+// 15-observation matrices.
+func ForEachBlock(ctx context.Context, b *Budget, n, minBlock int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if minBlock < 1 {
+		minBlock = 1
+	}
+	parts := b.Size()
+	if max := (n + minBlock - 1) / minBlock; parts > max {
+		parts = max
+	}
+	if parts <= 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(0, n)
+	}
+	return ForEach(ctx, b, parts, func(p int) error {
+		lo := p * n / parts
+		hi := (p + 1) * n / parts
+		return fn(lo, hi)
+	})
+}

@@ -1,0 +1,210 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b := NewBudget(workers)
+		out, err := Map(context.Background(), b, 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapNilBudgetIsSerial(t *testing.T) {
+	var maxSeen int32
+	var inFlight int32
+	out, err := Map(context.Background(), nil, 20, func(i int) (int, error) {
+		n := atomic.AddInt32(&inFlight, 1)
+		if n > atomic.LoadInt32(&maxSeen) {
+			atomic.StoreInt32(&maxSeen, n)
+		}
+		atomic.AddInt32(&inFlight, -1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 20 {
+		t.Fatalf("got %d results", len(out))
+	}
+	if maxSeen != 1 {
+		t.Fatalf("nil budget ran %d items concurrently", maxSeen)
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		b := NewBudget(workers)
+		// Fail every odd item; the aggregate error must be item 1's
+		// regardless of completion order.
+		err := ForEach(context.Background(), b, 50, func(i int) error {
+			if i%2 == 1 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 1 failed" {
+			t.Fatalf("workers=%d: err = %v, want item 1 failed", workers, err)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		b := NewBudget(workers)
+		got := func() (p any) {
+			defer func() { p = recover() }()
+			_ = ForEach(context.Background(), b, 16, func(i int) error {
+				if i == 3 {
+					panic("kernel blew up")
+				}
+				return nil
+			})
+			return nil
+		}()
+		if got != "kernel blew up" {
+			t.Fatalf("workers=%d: recovered %v, want the original panic value", workers, got)
+		}
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	b := NewBudget(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int32
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ForEach(ctx, b, 1<<20, func(i int) error {
+			done.Add(1)
+			time.Sleep(100 * time.Microsecond)
+			return nil
+		})
+	}()
+	for done.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ForEach did not return after cancel")
+	}
+	if n := done.Load(); n >= 1<<20 {
+		t.Fatalf("cancel did not stop the fan-out (%d items ran)", n)
+	}
+}
+
+func TestForEachCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, NewBudget(2), 10, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBudgetSharedAcrossFanOuts(t *testing.T) {
+	// A budget of 3 grants 2 helper tokens. Two nested fan-outs share
+	// them: total concurrent workers never exceeds callers + tokens.
+	b := NewBudget(3)
+	var inFlight, maxSeen int32
+	track := func() {
+		n := atomic.AddInt32(&inFlight, 1)
+		for {
+			m := atomic.LoadInt32(&maxSeen)
+			if n <= m || atomic.CompareAndSwapInt32(&maxSeen, m, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		atomic.AddInt32(&inFlight, -1)
+	}
+	err := ForEach(context.Background(), b, 4, func(i int) error {
+		return ForEach(context.Background(), b, 8, func(j int) error {
+			track()
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outer caller is 1 worker, plus at most 2 helpers anywhere; inner
+	// fan-outs add no goroutines beyond the shared tokens.
+	if maxSeen > 3 {
+		t.Fatalf("max concurrent workers = %d, want <= 3 for a budget of 3", maxSeen)
+	}
+}
+
+func TestBudgetSize(t *testing.T) {
+	if got := (*Budget)(nil).Size(); got != 1 {
+		t.Fatalf("nil budget size = %d, want 1", got)
+	}
+	if got := NewBudget(5).Size(); got != 5 {
+		t.Fatalf("size = %d, want 5", got)
+	}
+	if got := NewBudget(0).Size(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("size = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestForEachBlockCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		b := NewBudget(workers)
+		n := 1000
+		seen := make([]int32, n)
+		err := ForEachBlock(context.Background(), b, n, 64, func(lo, hi int) error {
+			if lo >= hi {
+				return fmt.Errorf("empty block [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachBlockSmallInputInline(t *testing.T) {
+	calls := 0
+	err := ForEachBlock(context.Background(), NewBudget(8), 10, 64, func(lo, hi int) error {
+		calls++
+		if lo != 0 || hi != 10 {
+			return fmt.Errorf("got block [%d,%d)", lo, hi)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("small input split into %d blocks, want 1", calls)
+	}
+}

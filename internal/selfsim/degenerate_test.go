@@ -1,0 +1,63 @@
+package selfsim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Regression test: a series that clears the length gate but whose
+// low-frequency periodogram has no usable (positive-power) points must
+// fail with the typed ErrPeriodogramDegenerate at the cutoff
+// computation — not with the generic fit error it used to fall through
+// to. A constant series at exactly MinSeriesLen is the boundary case:
+// centering zeroes it, so every periodogram ordinate is 0.
+func TestPeriodogramDegenerateAtCutoff(t *testing.T) {
+	x := make([]float64, MinSeriesLen)
+	for i := range x {
+		x[i] = 42 // constant, non-zero: degeneracy comes from centering
+	}
+	_, err := PeriodogramData(x)
+	if err == nil {
+		t.Fatal("degenerate periodogram accepted")
+	}
+	if !errors.Is(err, ErrPeriodogramDegenerate) {
+		t.Fatalf("err = %v, want ErrPeriodogramDegenerate", err)
+	}
+	// The message carries the cutoff diagnostics (usable count, cutoff
+	// size, series length) so a failing Table 3 cell is explainable.
+	if !strings.Contains(err.Error(), "usable") {
+		t.Fatalf("err = %v, want usable-count diagnostics", err)
+	}
+
+	// The H-estimating wrapper surfaces the same typed error.
+	if _, err := Periodogram(x); !errors.Is(err, ErrPeriodogramDegenerate) {
+		t.Fatalf("Periodogram err = %v, want ErrPeriodogramDegenerate", err)
+	}
+}
+
+// One sample below the gate is a length problem, not a degeneracy: the
+// two failure modes must stay distinguishable.
+func TestPeriodogramTooShortIsNotDegenerate(t *testing.T) {
+	x := make([]float64, MinSeriesLen-1)
+	_, err := PeriodogramData(x)
+	if err == nil {
+		t.Fatal("short series accepted")
+	}
+	if errors.Is(err, ErrPeriodogramDegenerate) {
+		t.Fatalf("short series reported as degenerate: %v", err)
+	}
+}
+
+// A healthy series at exactly the minimum length fits fine — the
+// degeneracy guard must not reject the boundary itself.
+func TestPeriodogramHealthyAtMinLength(t *testing.T) {
+	x := genFGN(t, 0.7, MinSeriesLen, 9)
+	d, err := PeriodogramData(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.X) < 2 {
+		t.Fatalf("fit points = %d, want >= 2", len(d.X))
+	}
+}

@@ -1,6 +1,7 @@
 package selfsim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -9,6 +10,12 @@ import (
 	"coplot/internal/series"
 	"coplot/internal/stats"
 )
+
+// ErrPeriodogramDegenerate reports a periodogram whose low-frequency
+// cutoff leaves too few usable points for the log-log slope fit. It is
+// returned (wrapped with detail) by PeriodogramData and Periodogram so
+// callers can distinguish a degenerate series from a malformed one.
+var ErrPeriodogramDegenerate = errors.New("selfsim: periodogram fit degenerate")
 
 // FitData is the diagnostic behind one Hurst estimate: the points of the
 // appendix's log-log plot (a pox plot, variance-time plot, or
@@ -121,6 +128,21 @@ func PeriodogramData(x []float64) (FitData, error) {
 	}
 	if k > len(freqs) {
 		k = len(freqs)
+	}
+	// The conventional lowest-10% cutoff can leave fewer than 2
+	// fit-able frequencies — the power vanishes exactly for constant
+	// series at the minimum length — and the slope fit through them is
+	// degenerate. Fail loudly at the cutoff instead of reporting a
+	// perfect-looking low-frequency slope downstream.
+	usable := 0
+	for i := 0; i < k; i++ {
+		if freqs[i] > 0 && power[i] > 0 {
+			usable++
+		}
+	}
+	if usable < 2 {
+		return FitData{}, fmt.Errorf("%w: %d of %d frequencies below the cutoff usable (series length %d)",
+			ErrPeriodogramDegenerate, usable, k, len(x))
 	}
 	slope, intercept, r, err := fitLogLog(freqs[:k], power[:k])
 	if err != nil {

@@ -1,0 +1,104 @@
+package selfsim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"coplot/internal/par"
+)
+
+// sameEstimates compares bit-for-bit, treating NaN as equal to NaN —
+// degenerate series legitimately produce NaN cells and those must be
+// stable across worker counts too.
+func sameEstimates(a, b Estimates) bool {
+	eq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return eq(a.RS, b.RS) && eq(a.VT, b.VT) && eq(a.Per, b.Per)
+}
+
+// testSeriesSet builds a mixed batch: healthy fGn series plus a
+// constant one whose estimators all fail to NaN.
+func testSeriesSet(t *testing.T) [][]float64 {
+	t.Helper()
+	series := [][]float64{
+		genFGN(t, 0.5, 1<<11, 1),
+		genFGN(t, 0.7, 1<<11, 2),
+		genFGN(t, 0.9, 1<<11, 3),
+		make([]float64, MinSeriesLen), // constant: all three estimators NaN
+		genFGN(t, 0.6, 1<<10, 4),
+		genFGN(t, 0.8, 1<<10, 5),
+	}
+	return series
+}
+
+// The Table 3 determinism contract: EstimateSet returns the exact bytes
+// of the serial estimator at any worker budget, NaN cells included.
+// Under -race this also exercises the two-level fan-out (series ×
+// estimators) for data races.
+func TestEstimateSetMatchesSerial(t *testing.T) {
+	series := testSeriesSet(t)
+	serial := make([]Estimates, len(series))
+	for i, x := range series {
+		serial[i] = EstimateAll(x)
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		got, err := EstimateSet(ctx, par.NewBudget(workers), series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(serial) {
+			t.Fatalf("workers %d: %d estimates, want %d", workers, len(got), len(serial))
+		}
+		for i := range serial {
+			if !sameEstimates(serial[i], got[i]) {
+				t.Fatalf("workers %d series %d: %+v, want %+v", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+// EstimateAllWith must agree with the serial EstimateAll on every slot.
+func TestEstimateAllWithMatchesSerial(t *testing.T) {
+	for i, x := range testSeriesSet(t) {
+		want := EstimateAll(x)
+		for _, workers := range []int{1, 3, runtime.GOMAXPROCS(0)} {
+			got := EstimateAllWith(x, par.NewBudget(workers))
+			if !sameEstimates(want, got) {
+				t.Fatalf("series %d workers %d: %+v, want %+v", i, workers, got, want)
+			}
+		}
+	}
+}
+
+// A cancelled context aborts the set instead of returning partial rows.
+func TestEstimateSetCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EstimateSet(ctx, par.NewBudget(2), testSeriesSet(t))
+	if err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+}
+
+// An empty set is a valid no-op, not an error.
+func TestEstimateSetEmpty(t *testing.T) {
+	got, err := EstimateSet(context.Background(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("estimates = %d, want 0", len(got))
+	}
+}
+
+func ExampleEstimateSet() {
+	series := [][]float64{
+		make([]float64, MinSeriesLen), // constant: estimators degenerate
+	}
+	ests, _ := EstimateSet(context.Background(), nil, series)
+	fmt.Println(math.IsNaN(ests[0].Per))
+	// Output: true
+}

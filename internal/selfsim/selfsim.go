@@ -10,9 +10,11 @@
 package selfsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"coplot/internal/par"
 	"coplot/internal/stats"
 	"coplot/internal/swf"
 )
@@ -83,7 +85,7 @@ func Periodogram(x []float64) (float64, error) {
 		return math.NaN(), err
 	}
 	if math.IsNaN(d.Slope) {
-		return math.NaN(), fmt.Errorf("selfsim: periodogram fit degenerate")
+		return math.NaN(), fmt.Errorf("%w: slope is NaN", ErrPeriodogramDegenerate)
 	}
 	return d.H, nil
 }
@@ -106,21 +108,46 @@ type Estimates struct {
 	RS, VT, Per float64
 }
 
-// EstimateAll runs the three estimators; individual failures surface as
-// NaN entries rather than aborting the set.
-func EstimateAll(x []float64) Estimates {
+// EstimateAll runs the three estimators serially; individual failures
+// surface as NaN entries rather than aborting the set.
+func EstimateAll(x []float64) Estimates { return EstimateAllWith(x, nil) }
+
+// EstimateAllWith runs the three estimators concurrently on the worker
+// budget (nil = serial). Each estimator writes its own field of the
+// result, so the Estimates are identical at any worker count.
+func EstimateAllWith(x []float64, b *par.Budget) Estimates {
 	var e Estimates
-	var err error
-	if e.RS, err = RS(x); err != nil {
-		e.RS = math.NaN()
+	estimators := []struct {
+		fn   func([]float64) (float64, error)
+		slot *float64
+	}{
+		{RS, &e.RS},
+		{VarianceTime, &e.VT},
+		{Periodogram, &e.Per},
 	}
-	if e.VT, err = VarianceTime(x); err != nil {
-		e.VT = math.NaN()
-	}
-	if e.Per, err = Periodogram(x); err != nil {
-		e.Per = math.NaN()
-	}
+	_ = par.ForEach(context.Background(), b, len(estimators), func(i int) error {
+		h, err := estimators[i].fn(x)
+		if err != nil {
+			h = math.NaN()
+		}
+		*estimators[i].slot = h
+		return nil
+	})
 	return e
+}
+
+// EstimateSet fans the estimator triple over many series — the shape of
+// the paper's Table 3, fifteen workloads × four series — and returns one
+// Estimates per series in input order. Per-series estimator failures
+// surface as NaN entries, exactly as in EstimateAll; the only error is a
+// context cancellation. Results are byte-identical at any worker count.
+func EstimateSet(ctx context.Context, b *par.Budget, series [][]float64) ([]Estimates, error) {
+	return par.Map(ctx, b, len(series), func(i int) (Estimates, error) {
+		if err := ctx.Err(); err != nil {
+			return Estimates{}, err
+		}
+		return EstimateAll(series[i]), nil
+	})
 }
 
 // The four per-workload series of Table 3.
