@@ -28,12 +28,10 @@ package main
 
 import (
 	"context"
-	"encoding/csv"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -43,6 +41,7 @@ import (
 	"coplot/internal/mds"
 	"coplot/internal/obs"
 	"coplot/internal/par"
+	"coplot/internal/service"
 	"coplot/internal/swf"
 	"coplot/internal/workload"
 )
@@ -182,46 +181,16 @@ func loadDataset(csvPath string, swfPaths []string, opts loadOptions) (*core.Dat
 	return nil, fmt.Errorf("need -csv FILE or at least 3 SWF logs")
 }
 
+// loadCSV parses a CSV data matrix through the shared serving-layer
+// parser, so a file fed to coplot and the same bytes posted to
+// /v1/analyze build the same dataset.
 func loadCSV(path string) (*core.Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	rows, err := csv.NewReader(f).ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	if len(rows) < 4 || len(rows[0]) < 2 {
-		return nil, fmt.Errorf("%s: need a header row and at least 3 observations", path)
-	}
-	ds := &core.Dataset{Variables: rows[0][1:]}
-	for _, row := range rows[1:] {
-		if len(row) != len(rows[0]) {
-			return nil, fmt.Errorf("%s: ragged row %q", path, row[0])
-		}
-		ds.Observations = append(ds.Observations, row[0])
-		vals := make([]float64, len(row)-1)
-		for j, cell := range row[1:] {
-			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
-			if err != nil {
-				return nil, fmt.Errorf("%s: row %q column %d: %v", path, row[0], j+2, err)
-			}
-			vals[j] = v
-		}
-		ds.X = append(ds.X, vals)
-	}
-	return ds, nil
-}
-
-// swfVars are the log-derived variables used for SWF inputs (machine
-// configuration variables are uniform across CLI inputs and excluded).
-var swfVars = []string{
-	workload.VarRuntimeLoad,
-	workload.VarRuntimeMedian, workload.VarRuntimeInterval,
-	workload.VarProcsMedian, workload.VarProcsInterval,
-	workload.VarWorkMedian, workload.VarWorkInterval,
-	workload.VarInterArrMedian, workload.VarInterArrInterval,
+	return service.ParseCSVDataset(path, f)
 }
 
 func loadSWF(paths []string, lopts loadOptions) (*core.Dataset, error) {
@@ -263,11 +232,10 @@ func loadSWF(paths []string, lopts loadOptions) (*core.Dataset, error) {
 	} else if err != nil {
 		return nil, err
 	}
-	tab, berr := workload.BuildTable(rows, swfVars)
+	ds, berr := service.DatasetFromVariables(rows)
 	if berr != nil {
 		return nil, berr
 	}
-	ds := &core.Dataset{Observations: tab.Observations, Variables: tab.Codes, X: tab.Data}
 	return ds, err // err is nil or the *engine.DegradedError
 }
 

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"coplot/internal/service"
 )
 
 func writeFile(t *testing.T, name, content string) string {
@@ -58,7 +60,7 @@ func TestLoadSWFDataset(t *testing.T) {
 	if len(ds.Observations) != 3 {
 		t.Fatalf("observations = %d", len(ds.Observations))
 	}
-	if len(ds.Variables) != len(swfVars) {
+	if len(ds.Variables) != len(service.SWFDatasetVars) {
 		t.Fatalf("variables = %d", len(ds.Variables))
 	}
 	// Parallel loading returns the same dataset in the same order.

@@ -1,0 +1,133 @@
+// Command coplotd serves the toolkit's analyses as a long-running
+// HTTP service. Every endpoint is deterministic and cacheable:
+// responses are keyed by a content hash of (input bytes, options,
+// seed) in the engine's single-flight store, so a repeated request is
+// a cache hit and two identical requests racing compute once. Bodies
+// are byte-identical to the matching CLI's stdout.
+//
+//	POST /v1/analyze     Co-plot map: CSV body, or multipart SWF logs (= coplot)
+//	POST /v1/variables   Table-1 workload variables of an SWF body    (= wstat)
+//	POST /v1/hurst       Hurst estimates of an SWF body               (= hurst)
+//	POST /v1/validate    validity audit of an SWF body                (= swfcheck)
+//	POST /v1/scale-load  section-8 load scaling of an SWF body
+//	POST /v1/generate    synthetic SWF workload from a model          (= wgen)
+//	GET  /healthz        liveness and vitals
+//	GET  /metrics        aggregate run manifest (JSON)
+//
+// Usage:
+//
+//	coplotd [-addr HOST:PORT] [-jobs N] [-max-inflight N] [-cache-bytes N]
+//	        [-request-timeout D] [-task-timeout D] [-retries N] [-backoff D]
+//	        [-drain D] [-seed N] [-trace FILE] [-manifest FILE]
+//
+// One -jobs worker budget is shared by every in-flight request, so
+// total kernel parallelism stays bounded under concurrent load;
+// -max-inflight caps admitted requests and the excess is answered 429
+// with Retry-After. SIGTERM or SIGINT drains in-flight requests for up
+// to -drain before exiting 0.
+//
+// Observability: each request emits engine events (-trace appends them
+// as JSON lines), /metrics serves the same aggregate manifest the
+// batch CLIs write with -manifest (also written to -manifest on exit),
+// and -cpuprofile/-memprofile/-pprof expose the standard Go profilers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"coplot/internal/obs"
+	"coplot/internal/service"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+// realMain runs the server and returns its exit code, so deferred
+// cleanups (profile flush, trace close) run before the process exits.
+func realMain() int {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	jobs := flag.Int("jobs", 0, "worker budget shared by all in-flight requests (0 = GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent requests admitted; excess get 429 (0 = 2x the worker budget)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "response-cache byte cap, LRU-evicted past it (0 = 256 MiB, negative = unbounded)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request time limit across all attempts (0 = none)")
+	taskTimeout := flag.Duration("task-timeout", 0, "per-attempt time limit; a timed-out attempt is retried under -retries (0 = none)")
+	retries := flag.Int("retries", 0, "retry a transiently failing request up to N more times (0 = fail on first error)")
+	backoff := flag.Duration("backoff", 0, "base delay before the first retry, doubling per retry (0 = engine default)")
+	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight requests (0 = no limit)")
+	seed := flag.Uint64("seed", 7, "retry-jitter seed (analysis seeds come from each request)")
+	tracePath := flag.String("trace", "", "append engine events as JSON lines to this file")
+	manifestPath := flag.String("manifest", "", "write the aggregate run manifest to this file on exit")
+	var prof obs.Profile
+	prof.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coplotd:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "coplotd: profile:", err)
+		}
+	}()
+	var sink obs.Sink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coplotd:", err)
+			return 1
+		}
+		defer f.Close()
+		sink = obs.NewTrace(f)
+	}
+
+	svc := service.New(service.Config{
+		Jobs:           *jobs,
+		MaxInflight:    *maxInflight,
+		CacheBytes:     *cacheBytes,
+		RequestTimeout: *requestTimeout,
+		AttemptTimeout: *taskTimeout,
+		Retries:        *retries,
+		Backoff:        *backoff,
+		Seed:           *seed,
+		Sink:           sink,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coplotd:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "coplotd: listening on %s\n", ln.Addr())
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "coplotd: %v: draining\n", s)
+		close(stop)
+	}()
+
+	serveErr := svc.Serve(ln, stop, *drain)
+	if *manifestPath != "" {
+		m := svc.Metrics().Manifest(obs.RunInfo{Tool: "coplotd", Seed: *seed, Jobs: *jobs, Timeout: *requestTimeout})
+		if err := m.WriteFile(*manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "coplotd: manifest:", err)
+			return 1
+		}
+	}
+	if serveErr != nil {
+		fmt.Fprintln(os.Stderr, "coplotd:", serveErr)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "coplotd: drained, exiting")
+	return 0
+}

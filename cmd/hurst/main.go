@@ -38,6 +38,7 @@ import (
 	"coplot/internal/obs"
 	"coplot/internal/par"
 	"coplot/internal/selfsim"
+	"coplot/internal/service"
 	"coplot/internal/swf"
 )
 
@@ -173,6 +174,10 @@ func estimateAll(paths []string, svgDir string, eopts estimateOptions) []report 
 	return reports
 }
 
+// estimate renders one log's estimates through the shared
+// serving-layer renderer — hurst output and the /v1/hurst endpoint
+// stay byte-identical — hooking the SVG diagnostics into its
+// per-series callback.
 func estimate(ctx context.Context, path, svgDir string, budget *par.Budget) (string, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -183,23 +188,13 @@ func estimate(ctx context.Context, path, svgDir string, budget *par.Budget) (str
 	if err != nil {
 		return "", err
 	}
-	series := selfsim.SeriesFromLog(log)
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s (%d jobs)\n", path, len(log.Jobs))
-	fmt.Fprintf(&b, "  %-14s %6s %6s %6s\n", "series", "R/S", "V-T", "Per.")
-	for _, name := range selfsim.SeriesNames {
-		if err := ctx.Err(); err != nil {
-			return "", err
-		}
-		e := selfsim.EstimateAllWith(series[name], budget)
-		fmt.Fprintf(&b, "  %-14s %6.2f %6.2f %6.2f\n", name, e.RS, e.VT, e.Per)
-		if svgDir != "" {
-			if err := writeDiagnostics(svgDir, path, name, series[name]); err != nil {
-				return "", err
-			}
+	var onSeries func(name string, x []float64) error
+	if svgDir != "" {
+		onSeries = func(name string, x []float64) error {
+			return writeDiagnostics(svgDir, path, name, x)
 		}
 	}
-	return b.String(), nil
+	return service.HurstReport(ctx, path, log, budget, onSeries)
 }
 
 func writeDiagnostics(dir, logPath, seriesName string, x []float64) error {

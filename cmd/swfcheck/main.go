@@ -18,6 +18,7 @@ import (
 
 	"coplot/internal/experiments"
 	"coplot/internal/machine"
+	"coplot/internal/service"
 	"coplot/internal/swf"
 	"coplot/internal/validate"
 )
@@ -35,27 +36,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	m := machine.Machine{Name: "cli", Procs: *procs}
-	switch *schedName {
-	case "nqs":
-		m.Scheduler = machine.SchedulerNQS
-	case "easy":
-		m.Scheduler = machine.SchedulerEASY
-	case "gang":
-		m.Scheduler = machine.SchedulerGang
-	default:
-		fmt.Fprintf(os.Stderr, "swfcheck: unknown scheduler %q\n", *schedName)
-		os.Exit(2)
-	}
-	switch *allocName {
-	case "pow2":
-		m.Allocator = machine.AllocatorPow2
-	case "limited":
-		m.Allocator = machine.AllocatorLimited
-	case "unlimited":
-		m.Allocator = machine.AllocatorUnlimited
-	default:
-		fmt.Fprintf(os.Stderr, "swfcheck: unknown allocator %q\n", *allocName)
+	m, err := service.ParseMachine("cli", *procs, *schedName, *allocName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swfcheck:", err)
 		os.Exit(2)
 	}
 	opts := validate.Options{DowntimeFactor: *downtime, TopUserWarn: *topUser}
@@ -85,28 +68,18 @@ func checkFile(path string, m machine.Machine, opts validate.Options, homogeneit
 	if err != nil {
 		return 0, err
 	}
-	rep := validate.Check(log, m, opts)
-	fmt.Printf("%s: %d jobs, %d issues (%d errors)\n",
-		path, len(log.Jobs), len(rep.Issues), rep.Errors())
-	for _, issue := range rep.Issues {
-		if issue.JobID > 0 {
-			fmt.Printf("  [%s] %s job %d: %s\n", issue.Severity, issue.Code, issue.JobID, issue.Message)
-		} else {
-			fmt.Printf("  [%s] %s: %s\n", issue.Severity, issue.Code, issue.Message)
-		}
-	}
-	for code, n := range rep.Counts {
-		if n > len(rep.Issues) {
-			fmt.Printf("  (%s occurred %d times; output capped)\n", code, n)
-		}
-	}
+	// The shared serving-layer renderer keeps swfcheck output and the
+	// /v1/validate endpoint byte-identical (and sorts the capped-code
+	// notes, which the old inline loop printed in map order).
+	text, errs := service.ValidateReport(path, log, m, opts)
+	fmt.Print(text)
 	if homogeneity > 1 {
 		env := experiments.NewEnv(experiments.Config{})
 		res, err := experiments.Homogeneity(context.Background(), env, log, m, homogeneity)
 		if err != nil {
-			return rep.Errors(), err
+			return errs, err
 		}
 		fmt.Print(res.Text)
 	}
-	return rep.Errors(), nil
+	return errs, nil
 }

@@ -25,9 +25,9 @@ import (
 	"strings"
 
 	"coplot/internal/machine"
-	"coplot/internal/models"
 	"coplot/internal/rng"
 	"coplot/internal/sched"
+	"coplot/internal/service"
 	"coplot/internal/sites"
 	"coplot/internal/swf"
 )
@@ -97,30 +97,12 @@ func generate(model, site, clone, spec string, procs, n int, seed uint64) (*swf.
 	case clone != "":
 		return cloneLog(clone, procs, n, seed)
 	case model != "":
-		name := strings.ToLower(model)
-		// An "ss-" prefix wraps the base model with the self-similarity
-		// injector (section 9 extension).
-		selfSim := strings.HasPrefix(name, "ss-")
-		name = strings.TrimPrefix(name, "ss-")
-		var gen models.Model
-		switch name {
-		case "feitelson96":
-			gen = models.NewFeitelson96(procs)
-		case "feitelson97":
-			gen = models.NewFeitelson97(procs)
-		case "downey":
-			gen = models.NewDowney(procs)
-		case "jann":
-			gen = models.NewJann(procs)
-		case "lublin":
-			gen = models.NewLublin(procs)
-		case "session":
-			gen = models.NewSession(procs)
-		default:
-			return nil, machine.Machine{}, fmt.Errorf("unknown model %q", model)
-		}
-		if selfSim {
-			gen = models.NewSelfSimilar(gen, 0.85)
+		// The shared serving-layer resolver handles the model names and
+		// the "ss-" self-similarity prefix (section 9 extension), so
+		// wgen and the /v1/generate endpoint accept the same names.
+		gen, err := service.ModelByName(model, procs)
+		if err != nil {
+			return nil, machine.Machine{}, err
 		}
 		m := machine.Machine{Name: "synthetic", Procs: procs,
 			Scheduler: machine.SchedulerEASY, Allocator: machine.AllocatorUnlimited}

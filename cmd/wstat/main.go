@@ -19,8 +19,8 @@ import (
 	"os"
 
 	"coplot/internal/machine"
+	"coplot/internal/service"
 	"coplot/internal/swf"
-	"coplot/internal/workload"
 )
 
 func main() {
@@ -33,7 +33,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	m, err := parseMachine(*procs, *schedName, *allocName)
+	m, err := service.ParseMachine("cli", *procs, *schedName, *allocName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wstat:", err)
 		os.Exit(2)
@@ -49,32 +49,9 @@ func main() {
 	os.Exit(exit)
 }
 
-// parseMachine builds the machine description from the CLI flag values.
-func parseMachine(procs int, sched, alloc string) (machine.Machine, error) {
-	m := machine.Machine{Name: "cli", Procs: procs}
-	switch sched {
-	case "nqs":
-		m.Scheduler = machine.SchedulerNQS
-	case "easy":
-		m.Scheduler = machine.SchedulerEASY
-	case "gang":
-		m.Scheduler = machine.SchedulerGang
-	default:
-		return machine.Machine{}, fmt.Errorf("unknown scheduler %q", sched)
-	}
-	switch alloc {
-	case "pow2":
-		m.Allocator = machine.AllocatorPow2
-	case "limited":
-		m.Allocator = machine.AllocatorLimited
-	case "unlimited":
-		m.Allocator = machine.AllocatorUnlimited
-	default:
-		return machine.Machine{}, fmt.Errorf("unknown allocator %q", alloc)
-	}
-	return m, nil
-}
-
+// statFile renders one log's report through the shared serving-layer
+// renderer, so wstat output and the /v1/variables endpoint stay
+// byte-identical.
 func statFile(w io.Writer, path string, m machine.Machine) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -85,13 +62,10 @@ func statFile(w io.Writer, path string, m machine.Machine) error {
 	if err != nil {
 		return err
 	}
-	v, err := workload.Compute(path, log, m)
+	text, err := service.VariablesReport(path, log, m)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%s (%d jobs)\n", path, len(log.Jobs))
-	for _, code := range workload.AllVariables {
-		fmt.Fprintf(w, "  %-3s %g\n", code, v.Get(code))
-	}
-	return nil
+	_, err = io.WriteString(w, text)
+	return err
 }

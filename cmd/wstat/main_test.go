@@ -9,6 +9,7 @@ import (
 	"coplot/internal/machine"
 	"coplot/internal/models"
 	"coplot/internal/rng"
+	"coplot/internal/service"
 	"coplot/internal/swf"
 	"coplot/internal/workload"
 )
@@ -29,24 +30,24 @@ func writeTestLog(t *testing.T) string {
 }
 
 func TestParseMachine(t *testing.T) {
-	m, err := parseMachine(256, "gang", "pow2")
+	m, err := service.ParseMachine("cli", 256, "gang", "pow2")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.Procs != 256 || m.Scheduler != machine.SchedulerGang || m.Allocator != machine.AllocatorPow2 {
 		t.Fatalf("machine = %+v", m)
 	}
-	if _, err := parseMachine(128, "fifo", "pow2"); err == nil {
+	if _, err := service.ParseMachine("cli", 128, "fifo", "pow2"); err == nil {
 		t.Fatal("unknown scheduler accepted")
 	}
-	if _, err := parseMachine(128, "easy", "roundrobin"); err == nil {
+	if _, err := service.ParseMachine("cli", 128, "easy", "roundrobin"); err == nil {
 		t.Fatal("unknown allocator accepted")
 	}
 }
 
 func TestStatFileReportsAllVariables(t *testing.T) {
 	path := writeTestLog(t)
-	m, err := parseMachine(128, "easy", "unlimited")
+	m, err := service.ParseMachine("cli", 128, "easy", "unlimited")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestStatFileReportsAllVariables(t *testing.T) {
 }
 
 func TestStatFileMissingFile(t *testing.T) {
-	m, _ := parseMachine(128, "easy", "unlimited")
+	m, _ := service.ParseMachine("cli", 128, "easy", "unlimited")
 	if err := statFile(os.Stdout, filepath.Join(t.TempDir(), "none.swf"), m); err == nil {
 		t.Fatal("missing file accepted")
 	}

@@ -24,13 +24,17 @@
 package coplot
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"coplot/internal/core"
 	"coplot/internal/fgn"
 	"coplot/internal/loadctl"
 	"coplot/internal/machine"
+	"coplot/internal/mds"
 	"coplot/internal/models"
 	"coplot/internal/parametric"
 	"coplot/internal/rng"
@@ -59,10 +63,34 @@ type Point = core.Point
 // Arrow is a variable's direction of maximal correlation.
 type Arrow = core.Arrow
 
-// Analyze runs the four-stage Co-plot pipeline on the dataset.
+// Analyze runs the four-stage Co-plot pipeline on the dataset. It is
+// AnalyzeContext with context.Background(): use AnalyzeContext when
+// the analysis should honor a deadline or cancellation.
 func Analyze(ds *Dataset, opts Options) (*Result, error) {
 	return core.Analyze(ds, opts)
 }
+
+// AnalyzeContext runs the four-stage Co-plot pipeline under a context.
+// Cancellation is observed between the solver's SMACOF iterations and
+// between pruning rounds, so a long analysis stops promptly when ctx
+// ends (returning ctx.Err()); a completed analysis is byte-identical
+// to Analyze for the same dataset and options.
+func AnalyzeContext(ctx context.Context, ds *Dataset, opts Options) (*Result, error) {
+	return core.AnalyzeContext(ctx, ds, opts)
+}
+
+// DegenerateInputError is the typed failure Analyze returns when the
+// dissimilarities admit no meaningful non-metric fit (for example a
+// constant matrix, whose rank order carries no information). Callers
+// detect it with errors.As to distinguish bad input from solver bugs.
+type DegenerateInputError = mds.DegenerateInputError
+
+// ErrPeriodogramDegenerate is the sentinel wrapped by Hurst
+// periodogram failures when the low-frequency cutoff leaves too few
+// usable frequencies to fit a slope. Detect it with errors.Is on the
+// error of the periodogram-based helpers; EstimateHurst itself folds
+// the failure into a NaN estimate.
+var ErrPeriodogramDegenerate = selfsim.ErrPeriodogramDegenerate
 
 // ClusterArrows groups arrows whose angles lie within maxAngle radians,
 // recovering the paper's variable clusters.
@@ -171,15 +199,83 @@ func NewParametricModel(maxProcs int) (*ParametricModel, error) {
 	return parametric.New(maxProcs)
 }
 
-// ScaleLoad raises or lowers a workload's load by the given factor with
-// one of the section-8 operators. Method names: "scale-interarrival",
-// "scale-runtime", "scale-parallelism", "combined" (the paper-informed
-// operator that leaves runtimes untouched).
-func ScaleLoad(l *Log, methodName string, factor float64, maxProcs int) (*Log, error) {
+// LoadMethod selects one of the section-8 load-modification operators.
+// Its String form is the stable wire name ("scale-interarrival",
+// "scale-runtime", "scale-parallelism", "combined") accepted by
+// ParseLoadMethod.
+type LoadMethod = loadctl.Method
+
+// The section-8 load-modification operators, re-exported so callers
+// can name a method without going through ParseLoadMethod.
+const (
+	// ScaleInterArrival condenses (or dilates) the gaps between
+	// arrivals by 1/factor: the most common technique in the literature.
+	ScaleInterArrival LoadMethod = loadctl.ScaleInterArrival
+	// ScaleRuntime multiplies every runtime by the factor.
+	ScaleRuntime LoadMethod = loadctl.ScaleRuntime
+	// ScaleParallelism multiplies every degree of parallelism by the
+	// factor (clamped to the machine size).
+	ScaleParallelism LoadMethod = loadctl.ScaleParallelism
+	// CombinedLoad is the paper-informed operator: more parallelism
+	// (weakly), unchanged runtimes, arrivals absorbing the remainder.
+	CombinedLoad LoadMethod = loadctl.Combined
+)
+
+// ErrUnknownLoadMethod is the sentinel wrapped by ParseLoadMethod (and
+// the deprecated string-keyed ScaleLoad) when a method name matches no
+// operator; detect it with errors.Is.
+var ErrUnknownLoadMethod = errors.New("coplot: unknown load-scaling method")
+
+// LoadMethods enumerates every load-modification operator, in the
+// paper's order. The slice is freshly allocated per call, so callers
+// may reorder or filter it.
+func LoadMethods() []LoadMethod {
+	return append([]LoadMethod(nil), loadctl.Methods...)
+}
+
+// ParseLoadMethod resolves an operator's wire name (its String form)
+// to the typed method. Unknown names return an error wrapping
+// ErrUnknownLoadMethod.
+func ParseLoadMethod(name string) (LoadMethod, error) {
 	for _, m := range loadctl.Methods {
-		if m.String() == methodName {
-			return loadctl.Apply(l, m, factor, maxProcs)
+		if m.String() == name {
+			return m, nil
 		}
 	}
-	return nil, fmt.Errorf("coplot: unknown load-scaling method %q", methodName)
+	return 0, fmt.Errorf("%w %q (have %s)", ErrUnknownLoadMethod, name, methodNames())
+}
+
+// methodNames renders the valid wire names for error messages.
+func methodNames() string {
+	var b strings.Builder
+	for i, m := range loadctl.Methods {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(m.String())
+	}
+	return b.String()
+}
+
+// ScaleLoadWith raises or lowers a workload's load by the given factor
+// with the typed section-8 operator; maxProcs bounds parallelism
+// scaling. This is the preferred form of the old string-keyed
+// ScaleLoad.
+func ScaleLoadWith(l *Log, method LoadMethod, factor float64, maxProcs int) (*Log, error) {
+	return loadctl.Apply(l, method, factor, maxProcs)
+}
+
+// ScaleLoad raises or lowers a workload's load by the given factor
+// with the operator named methodName.
+//
+// Deprecated: use ParseLoadMethod and ScaleLoadWith, which give a
+// typed method value and an errors.Is-detectable ErrUnknownLoadMethod
+// instead of a string-matched lookup. ScaleLoad remains as a thin
+// wrapper and keeps its exact signature for existing callers.
+func ScaleLoad(l *Log, methodName string, factor float64, maxProcs int) (*Log, error) {
+	m, err := ParseLoadMethod(methodName)
+	if err != nil {
+		return nil, err
+	}
+	return ScaleLoadWith(l, m, factor, maxProcs)
 }

@@ -5,6 +5,9 @@ package coplot
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -171,5 +174,165 @@ func TestFacadeScaleLoad(t *testing.T) {
 	}
 	if _, err := ScaleLoad(log, "nope", 2, 128); err == nil {
 		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestFacadeSWFRoundTrip(t *testing.T) {
+	// The serialized form is the facade's interchange format with every
+	// CLI and the serving layer's cache key material. A first write
+	// quantizes fractional fields to two decimals, so the bytes become
+	// the fixed point after one parse: from then on parse → write must
+	// be byte-stable indefinitely.
+	log := GenerateWorkload(Models(128)[4], 21, 1500)
+	var first bytes.Buffer
+	if err := WriteSWF(&first, log); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSWF(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != len(log.Jobs) {
+		t.Fatalf("round trip kept %d of %d jobs", len(back.Jobs), len(log.Jobs))
+	}
+	var second bytes.Buffer
+	if err := WriteSWF(&second, back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseSWF(bytes.NewReader(second.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var third bytes.Buffer
+	if err := WriteSWF(&third, again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(second.Bytes(), third.Bytes()) {
+		t.Fatal("SWF round trip is not byte-stable after quantization")
+	}
+}
+
+func TestFacadeLoadMethodAPI(t *testing.T) {
+	ms := LoadMethods()
+	if len(ms) != 4 {
+		t.Fatalf("LoadMethods = %d, want 4", len(ms))
+	}
+	for _, m := range ms {
+		got, err := ParseLoadMethod(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseLoadMethod(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	// Unknown names fail with the sentinel, through both APIs.
+	if _, err := ParseLoadMethod("nope"); !errors.Is(err, ErrUnknownLoadMethod) {
+		t.Fatalf("ParseLoadMethod error = %v, want ErrUnknownLoadMethod", err)
+	}
+	log := GenerateWorkload(Models(128)[4], 12, 200)
+	if _, err := ScaleLoad(log, "nope", 2, 128); !errors.Is(err, ErrUnknownLoadMethod) {
+		t.Fatalf("deprecated ScaleLoad error = %v, want ErrUnknownLoadMethod", err)
+	}
+	// The deprecated wrapper and the typed form agree byte for byte.
+	old, err := ScaleLoad(log, "scale-runtime", 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed, err := ScaleLoadWith(log, ScaleRuntime, 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteSWF(&a, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSWF(&b, typed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("ScaleLoad and ScaleLoadWith diverge")
+	}
+}
+
+func TestFacadeAnalyzeContextCancellation(t *testing.T) {
+	// A many-observation dataset keeps the solver iterating long enough
+	// that a cancelled context must stop it mid-run.
+	n := 40
+	ds := &Dataset{}
+	for i := 0; i < n; i++ {
+		ds.Observations = append(ds.Observations, fmt.Sprintf("o%02d", i))
+	}
+	ds.Variables = []string{"a", "b", "c", "d"}
+	for i := 0; i < n; i++ {
+		f := float64(i)
+		ds.X = append(ds.X, []float64{
+			math.Sin(f * 1.7), math.Cos(f * 0.9), math.Mod(f*f, 7), f,
+		})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeContext(ctx, ds, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Background context matches plain Analyze exactly.
+	want, err := Analyze(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AnalyzeContext(context.Background(), ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Alienation != got.Alienation {
+		t.Fatalf("alienation %v != %v", want.Alienation, got.Alienation)
+	}
+	for i := range want.Points {
+		if want.Points[i] != got.Points[i] {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}
+
+func TestFacadeTypedDegenerateErrors(t *testing.T) {
+	// A constant data matrix yields constant dissimilarities: the typed
+	// degenerate-input failure must surface through the facade without
+	// reaching into internal/.
+	ds := &Dataset{
+		Observations: []string{"a", "b", "c", "d"},
+		Variables:    []string{"x", "y", "z"},
+		X: [][]float64{
+			{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3},
+		},
+	}
+	_, err := Analyze(ds, Options{})
+	var deg *DegenerateInputError
+	if !errors.As(err, &deg) {
+		t.Fatalf("err = %v, want *DegenerateInputError", err)
+	}
+	if ErrPeriodogramDegenerate == nil {
+		t.Fatal("ErrPeriodogramDegenerate not exported")
+	}
+}
+
+func TestFacadeGenerateWorkloadDeterminism(t *testing.T) {
+	for _, m := range Models(128) {
+		a := GenerateWorkload(m, 99, 700)
+		b := GenerateWorkload(m, 99, 700)
+		var ba, bb bytes.Buffer
+		if err := WriteSWF(&ba, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSWF(&bb, b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+			t.Fatalf("model %s is not deterministic across calls", m.Name())
+		}
+		c := GenerateWorkload(m, 100, 700)
+		var bc bytes.Buffer
+		if err := WriteSWF(&bc, c); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(ba.Bytes(), bc.Bytes()) {
+			t.Fatalf("model %s ignores its seed", m.Name())
+		}
 	}
 }

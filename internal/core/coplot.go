@@ -215,6 +215,15 @@ func Normalize(ds *Dataset) *mat.Matrix {
 
 // Analyze runs the full Co-plot pipeline on the dataset.
 func Analyze(ds *Dataset, opts Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), ds, opts)
+}
+
+// AnalyzeContext is Analyze under a context: cancellation is observed
+// between pruning rounds and between the solver's SMACOF iterations,
+// so a long analysis can be abandoned mid-run (a serving layer's
+// request deadline, a user's Ctrl-C). A cancelled analysis returns
+// ctx.Err(); a completed one is byte-identical to Analyze.
+func AnalyzeContext(ctx context.Context, ds *Dataset, opts Options) (*Result, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
@@ -224,7 +233,10 @@ func Analyze(ds *Dataset, opts Options) (*Result, error) {
 	cur := ds
 	var removed []RemovedVariable
 	for {
-		res, err := analyzeOnce(cur, opts)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := analyzeOnce(ctx, cur, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -259,10 +271,10 @@ func Analyze(ds *Dataset, opts Options) (*Result, error) {
 }
 
 // analyzeOnce runs stages 1–4 without pruning.
-func analyzeOnce(ds *Dataset, opts Options) (*Result, error) {
+func analyzeOnce(ctx context.Context, ds *Dataset, opts Options) (*Result, error) {
 	z := Normalize(ds)
 	d := CityBlockWith(z, opts.MDS.Par)
-	fit, err := mds.SSA(d, opts.MDS)
+	fit, err := mds.SSAContext(ctx, d, opts.MDS)
 	if err != nil {
 		return nil, err
 	}

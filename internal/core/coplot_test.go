@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -429,5 +431,34 @@ func TestFitExtraVariable(t *testing.T) {
 	}
 	if _, err := res.FitExtraVariable("bad", []float64{1, 2}); err == nil {
 		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestAnalyzeContextCancelled(t *testing.T) {
+	ds := syntheticDataset(20, 0.1, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeContext(ctx, ds, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAnalyzeContextBackgroundMatchesAnalyze(t *testing.T) {
+	ds := syntheticDataset(18, 0.1, 6)
+	a, err := Analyze(ds, Options{MDS: mds.Options{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalyzeContext(context.Background(), ds, Options{MDS: mds.Options{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Alienation != b.Alienation || len(a.Points) != len(b.Points) {
+		t.Fatalf("Analyze and AnalyzeContext diverged: %v vs %v", a.Alienation, b.Alienation)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
 	}
 }

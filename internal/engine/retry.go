@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"coplot/internal/obs"
 	"coplot/internal/rng"
 )
 
@@ -179,6 +180,20 @@ func (d *DegradedError) summary() string {
 	failed := append([]string(nil), d.Failed...)
 	sort.Strings(failed)
 	return "failed: " + strings.Join(failed, ", ")
+}
+
+// Do runs one anonymous task under the engine's attempt machinery —
+// panic protection (*PanicError), the retry policy's deterministic
+// backoff, and an optional per-attempt timeout — without a registry or
+// DAG. It is the single-task form of the runner's attempt loop, built
+// for callers like the serving layer that need the engine's failure
+// semantics around an ad-hoc computation: task.retry/task.giveup
+// events flow into sink exactly as they would for a registered
+// experiment.
+func Do(ctx context.Context, name string, pol RetryPolicy, attemptTimeout time.Duration, sink obs.Sink, fn func(context.Context) (any, error)) (any, error) {
+	return runAttempts(ctx, name,
+		func(ctx context.Context, _ struct{}) (any, error) { return fn(ctx) },
+		struct{}{}, pol, attemptTimeout, sink)
 }
 
 // protect runs fn, converting a panic into a *PanicError for task.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 	"time"
@@ -9,14 +10,23 @@ import (
 )
 
 // Store is a memoized artifact cache shared by the experiments of one
-// run. Each key is computed exactly once: the first caller runs the
-// compute function while concurrent callers for the same key block
-// until the result (or error) is available. Upstream artifacts — the
-// generated site logs, the workload tables, the synthetic model logs,
-// the Hurst matrix — are stored once and read by every downstream
-// experiment, so a full suite run derives each of them a single time no
-// matter how many experiments consume it or on how many workers they
-// run.
+// run — and, since the serving layer arrived, by every request of a
+// long-running process. Each key is computed exactly once: the first
+// caller runs the compute function while concurrent callers for the
+// same key block until the result (or error) is available. Upstream
+// artifacts — the generated site logs, the workload tables, the
+// synthetic model logs, the Hurst matrix — are stored once and read by
+// every downstream experiment, so a full suite run derives each of
+// them a single time no matter how many experiments consume it or on
+// how many workers they run.
+//
+// A store lives as long as its owner wants: a CLI run discards it on
+// exit, while coplotd keeps one store across requests so repeated
+// requests are cache hits. Long-lived stores bound their memory with
+// SetByteLimit: artifacts inserted through DoSized carry a byte size,
+// and when the total exceeds the limit the least-recently-used
+// completed artifacts are evicted (and recomputed on their next
+// lookup). In-flight computations are never evicted.
 //
 // Cached values are shared across goroutines; compute functions must
 // return values that downstream readers treat as immutable.
@@ -24,25 +34,48 @@ type Store struct {
 	mu      sync.Mutex
 	entries map[string]*storeEntry
 	sink    obs.Sink
+	limit   int64      // byte cap over sized artifacts; 0 = unbounded
+	bytes   int64      // total size of resident sized artifacts
+	lru     *list.List // completed entries, most recently used at front
 }
 
 type storeEntry struct {
 	done chan struct{} // closed when val/err are set
 	val  any
 	err  error
+	key  string
+	size int64
+	elem *list.Element // LRU position; nil until the compute completed
 }
 
 // NewStore returns an empty artifact store.
 func NewStore() *Store {
-	return &Store{entries: map[string]*storeEntry{}}
+	return &Store{entries: map[string]*storeEntry{}, lru: list.New()}
 }
 
 // Observe routes the store's cache events (hit, miss, single-flight
-// wait) to sink. Call it before the store sees concurrent traffic —
-// typically right after NewStore; the setting is not synchronized
-// against in-flight Do calls.
+// wait, eviction) to sink. Call it before the store sees concurrent
+// traffic — typically right after NewStore; the setting is not
+// synchronized against in-flight Do calls.
 func (s *Store) Observe(sink obs.Sink) {
 	s.sink = sink
+}
+
+// SetByteLimit caps the total reported size of resident artifacts;
+// exceeding it evicts least-recently-used completed entries until the
+// total fits again (an evicted key recomputes on its next lookup).
+// Zero (the default) disables eviction. Like Observe, set it before
+// the store sees concurrent traffic.
+func (s *Store) SetByteLimit(n int64) {
+	s.limit = n
+}
+
+// Bytes reports the total size of resident artifacts, as declared by
+// their DoSized compute functions (plain Do artifacts count as zero).
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
 }
 
 // Do returns the artifact under key, computing it with compute on the
@@ -50,44 +83,96 @@ func (s *Store) Observe(sink obs.Sink) {
 // callers already blocked on the in-flight compute observe the error,
 // but the next Do for the key computes afresh — so a retried task can
 // recover from a transient upstream failure instead of replaying it.
+// Do artifacts report size zero, so they are exempt from the byte
+// limit; callers with large artifacts should use DoSized.
 func (s *Store) Do(key string, compute func() (any, error)) (any, error) {
+	return s.DoSized(key, func() (any, int64, error) {
+		v, err := compute()
+		return v, 0, err
+	})
+}
+
+// DoSized is Do for size-accounted artifacts: compute additionally
+// reports the artifact's resident size in bytes, which counts against
+// the SetByteLimit cap. Touching a cached entry (hit or wait) marks it
+// most recently used.
+func (s *Store) DoSized(key string, compute func() (any, int64, error)) (any, error) {
 	s.mu.Lock()
 	if s.entries == nil {
 		s.entries = map[string]*storeEntry{}
 	}
+	if s.lru == nil {
+		s.lru = list.New()
+	}
 	if e, ok := s.entries[key]; ok {
-		s.mu.Unlock()
 		select {
 		case <-e.done: // already materialized: a plain cache hit
+			if e.elem != nil {
+				s.lru.MoveToFront(e.elem)
+			}
+			s.mu.Unlock()
 			obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreHit, Name: key})
 		default: // single flight: block on the in-progress compute
+			s.mu.Unlock()
 			start := time.Now()
 			<-e.done
 			obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreWait, Name: key, Elapsed: time.Since(start)})
 		}
 		return e.val, e.err
 	}
-	e := &storeEntry{done: make(chan struct{})}
+	e := &storeEntry{done: make(chan struct{}), key: key}
 	s.entries[key] = e
 	s.mu.Unlock()
 
 	start := time.Now()
-	e.val, e.err = compute()
+	e.val, e.size, e.err = compute()
+	var evicted []string
+	s.mu.Lock()
 	if e.err != nil {
 		// Evict before waking waiters: the failure stays visible to
 		// everyone already blocked on e.done, while later lookups retry.
-		s.mu.Lock()
 		if s.entries[key] == e {
 			delete(s.entries, key)
 		}
-		s.mu.Unlock()
+	} else if s.entries[key] == e {
+		e.elem = s.lru.PushFront(e)
+		s.bytes += e.size
+		evicted = s.evictOverLimit()
 	}
+	s.mu.Unlock()
 	close(e.done)
+	for _, k := range evicted {
+		obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreEvict, Name: k})
+	}
 	obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreMiss, Name: key, Elapsed: time.Since(start)})
 	return e.val, e.err
 }
 
-// Len reports how many artifacts have been requested so far.
+// evictOverLimit drops least-recently-used completed entries until the
+// resident bytes fit the limit, returning the evicted keys. Callers
+// hold s.mu. Only completed entries live on the LRU list, so in-flight
+// computations are never touched; the newest entry itself is evicted
+// last, when it alone exceeds the limit.
+func (s *Store) evictOverLimit() []string {
+	if s.limit <= 0 {
+		return nil
+	}
+	var evicted []string
+	for s.bytes > s.limit && s.lru.Len() > 0 {
+		back := s.lru.Back()
+		e := back.Value.(*storeEntry)
+		s.lru.Remove(back)
+		e.elem = nil
+		s.bytes -= e.size
+		if s.entries[e.key] == e {
+			delete(s.entries, e.key)
+		}
+		evicted = append(evicted, e.key)
+	}
+	return evicted
+}
+
+// Len reports how many artifacts are resident or in flight.
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()

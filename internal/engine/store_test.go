@@ -1,10 +1,15 @@
 package engine
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"coplot/internal/obs"
 )
 
 func TestStoreComputesOnce(t *testing.T) {
@@ -89,5 +94,165 @@ func TestStoreZeroValueUsable(t *testing.T) {
 	v, err := Memo(&s, "k", func() (int, error) { return 9, nil })
 	if err != nil || v != 9 {
 		t.Fatalf("zero-value store: %d, %v", v, err)
+	}
+}
+
+// countEvents is a sink counting events by kind, for eviction tests.
+type countEvents struct {
+	mu     sync.Mutex
+	counts map[obs.Kind]int
+	names  []string
+}
+
+func (c *countEvents) Event(e obs.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.counts == nil {
+		c.counts = map[obs.Kind]int{}
+	}
+	c.counts[e.Kind]++
+	if e.Kind == obs.KindStoreEvict {
+		c.names = append(c.names, e.Name)
+	}
+}
+
+func (c *countEvents) count(k obs.Kind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[k]
+}
+
+func TestStoreByteLimitEvictsLRU(t *testing.T) {
+	s := NewStore()
+	sink := &countEvents{}
+	s.Observe(sink)
+	s.SetByteLimit(100)
+	put := func(key string) {
+		t.Helper()
+		if _, err := s.DoSized(key, func() (any, int64, error) { return key, 40, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	if got := s.Bytes(); got != 80 {
+		t.Fatalf("bytes = %d, want 80", got)
+	}
+	put("a") // hit: refreshes a's recency, so b is now the LRU victim
+	put("c") // 120 bytes > 100: evicts b
+	if got := s.Bytes(); got != 80 {
+		t.Fatalf("bytes after eviction = %d, want 80", got)
+	}
+	if sink.count(obs.KindStoreEvict) != 1 || sink.names[0] != "b" {
+		t.Fatalf("evictions = %d %v, want 1 [b]", sink.count(obs.KindStoreEvict), sink.names)
+	}
+	// b was evicted, so it recomputes; reinserting it (40 bytes) in turn
+	// evicts the then-LRU "a", leaving [b, c] resident.
+	recomputed := false
+	if _, err := s.DoSized("b", func() (any, int64, error) { recomputed = true; return "b", 40, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Fatal("evicted key did not recompute")
+	}
+	computedC := false
+	if _, err := s.DoSized("c", func() (any, int64, error) { computedC = true; return "c", 40, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if computedC {
+		t.Fatal("resident key recomputed")
+	}
+}
+
+func TestStoreOversizedArtifactEvictsItself(t *testing.T) {
+	s := NewStore()
+	s.SetByteLimit(10)
+	if _, err := s.DoSized("huge", func() (any, int64, error) { return "x", 1000, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Bytes(); got != 0 {
+		t.Fatalf("bytes = %d, want 0 (oversized artifact must not stay resident)", got)
+	}
+	again := false
+	if _, err := s.DoSized("huge", func() (any, int64, error) { again = true; return "x", 1000, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !again {
+		t.Fatal("oversized artifact was cached despite exceeding the limit")
+	}
+}
+
+func TestStoreUnsizedArtifactsExemptFromLimit(t *testing.T) {
+	s := NewStore()
+	s.SetByteLimit(1)
+	for _, k := range []string{"a", "b", "c"} {
+		if _, err := Memo(s, k, func() (int, error) { return 1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (zero-sized artifacts never evict)", s.Len())
+	}
+}
+
+func TestStoreEvictionUnderConcurrency(t *testing.T) {
+	s := NewStore()
+	s.SetByteLimit(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%12)
+				v, err := s.DoSized(key, func() (any, int64, error) { return key, 16, nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v.(string) != key {
+					t.Errorf("key %q holds %v", key, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.Bytes(); got > 64 {
+		t.Fatalf("bytes = %d, want <= 64", got)
+	}
+}
+
+func TestEngineDoRetriesAndRecoversPanic(t *testing.T) {
+	attempts := 0
+	pol := RetryPolicy{MaxAttempts: 3, Sleep: func(context.Context, time.Duration) error { return nil }}
+	v, err := Do(context.Background(), "flaky", pol, 0, nil, func(ctx context.Context) (any, error) {
+		attempts++
+		if attempts < 3 {
+			return nil, fmt.Errorf("transient %d", attempts)
+		}
+		return "ok", nil
+	})
+	if err != nil || v != "ok" || attempts != 3 {
+		t.Fatalf("v=%v err=%v attempts=%d", v, err, attempts)
+	}
+
+	_, err = Do(context.Background(), "boom", pol, 0, nil, func(ctx context.Context) (any, error) {
+		panic("kaboom")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Task != "boom" {
+		t.Fatalf("err = %v, want *PanicError for task boom", err)
+	}
+}
+
+func TestEngineDoAttemptTimeout(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 1}
+	_, err := Do(context.Background(), "slow", pol, 10*time.Millisecond, nil, func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
 	}
 }

@@ -178,6 +178,15 @@ func Classical(d *mat.Matrix, dims int) (*mat.Matrix, error) {
 // explicit (alienation, start index) order, so the output is
 // byte-identical to the serial solver at any worker count.
 func SSA(d *mat.Matrix, opts Options) (Result, error) {
+	return SSAContext(context.Background(), d, opts)
+}
+
+// SSAContext is SSA under a context: cancellation is observed between
+// SMACOF iterations (and by the multi-start fan-out), so a caller can
+// abandon a long fit mid-run. A cancelled solve returns ctx.Err(); a
+// completed solve is byte-identical to SSA regardless of how the
+// context was plumbed.
+func SSAContext(ctx context.Context, d *mat.Matrix, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if err := checkDissim(d); err != nil {
 		return Result{}, err
@@ -221,8 +230,8 @@ func SSA(d *mat.Matrix, opts Options) (Result, error) {
 	}
 	results := make([]Result, len(starts))
 	errs := make([]error, len(starts))
-	_ = par.ForEach(context.Background(), budget, len(starts), func(si int) error {
-		res, err := ssaFrom(d, diss, starts[si].x0, starts[si].idx, opts)
+	_ = par.ForEach(ctx, budget, len(starts), func(si int) error {
+		res, err := ssaFrom(ctx, d, diss, starts[si].x0, starts[si].idx, opts)
 		if err != nil {
 			errs[si] = err // a failed start never cancels its siblings
 			return nil
@@ -230,6 +239,9 @@ func SSA(d *mat.Matrix, opts Options) (Result, error) {
 		results[si] = res
 		return nil
 	})
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 
 	best := Result{Alienation: math.Inf(1), Start: -1}
 	firstErr := classicalErr
@@ -275,7 +287,7 @@ func flattenPairs(d *mat.Matrix) []pair {
 // outweighs the arithmetic.
 const minPairsPerBlock = 4096
 
-func ssaFrom(d *mat.Matrix, diss []pair, x0 *mat.Matrix, start int, opts Options) (Result, error) {
+func ssaFrom(ctx context.Context, d *mat.Matrix, diss []pair, x0 *mat.Matrix, start int, opts Options) (Result, error) {
 	n := d.Rows
 	dims := opts.Dims
 	x := x0.Clone()
@@ -363,6 +375,12 @@ func ssaFrom(d *mat.Matrix, diss []pair, x0 *mat.Matrix, start int, opts Options
 	prev := math.Inf(1)
 	iters := 0
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		// Cancellation is observed between iterations: each SMACOF step
+		// runs to completion, so an abandoned solve never leaves a
+		// half-updated configuration behind.
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		iters = iter + 1
 		computeDistances()
 		if err := computeDisparities(); err != nil {

@@ -1,6 +1,8 @@
 package mds
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -277,6 +279,49 @@ func BenchmarkSSA15Points(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := SSA(d, Options{Seed: 13}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func TestSSAContextCancelledMidRun(t *testing.T) {
+	// A generous iteration budget plus an impossibly tight tolerance
+	// keeps the solver iterating, so the cancellation must land between
+	// iterations, not after convergence.
+	d := randomDissim(rng.New(40), 24)
+	ctx, cancel := context.WithCancel(context.Background())
+	iters := 0
+	opts := Options{MaxIter: 100000, Tol: 1e-300, Restarts: -1,
+		Trace: func(start, iter int, stress float64) {
+			iters++
+			if iters == 3 {
+				cancel()
+			}
+		}}
+	_, err := SSAContext(ctx, d, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if iters > 4 {
+		t.Fatalf("solver kept iterating %d times after cancellation", iters)
+	}
+}
+
+func TestSSAContextBackgroundMatchesSSA(t *testing.T) {
+	d := randomDissim(rng.New(15), 15)
+	a, err := SSA(d, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SSAContext(context.Background(), d, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Alienation != b.Alienation || a.Start != b.Start || a.Iterations != b.Iterations {
+		t.Fatalf("SSA %+v != SSAContext %+v", a, b)
+	}
+	for i := range a.Config.Data {
+		if a.Config.Data[i] != b.Config.Data[i] {
+			t.Fatalf("configuration differs at %d", i)
 		}
 	}
 }

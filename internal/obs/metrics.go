@@ -95,6 +95,10 @@ type StoreStats struct {
 	// Waits counts lookups that blocked on an in-flight computation
 	// (timing field).
 	Waits int `json:"waits"`
+	// Evictions counts artifacts dropped by the store's byte-limit LRU
+	// (zero unless a limit is set; deterministic for a given lookup
+	// sequence).
+	Evictions int `json:"evictions,omitempty"`
 	// HitRatio is (Lookups-Misses)/Lookups, 0 when there was no traffic.
 	HitRatio float64 `json:"hit_ratio"`
 }
@@ -241,6 +245,8 @@ func (m *Metrics) Event(e Event) {
 	case KindStoreWait:
 		m.store.Lookups++
 		m.store.Waits++
+	case KindStoreEvict:
+		m.store.Evictions++
 	case KindPoolSample:
 		m.pool.Samples++
 		if e.InUse > m.pool.MaxInUse {

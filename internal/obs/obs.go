@@ -61,6 +61,9 @@ const (
 	// in-flight computation (single flight); Elapsed holds the time
 	// spent blocked.
 	KindStoreWait Kind = "store.wait"
+	// KindStoreEvict marks an artifact dropped by the store's byte-limit
+	// LRU eviction; its next lookup will recompute it.
+	KindStoreEvict Kind = "store.evict"
 	// KindPoolSample snapshots worker-pool occupancy on every slot
 	// acquire/release: InUse of Capacity workers busy.
 	KindPoolSample Kind = "pool.sample"

@@ -1,0 +1,429 @@
+package service
+
+// The endpoint handlers. Each parses its options into a canonical
+// form, derives the content-hash cache key, and returns a compute
+// closure that renders the exact bytes the matching CLI writes to
+// stdout — through the shared helpers in input.go and render.go, so
+// the identity holds by construction.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"coplot"
+	"coplot/internal/core"
+	"coplot/internal/mds"
+	"coplot/internal/rng"
+	"coplot/internal/swf"
+	"coplot/internal/validate"
+	"coplot/internal/workload"
+)
+
+// qStr reads a string option with a default.
+func qStr(q url.Values, key, def string) string {
+	if v := q.Get(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// qInt reads an integer option with a default.
+func qInt(q url.Values, key string, def int) (int, error) {
+	v := q.Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, badRequest(fmt.Errorf("option %s: %v", key, err))
+	}
+	return n, nil
+}
+
+// qUint reads an unsigned option (seeds) with a default.
+func qUint(q url.Values, key string, def uint64) (uint64, error) {
+	v := q.Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, badRequest(fmt.Errorf("option %s: %v", key, err))
+	}
+	return n, nil
+}
+
+// qFloat reads a float option with a default.
+func qFloat(q url.Values, key string, def float64) (float64, error) {
+	v := q.Get(key)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, badRequest(fmt.Errorf("option %s: %v", key, err))
+	}
+	return f, nil
+}
+
+// machineFromQuery parses the shared machine options (procs, sched,
+// alloc) with the CLI defaults: a 128-processor EASY system with
+// unlimited allocation, named "cli" so reports match the CLIs byte for
+// byte.
+func machineFromQuery(q url.Values) (procs int, canon []string, m coplot.Machine, err error) {
+	procs, err = qInt(q, "procs", 128)
+	if err != nil {
+		return 0, nil, coplot.Machine{}, err
+	}
+	sched := qStr(q, "sched", "easy")
+	alloc := qStr(q, "alloc", "unlimited")
+	m, merr := ParseMachine("cli", procs, sched, alloc)
+	if merr != nil {
+		return 0, nil, coplot.Machine{}, badRequest(merr)
+	}
+	canon = []string{
+		fmt.Sprintf("procs=%d", procs),
+		"sched=" + sched,
+		"alloc=" + alloc,
+	}
+	return procs, canon, m, nil
+}
+
+// parseLogBody parses a request body as one SWF log.
+func parseLogBody(body []byte) (*swf.Log, error) {
+	log, err := swf.Parse(bytes.NewReader(body))
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	return log, nil
+}
+
+// swfPart is one uploaded log of a multipart analyze request.
+type swfPart struct {
+	name string
+	data []byte
+}
+
+// analyze maps POST /v1/analyze: the Co-plot pipeline over a CSV data
+// matrix (any body) or a set of SWF logs (multipart/form-data, one
+// part per log, at least 3). Options: prune, seed (default 7, the CLI
+// default), vars, procs. The body is the exact cmd/coplot report.
+func (s *Service) analyze(r *http.Request, body []byte) (string, func(context.Context) (*response, error), error) {
+	q := r.URL.Query()
+	prune, err := qFloat(q, "prune", 0)
+	if err != nil {
+		return "", nil, err
+	}
+	seed, err := qUint(q, "seed", 7)
+	if err != nil {
+		return "", nil, err
+	}
+	procs, err := qInt(q, "procs", 128)
+	if err != nil {
+		return "", nil, err
+	}
+	vars := qStr(q, "vars", "")
+	canon := []string{
+		fmt.Sprintf("prune=%g", prune),
+		fmt.Sprintf("seed=%d", seed),
+		fmt.Sprintf("procs=%d", procs),
+		"vars=" + vars,
+	}
+
+	mt, params, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if strings.HasPrefix(mt, "multipart/") {
+		// SWF mode. The parts are decoded before keying, so the cache
+		// key depends on the logs' names and bytes — not on the
+		// per-request multipart boundary.
+		parts, err := parseMultipartLogs(body, params["boundary"])
+		if err != nil {
+			return "", nil, err
+		}
+		blobs := make([][]byte, 0, 2*len(parts))
+		for _, p := range parts {
+			blobs = append(blobs, []byte(p.name), p.data)
+		}
+		key := cacheKey("analyze", canon, blobs...)
+		run := func(ctx context.Context) (*response, error) {
+			m, err := ParseMachine("cli", procs, "easy", "unlimited")
+			if err != nil {
+				return nil, badRequest(err)
+			}
+			rows := make([]workload.Variables, len(parts))
+			for i, p := range parts {
+				log, err := swf.Parse(bytes.NewReader(p.data))
+				if err != nil {
+					return nil, badRequest(fmt.Errorf("%s: %v", p.name, err))
+				}
+				row, err := workload.Compute(p.name, log, m)
+				if err != nil {
+					return nil, badRequest(fmt.Errorf("%s: %v", p.name, err))
+				}
+				rows[i] = row
+			}
+			ds, err := DatasetFromVariables(rows)
+			if err != nil {
+				return nil, badRequest(err)
+			}
+			return s.analyzeDataset(ctx, ds, vars, prune, seed)
+		}
+		return key, run, nil
+	}
+
+	// CSV mode: the body is the data matrix.
+	key := cacheKey("analyze", canon, body)
+	run := func(ctx context.Context) (*response, error) {
+		ds, err := ParseCSVDataset("body", bytes.NewReader(body))
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		return s.analyzeDataset(ctx, ds, vars, prune, seed)
+	}
+	return key, run, nil
+}
+
+// parseMultipartLogs decodes an analyze request's multipart body into
+// named SWF blobs, in part order.
+func parseMultipartLogs(body []byte, boundary string) ([]swfPart, error) {
+	if boundary == "" {
+		return nil, badRequest(fmt.Errorf("multipart body without a boundary"))
+	}
+	mr := multipart.NewReader(bytes.NewReader(body), boundary)
+	var parts []swfPart
+	for {
+		p, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		data, err := io.ReadAll(p)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		name := p.FileName()
+		if name == "" {
+			name = p.FormName()
+		}
+		parts = append(parts, swfPart{name: name, data: data})
+	}
+	if len(parts) < 3 {
+		return nil, badRequest(fmt.Errorf("need at least 3 SWF logs, got %d", len(parts)))
+	}
+	return parts, nil
+}
+
+// analyzeDataset runs the Co-plot pipeline the way cmd/coplot does —
+// same defaults, same report — drawing kernel workers from the
+// service-wide budget.
+func (s *Service) analyzeDataset(ctx context.Context, ds *core.Dataset, vars string, prune float64, seed uint64) (*response, error) {
+	if vars != "" {
+		var err error
+		ds, err = ds.Select(strings.Split(vars, ","))
+		if err != nil {
+			return nil, badRequest(err)
+		}
+	}
+	res, err := core.AnalyzeContext(ctx, ds, core.Options{
+		MDS:            mds.Options{Seed: seed, Par: s.budget},
+		PruneThreshold: prune,
+	})
+	if err != nil {
+		// Degenerate input is the caller's data, not a server fault.
+		var deg *mds.DegenerateInputError
+		if errors.As(err, &deg) {
+			return nil, badRequest(err)
+		}
+		return nil, err
+	}
+	return textResponse(res.Report()), nil
+}
+
+// variables maps POST /v1/variables: the Table-1 variables of the SWF
+// log in the body, rendered exactly as cmd/wstat prints them. Options:
+// name (the report label, default "log"), procs, sched, alloc.
+func (s *Service) variables(r *http.Request, body []byte) (string, func(context.Context) (*response, error), error) {
+	q := r.URL.Query()
+	name := qStr(q, "name", "log")
+	_, canon, m, err := machineFromQuery(q)
+	if err != nil {
+		return "", nil, err
+	}
+	key := cacheKey("variables", append(canon, "name="+name), body)
+	run := func(ctx context.Context) (*response, error) {
+		log, err := parseLogBody(body)
+		if err != nil {
+			return nil, err
+		}
+		text, err := VariablesReport(name, log, m)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		return textResponse(text), nil
+	}
+	return key, run, nil
+}
+
+// hurst maps POST /v1/hurst: the three Hurst estimates per Table-3
+// series of the SWF log in the body, rendered exactly as cmd/hurst
+// prints them. Options: name (default "log"). The estimator fan-out
+// draws from the service-wide worker budget.
+func (s *Service) hurst(r *http.Request, body []byte) (string, func(context.Context) (*response, error), error) {
+	name := qStr(r.URL.Query(), "name", "log")
+	key := cacheKey("hurst", []string{"name=" + name}, body)
+	run := func(ctx context.Context) (*response, error) {
+		log, err := parseLogBody(body)
+		if err != nil {
+			return nil, err
+		}
+		text, err := HurstReport(ctx, name, log, s.budget, nil)
+		if err != nil {
+			return nil, err
+		}
+		return textResponse(text), nil
+	}
+	return key, run, nil
+}
+
+// validate maps POST /v1/validate: the section-1 validity audit of the
+// SWF log in the body, rendered exactly as cmd/swfcheck prints it; the
+// X-Coplot-Validate-Errors header carries the error-severity count.
+// Options: name, procs, sched, alloc, downtime-factor, top-user.
+func (s *Service) validate(r *http.Request, body []byte) (string, func(context.Context) (*response, error), error) {
+	q := r.URL.Query()
+	name := qStr(q, "name", "log")
+	_, canon, m, err := machineFromQuery(q)
+	if err != nil {
+		return "", nil, err
+	}
+	downtime, err := qFloat(q, "downtime-factor", 0)
+	if err != nil {
+		return "", nil, err
+	}
+	topUser, err := qFloat(q, "top-user", 0)
+	if err != nil {
+		return "", nil, err
+	}
+	canon = append(canon,
+		"name="+name,
+		fmt.Sprintf("downtime-factor=%g", downtime),
+		fmt.Sprintf("top-user=%g", topUser),
+	)
+	key := cacheKey("validate", canon, body)
+	run := func(ctx context.Context) (*response, error) {
+		log, err := parseLogBody(body)
+		if err != nil {
+			return nil, err
+		}
+		text, errs := ValidateReport(name, log, m, validate.Options{
+			DowntimeFactor: downtime, TopUserWarn: topUser,
+		})
+		resp := textResponse(text)
+		resp.extra = map[string]string{"X-Coplot-Validate-Errors": strconv.Itoa(errs)}
+		return resp, nil
+	}
+	return key, run, nil
+}
+
+// scaleLoad maps POST /v1/scale-load: the section-8 load-modification
+// operators applied to the SWF log in the body, answered as the scaled
+// log in SWF. Options: method (required; a coplot.LoadMethod wire
+// name), factor (required), procs.
+func (s *Service) scaleLoad(r *http.Request, body []byte) (string, func(context.Context) (*response, error), error) {
+	q := r.URL.Query()
+	methodName := q.Get("method")
+	if methodName == "" {
+		return "", nil, badRequest(fmt.Errorf("option method is required"))
+	}
+	method, err := coplot.ParseLoadMethod(methodName)
+	if err != nil {
+		return "", nil, badRequest(err)
+	}
+	if q.Get("factor") == "" {
+		return "", nil, badRequest(fmt.Errorf("option factor is required"))
+	}
+	factor, err := qFloat(q, "factor", 0)
+	if err != nil {
+		return "", nil, err
+	}
+	maxProcs, err := qInt(q, "procs", 128)
+	if err != nil {
+		return "", nil, err
+	}
+	canon := []string{
+		"method=" + method.String(),
+		fmt.Sprintf("factor=%g", factor),
+		fmt.Sprintf("procs=%d", maxProcs),
+	}
+	key := cacheKey("scale-load", canon, body)
+	run := func(ctx context.Context) (*response, error) {
+		log, err := parseLogBody(body)
+		if err != nil {
+			return nil, err
+		}
+		out, err := coplot.ScaleLoadWith(log, method, factor, maxProcs)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		var buf bytes.Buffer
+		if err := swf.Write(&buf, out); err != nil {
+			return nil, err
+		}
+		return textResponse(buf.String()), nil
+	}
+	return key, run, nil
+}
+
+// generate maps POST /v1/generate: a synthetic workload from one of
+// the named models, answered in SWF exactly as cmd/wgen writes it.
+// Options: model (required; ModelByName names), procs, n, seed —
+// matching the wgen flags and defaults.
+func (s *Service) generate(r *http.Request, body []byte) (string, func(context.Context) (*response, error), error) {
+	q := r.URL.Query()
+	model := q.Get("model")
+	if model == "" {
+		return "", nil, badRequest(fmt.Errorf("option model is required"))
+	}
+	procs, err := qInt(q, "procs", 128)
+	if err != nil {
+		return "", nil, err
+	}
+	n, err := qInt(q, "n", 10000)
+	if err != nil {
+		return "", nil, err
+	}
+	seed, err := qUint(q, "seed", 1)
+	if err != nil {
+		return "", nil, err
+	}
+	canon := []string{
+		"model=" + model,
+		fmt.Sprintf("procs=%d", procs),
+		fmt.Sprintf("n=%d", n),
+		fmt.Sprintf("seed=%d", seed),
+	}
+	key := cacheKey("generate", canon)
+	run := func(ctx context.Context) (*response, error) {
+		gen, err := ModelByName(model, procs)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		log := gen.Generate(rng.New(seed), n)
+		var buf bytes.Buffer
+		if err := swf.Write(&buf, log); err != nil {
+			return nil, err
+		}
+		return textResponse(buf.String()), nil
+	}
+	return key, run, nil
+}

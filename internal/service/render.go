@@ -1,0 +1,92 @@
+package service
+
+// Shared report renderers. Each CLI and the matching service endpoint
+// call the same function here, so a service response body is
+// byte-identical to the CLI's stdout for the same inputs — the
+// property the service-smoke CI job diffs for.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"coplot/internal/machine"
+	"coplot/internal/par"
+	"coplot/internal/selfsim"
+	"coplot/internal/swf"
+	"coplot/internal/validate"
+	"coplot/internal/workload"
+)
+
+// VariablesReport renders one log's Table-1 variables the way cmd/wstat
+// prints them: a "name (N jobs)" header and one "  CODE value" row per
+// variable.
+func VariablesReport(name string, log *swf.Log, m machine.Machine) (string, error) {
+	v, err := workload.Compute(name, log, m)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d jobs)\n", name, len(log.Jobs))
+	for _, code := range workload.AllVariables {
+		fmt.Fprintf(&b, "  %-3s %g\n", code, v.Get(code))
+	}
+	return b.String(), nil
+}
+
+// HurstReport renders one log's Hurst estimates the way cmd/hurst
+// prints them: a header row and one line per Table-3 series with the
+// R/S, variance-time and periodogram estimates. The estimator fan-out
+// draws workers from budget (nil = serial); cancellation is observed
+// between series. onSeries, when non-nil, runs after each series is
+// estimated (the CLI hooks its SVG diagnostics there) and its error
+// aborts the report.
+func HurstReport(ctx context.Context, name string, log *swf.Log, budget *par.Budget, onSeries func(series string, x []float64) error) (string, error) {
+	series := selfsim.SeriesFromLog(log)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d jobs)\n", name, len(log.Jobs))
+	fmt.Fprintf(&b, "  %-14s %6s %6s %6s\n", "series", "R/S", "V-T", "Per.")
+	for _, sn := range selfsim.SeriesNames {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		e := selfsim.EstimateAllWith(series[sn], budget)
+		fmt.Fprintf(&b, "  %-14s %6.2f %6.2f %6.2f\n", sn, e.RS, e.VT, e.Per)
+		if onSeries != nil {
+			if err := onSeries(sn, series[sn]); err != nil {
+				return "", err
+			}
+		}
+	}
+	return b.String(), nil
+}
+
+// ValidateReport renders one log's audit the way cmd/swfcheck prints
+// it — summary line, per-issue lines, capped-code notes (in sorted
+// code order, so the report is deterministic) — and returns the number
+// of error-severity issues alongside.
+func ValidateReport(name string, log *swf.Log, m machine.Machine, opts validate.Options) (string, int) {
+	rep := validate.Check(log, m, opts)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d jobs, %d issues (%d errors)\n",
+		name, len(log.Jobs), len(rep.Issues), rep.Errors())
+	for _, issue := range rep.Issues {
+		if issue.JobID > 0 {
+			fmt.Fprintf(&b, "  [%s] %s job %d: %s\n", issue.Severity, issue.Code, issue.JobID, issue.Message)
+		} else {
+			fmt.Fprintf(&b, "  [%s] %s: %s\n", issue.Severity, issue.Code, issue.Message)
+		}
+	}
+	codes := make([]string, 0, len(rep.Counts))
+	for code := range rep.Counts {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		if n := rep.Counts[code]; n > len(rep.Issues) {
+			fmt.Fprintf(&b, "  (%s occurred %d times; output capped)\n", code, n)
+		}
+	}
+	return b.String(), rep.Errors()
+}

@@ -1,0 +1,351 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"coplot/internal/engine"
+	"coplot/internal/obs"
+	"coplot/internal/par"
+)
+
+// Config tunes a Service; the zero value serves with defaults.
+type Config struct {
+	// Jobs sizes the one par.Budget every in-flight request draws its
+	// analysis workers from (0 = GOMAXPROCS). The budget is global:
+	// total kernel parallelism stays bounded no matter how many
+	// requests run concurrently.
+	Jobs int
+	// MaxInflight caps concurrently admitted requests; excess requests
+	// are answered 429 with a Retry-After header instead of queueing
+	// (0 = twice the worker budget).
+	MaxInflight int
+	// CacheBytes bounds the response cache: past it, least-recently-used
+	// responses are evicted and recomputed on their next request
+	// (0 = 256 MiB, negative = unbounded).
+	CacheBytes int64
+	// MaxBodyBytes caps a request body (0 = 64 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout bounds one request across all attempts (0 = none);
+	// an expired request is answered 504.
+	RequestTimeout time.Duration
+	// AttemptTimeout bounds each attempt; a timed-out attempt is
+	// retried under Retries (0 = none).
+	AttemptTimeout time.Duration
+	// Retries re-attempts a transiently failing request up to N more
+	// times with the engine's deterministic backoff (0 = fail on first
+	// error). Bad-input failures are permanent and never retried.
+	Retries int
+	// Backoff is the base delay before the first retry (0 = engine
+	// default).
+	Backoff time.Duration
+	// Seed drives the retry-backoff jitter. Analysis seeds come from
+	// each request (the "seed" query parameter), not from here, so
+	// responses do not depend on server configuration.
+	Seed uint64
+	// Sink receives the request events (task.start/finish, store
+	// hit/miss/evict, pool samples) in addition to the service's own
+	// metrics aggregate; nil means metrics only.
+	Sink obs.Sink
+}
+
+// Service is the HTTP serving layer: deterministic, cacheable analysis
+// endpoints over the same code paths the CLIs use. Responses are keyed
+// by a content hash of (endpoint, options, input bytes) in the
+// engine's single-flight store, so a repeated request — or two
+// identical requests racing — computes once.
+type Service struct {
+	cfg     Config
+	budget  *par.Budget
+	store   *engine.Store
+	metrics *obs.Metrics
+	sink    obs.Sink
+	sem     chan struct{}
+	mux     *http.ServeMux
+
+	// testHook, when set, runs inside each request's compute step
+	// before the real work; tests use it to block, fail or panic a
+	// request deterministically.
+	testHook func(ctx context.Context, endpoint string) error
+}
+
+// New builds a Service from cfg. The worker budget, response cache and
+// metrics aggregate live as long as the Service does.
+func New(cfg Config) *Service {
+	s := &Service{
+		cfg:     cfg,
+		budget:  par.NewBudget(cfg.Jobs),
+		store:   engine.NewStore(),
+		metrics: obs.NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.sink = obs.Multi(s.metrics, cfg.Sink)
+	s.store.Observe(s.sink)
+	switch {
+	case cfg.CacheBytes == 0:
+		s.store.SetByteLimit(256 << 20)
+	case cfg.CacheBytes > 0:
+		s.store.SetByteLimit(cfg.CacheBytes)
+	}
+	inflight := cfg.MaxInflight
+	if inflight <= 0 {
+		inflight = 2 * s.budget.Size()
+	}
+	s.sem = make(chan struct{}, inflight)
+
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /metrics", s.metricsHandler)
+	s.mux.Handle("POST /v1/analyze", s.endpoint("analyze", s.analyze))
+	s.mux.Handle("POST /v1/variables", s.endpoint("variables", s.variables))
+	s.mux.Handle("POST /v1/hurst", s.endpoint("hurst", s.hurst))
+	s.mux.Handle("POST /v1/validate", s.endpoint("validate", s.validate))
+	s.mux.Handle("POST /v1/scale-load", s.endpoint("scale-load", s.scaleLoad))
+	s.mux.Handle("POST /v1/generate", s.endpoint("generate", s.generate))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics exposes the service's aggregate counters (tests and the
+// /metrics endpoint read the same object).
+func (s *Service) Metrics() *obs.Metrics { return s.metrics }
+
+// Serve runs the service on ln until stop delivers, then drains:
+// in-flight requests get up to drain (0 = no limit) to finish while
+// new connections are refused. The error is nil after a clean drain.
+func (s *Service) Serve(ln net.Listener, stop <-chan struct{}, drain time.Duration) error {
+	srv := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-stop:
+	}
+	ctx := context.Background()
+	if drain > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, drain)
+		defer cancel()
+	}
+	err := srv.Shutdown(ctx)
+	<-errc // srv.Serve has returned http.ErrServerClosed
+	return err
+}
+
+// response is one endpoint's computed answer, as cached: the exact
+// bytes a matching CLI invocation writes to stdout, plus any
+// endpoint-specific metadata headers. Cached responses are shared
+// across requests and never mutated.
+type response struct {
+	contentType string
+	body        []byte
+	extra       map[string]string
+}
+
+// textResponse wraps a CLI-format report as a plain-text response.
+func textResponse(text string) *response {
+	return &response{contentType: "text/plain; charset=utf-8", body: []byte(text)}
+}
+
+// size reports the response's resident footprint for the cache's byte
+// accounting.
+func (r *response) size() int64 { return int64(len(r.body)) }
+
+// handlerFunc parses one endpoint's request into its cache key and a
+// compute closure. Parse-stage errors (bad options, malformed
+// multipart) answer immediately; compute-stage errors flow through the
+// engine's retry/permanent classification.
+type handlerFunc func(r *http.Request, body []byte) (key string, run func(ctx context.Context) (*response, error), err error)
+
+// endpoint wraps h with the service machinery: semaphore backpressure,
+// the per-request deadline, the content-hash cache, the engine's
+// attempt loop (retries, panic recovery), and the obs event stream.
+func (s *Service) endpoint(name string, h handlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server at capacity", http.StatusTooManyRequests)
+			return
+		}
+		defer func() {
+			<-s.sem
+			obs.Emit(s.sink, obs.Event{Kind: obs.KindPoolSample, InUse: len(s.sem), Capacity: cap(s.sem)})
+		}()
+		obs.Emit(s.sink, obs.Event{Kind: obs.KindPoolSample, InUse: len(s.sem), Capacity: cap(s.sem)})
+
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		maxBody := s.cfg.MaxBodyBytes
+		if maxBody <= 0 {
+			maxBody = 64 << 20
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		key, run, err := h(r, body)
+		if err != nil {
+			s.fail(w, name, err)
+			return
+		}
+
+		// The store is the cache and the single-flight gate; the engine
+		// attempt loop around it supplies deadlines, deterministic retry
+		// backoff and panic containment. A panic is converted to a
+		// *engine.PanicError before the store sees it, so the errored
+		// entry is evicted and waiters wake instead of blocking forever.
+		computed := false
+		pol := engine.RetryPolicy{MaxAttempts: s.cfg.Retries + 1, BaseBackoff: s.cfg.Backoff, Seed: s.cfg.Seed}
+		start := time.Now()
+		obs.Emit(s.sink, obs.Event{Kind: obs.KindTaskStart, Name: key})
+		v, err := engine.Do(ctx, key, pol, s.cfg.AttemptTimeout, s.sink, func(ctx context.Context) (any, error) {
+			return s.store.DoSized(key, func() (v any, n int64, err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = &engine.PanicError{Task: key, Value: r, Stack: debug.Stack()}
+					}
+				}()
+				computed = true
+				if s.testHook != nil {
+					if err := s.testHook(ctx, name); err != nil {
+						return nil, 0, err
+					}
+				}
+				resp, err := run(ctx)
+				if err != nil {
+					return nil, 0, err
+				}
+				return resp, resp.size(), nil
+			})
+		})
+		done := obs.Event{Kind: obs.KindTaskFinish, Name: key, Elapsed: time.Since(start)}
+		if err != nil {
+			done.Err = err.Error()
+		}
+		obs.Emit(s.sink, done)
+		if err != nil {
+			s.fail(w, name, err)
+			return
+		}
+		resp := v.(*response)
+		w.Header().Set("Content-Type", resp.contentType)
+		w.Header().Set("X-Coplot-Key", key)
+		cache := "hit"
+		if computed {
+			cache = "miss"
+		}
+		w.Header().Set("X-Coplot-Cache", cache)
+		for k, val := range resp.extra {
+			w.Header().Set(k, val)
+		}
+		w.Write(resp.body)
+	})
+}
+
+// statusError pins an HTTP status to an error. badRequest wraps it in
+// engine.Permanent so the retry classification sees input failures as
+// deterministic.
+type statusError struct {
+	code int
+	err  error
+}
+
+// Error implements error.
+func (e *statusError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the inner error to errors.Is/As.
+func (e *statusError) Unwrap() error { return e.err }
+
+// badRequest marks err as a deterministic input failure: answered 400,
+// never retried.
+func badRequest(err error) error {
+	return engine.Permanent(&statusError{code: http.StatusBadRequest, err: err})
+}
+
+// fail writes err as the HTTP error response for endpoint.
+func (s *Service) fail(w http.ResponseWriter, endpoint string, err error) {
+	code := http.StatusInternalServerError
+	msg := err.Error()
+	var se *statusError
+	var pe *engine.PanicError
+	switch {
+	case errors.As(err, &se):
+		code = se.code
+		msg = se.err.Error()
+	case errors.As(err, &pe):
+		// Contained: the one request fails, the stack stays server-side.
+		msg = fmt.Sprintf("internal panic while computing %s", endpoint)
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+		msg = fmt.Sprintf("%s: deadline exceeded", endpoint)
+	case errors.Is(err, context.Canceled):
+		code = http.StatusServiceUnavailable
+		msg = fmt.Sprintf("%s: request cancelled", endpoint)
+	}
+	http.Error(w, msg, code)
+}
+
+// healthz answers liveness probes with the service's vitals.
+func (s *Service) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"inflight\":%d,\"capacity\":%d,\"cache_bytes\":%d,\"jobs\":%d}\n",
+		len(s.sem), cap(s.sem), s.store.Bytes(), s.budget.Size())
+}
+
+// metricsHandler serves the aggregate run manifest — the same JSON the
+// batch CLIs write with -manifest, accumulated over the service's
+// lifetime.
+func (s *Service) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics.Manifest(obs.RunInfo{
+		Tool: "coplotd", Seed: s.cfg.Seed, Jobs: s.cfg.Jobs, Timeout: s.cfg.RequestTimeout,
+	})
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// cacheKey derives the deterministic response-cache key: a content
+// hash over the endpoint name, its canonicalized options, and the
+// input blobs, each length-prefixed so concatenations cannot collide.
+func cacheKey(endpoint string, opts []string, blobs ...[]byte) string {
+	h := sha256.New()
+	put := func(b []byte) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
+		h.Write(n[:])
+		h.Write(b)
+	}
+	put([]byte(endpoint))
+	for _, o := range opts {
+		put([]byte(o))
+	}
+	for _, b := range blobs {
+		put(b)
+	}
+	return endpoint + "-" + hex.EncodeToString(h.Sum(nil))[:32]
+}
