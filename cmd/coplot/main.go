@@ -20,6 +20,11 @@
 // -keep-going drops unreadable logs (with a warning and a non-zero
 // exit) instead of aborting, as long as at least 3 logs survive.
 //
+// With -cache-dir, the rendered map report persists keyed by the input
+// bytes and options, so re-running over unchanged inputs prints the
+// cached report without recomputing; -svg/-shepard bypass the cache (a
+// hit would skip rendering them).
+//
 // Observability: -manifest records a JSON run manifest of the per-file
 // fan-out (wall time per file, jobs/timeout settings), -trace appends
 // the engine events as JSON lines, and -cpuprofile/-memprofile/-pprof
@@ -42,6 +47,7 @@ import (
 	"coplot/internal/obs"
 	"coplot/internal/par"
 	"coplot/internal/service"
+	"coplot/internal/store"
 	"coplot/internal/swf"
 	"coplot/internal/workload"
 )
@@ -78,6 +84,8 @@ func realMain() int {
 	backoff := flag.Duration("backoff", 0, "base delay before the first retry, doubling per retry (0 = engine default)")
 	taskTimeout := flag.Duration("task-timeout", 0, "per-attempt time limit; a timed-out attempt is retried under -retries (0 = none)")
 	keepGoing := flag.Bool("keep-going", false, "drop unreadable logs (warning + non-zero exit) instead of aborting; needs >=3 surviving logs")
+	cacheDir := flag.String("cache-dir", "", "durable report cache directory; the rendered map report is reused across invocations over unchanged inputs")
+	cacheTier := flag.String("cache-tier", "", "cache backend: memory, disk, or tiered (empty = tiered when -cache-dir is set)")
 	manifestPath := flag.String("manifest", "", "write the run manifest to this file")
 	tracePath := flag.String("trace", "", "append engine events as JSON lines to this file")
 	var prof obs.Profile
@@ -104,6 +112,28 @@ func realMain() int {
 		}
 		defer f.Close()
 		sinks = append(sinks, obs.NewTrace(f))
+	}
+
+	// The report cache keys the rendered map by input bytes + options;
+	// SVG outputs bypass it, since a hit skips the analysis that renders
+	// them. A hit prints the cached report and exits before any loading.
+	var cache store.Backend
+	var reportKey string
+	if (*cacheDir != "" || *cacheTier != "") && *svgPath == "" && *shepardPath == "" {
+		cache, err = store.Open(*cacheDir, *cacheTier, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coplot:", err)
+			return 1
+		}
+		if key, ok := cacheKeyFor(*csvPath, flag.Args(), *prune, *vars, *seed, *procs); ok {
+			reportKey = key
+			if v, ok := cache.Get(key); ok {
+				if text, ok := v.([]byte); ok {
+					fmt.Print(string(text))
+					return 0
+				}
+			}
+		}
 	}
 
 	lopts := loadOptions{
@@ -148,7 +178,13 @@ func realMain() int {
 		fmt.Fprintln(os.Stderr, "coplot:", err)
 		return 1
 	}
-	fmt.Print(res.Report())
+	reportText := res.Report()
+	fmt.Print(reportText)
+	if reportKey != "" && exit == 0 {
+		// Only a clean run caches: a degraded keep-going map reflects
+		// whatever subset of logs survived, not the argument list.
+		cache.Put(reportKey, []byte(reportText), int64(len(reportText)))
+	}
 	if *svgPath != "" {
 		if err := os.WriteFile(*svgPath, []byte(res.SVG(720, 540)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "coplot:", err)
@@ -167,6 +203,43 @@ func realMain() int {
 		}
 	}
 	return exit
+}
+
+// reportCacheSchema versions the cached report layout; bump it when
+// the report rendering changes, so stale disk caches miss instead of
+// serving old text.
+const reportCacheSchema = 1
+
+// cacheKeyFor derives the durable cache key for the rendered map
+// report: a content hash over every input file plus the options that
+// shape the report (-jobs is excluded — output is identical at any
+// worker count). ok is false when an input cannot be read or the
+// argument mix is invalid; the normal load path surfaces the error.
+func cacheKeyFor(csvPath string, swfPaths []string, prune float64, vars string, seed uint64, procs int) (string, bool) {
+	if csvPath != "" && len(swfPaths) > 0 {
+		return "", false
+	}
+	paths := swfPaths
+	if csvPath != "" {
+		paths = []string{csvPath}
+	}
+	blobs := make([][]byte, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return "", false
+		}
+		blobs = append(blobs, data)
+	}
+	opts := []string{
+		fmt.Sprintf("schema=%d", reportCacheSchema),
+		fmt.Sprintf("csv=%t", csvPath != ""),
+		fmt.Sprintf("prune=%g", prune),
+		"vars=" + vars,
+		fmt.Sprintf("seed=%d", seed),
+		fmt.Sprintf("procs=%d", procs),
+	}
+	return store.Key("coplot-cli", opts, blobs...), true
 }
 
 func loadDataset(csvPath string, swfPaths []string, opts loadOptions) (*core.Dataset, error) {

@@ -17,6 +17,7 @@
 // Usage:
 //
 //	coplotd [-addr HOST:PORT] [-jobs N] [-max-inflight N] [-cache-bytes N]
+//	        [-cache-dir DIR] [-cache-tier memory|disk|tiered]
 //	        [-request-timeout D] [-task-timeout D] [-retries N] [-backoff D]
 //	        [-drain D] [-seed N] [-trace FILE] [-manifest FILE]
 //
@@ -25,6 +26,13 @@
 // -max-inflight caps admitted requests and the excess is answered 429
 // with Retry-After. SIGTERM or SIGINT drains in-flight requests for up
 // to -drain before exiting 0.
+//
+// With -cache-dir the response cache gains a durable tier: responses
+// persist as content-addressed files there, so a restarted coplotd
+// serves previously computed keys as cache hits with byte-identical
+// bodies. -cache-tier picks the backend explicitly (memory, disk, or
+// tiered); by default a -cache-dir means tiered — an LRU memory layer,
+// bounded by -cache-bytes, over the durable files.
 //
 // Observability: each request emits engine events (-trace appends them
 // as JSON lines), /metrics serves the same aggregate manifest the
@@ -56,6 +64,8 @@ func realMain() int {
 	jobs := flag.Int("jobs", 0, "worker budget shared by all in-flight requests (0 = GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent requests admitted; excess get 429 (0 = 2x the worker budget)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "response-cache byte cap, LRU-evicted past it (0 = 256 MiB, negative = unbounded)")
+	cacheDir := flag.String("cache-dir", "", "durable response-cache directory; cached responses survive restarts (empty = memory only)")
+	cacheTier := flag.String("cache-tier", "", "cache backend: memory, disk, or tiered (empty = tiered when -cache-dir is set, memory otherwise)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request time limit across all attempts (0 = none)")
 	taskTimeout := flag.Duration("task-timeout", 0, "per-attempt time limit; a timed-out attempt is retried under -retries (0 = none)")
 	retries := flag.Int("retries", 0, "retry a transiently failing request up to N more times (0 = fail on first error)")
@@ -89,10 +99,12 @@ func realMain() int {
 		sink = obs.NewTrace(f)
 	}
 
-	svc := service.New(service.Config{
+	svc, err := service.New(service.Config{
 		Jobs:           *jobs,
 		MaxInflight:    *maxInflight,
 		CacheBytes:     *cacheBytes,
+		CacheDir:       *cacheDir,
+		CacheTier:      *cacheTier,
 		RequestTimeout: *requestTimeout,
 		AttemptTimeout: *taskTimeout,
 		Retries:        *retries,
@@ -100,6 +112,10 @@ func realMain() int {
 		Seed:           *seed,
 		Sink:           sink,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coplotd:", err)
+		return 1
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coplotd:", err)
@@ -118,7 +134,7 @@ func realMain() int {
 
 	serveErr := svc.Serve(ln, stop, *drain)
 	if *manifestPath != "" {
-		m := svc.Metrics().Manifest(obs.RunInfo{Tool: "coplotd", Seed: *seed, Jobs: *jobs, Timeout: *requestTimeout})
+		m := svc.Manifest(obs.RunInfo{Tool: "coplotd", Seed: *seed, Jobs: *jobs, Timeout: *requestTimeout})
 		if err := m.WriteFile(*manifestPath); err != nil {
 			fmt.Fprintln(os.Stderr, "coplotd: manifest:", err)
 			return 1

@@ -1,0 +1,404 @@
+// Command coplotload replays a deterministic synthetic request mix
+// against a running coplotd and measures serving performance: a cold
+// pass sends every unique request once (cache misses, full compute),
+// then a warm pass replays the mix at the configured concurrency
+// (cache hits). It reports throughput, the latency CDF, and tail
+// quantiles for both passes, verifies that warm responses are
+// byte-identical to their cold counterparts, and emits the
+// measurements in the repository's BENCH JSON schema so serving
+// performance is regression-gated like the numeric kernels.
+//
+// Usage:
+//
+//	coplotload [-addr URL] [-requests N] [-concurrency N]
+//	           [-mix N] [-seed N] [-out DIR] [-date YYYY-MM-DD]
+//	           [-baseline FILE | -baseline-dir DIR]
+//	           [-tolerance F] [-strict-host]
+//
+// The mix is derived from -seed alone: -mix unique requests cycling
+// over the /v1/generate, /v1/variables, and /v1/validate endpoints,
+// with model parameters and client-generated SWF bodies drawn from the
+// repository's deterministic generator. The same seed always produces
+// the same requests, so runs are comparable across invocations and
+// machines.
+//
+// With -out, the measurements are written as BENCH_<date>.json under
+// the directory (the serving counterpart of cmd/benchjson's kernel
+// baselines; keep them in a separate directory, conventionally
+// bench/serving). With a baseline — -baseline FILE, or the latest
+// BENCH_*.json in -baseline-dir — the fresh numbers gate: the exit is
+// non-zero when a ServeCold/ServeWarm figure regressed beyond
+// -tolerance, unless the baseline host differs (advisory then;
+// -strict-host forces the gate, as in cmd/benchjson).
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"coplot/internal/bench"
+	"coplot/internal/models"
+	"coplot/internal/rng"
+	"coplot/internal/swf"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI and returns its exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("coplotload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the coplotd under load")
+	requests := fs.Int("requests", 64, "warm-pass request count (the mix repeats to fill it)")
+	concurrency := fs.Int("concurrency", 4, "concurrent in-flight requests per pass")
+	mixSize := fs.Int("mix", 6, "unique requests in the synthetic mix")
+	seed := fs.Uint64("seed", 1, "seed deriving the request mix")
+	outDir := fs.String("out", "", "directory for the BENCH_<date>.json file (empty = don't write)")
+	date := fs.String("date", "", "measurement date for the file name (default: today, UTC)")
+	baseline := fs.String("baseline", "", "baseline file to compare against (default: latest BENCH_*.json in -baseline-dir)")
+	baselineDir := fs.String("baseline-dir", "", "directory scanned for the latest committed serving baseline")
+	tolerance := fs.Float64("tolerance", 0.5, "allowed ns/op slowdown before a figure counts as regressed (0.5 = 50%)")
+	strictHost := fs.Bool("strict-host", false, "gate on regressions even when the baseline was measured on a different host")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *mixSize < 1 || *requests < 1 || *concurrency < 1 {
+		fmt.Fprintln(stderr, "coplotload: -mix, -requests and -concurrency must be at least 1")
+		return 2
+	}
+
+	mix, err := buildMix(*seed, *mixSize)
+	if err != nil {
+		fmt.Fprintln(stderr, "coplotload:", err)
+		return 1
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// Cold pass: every unique request once, so each one's first compute
+	// is measured exactly once.
+	coldPlan := make([]int, len(mix))
+	for i := range coldPlan {
+		coldPlan[i] = i
+	}
+	cold, coldWall, err := replay(client, *addr, mix, coldPlan, *concurrency)
+	if err != nil {
+		fmt.Fprintln(stderr, "coplotload: cold pass:", err)
+		return 1
+	}
+	// Warm pass: the mix repeats to fill -requests; every response
+	// should now come from the cache, byte-identical to the cold one.
+	warmPlan := make([]int, *requests)
+	for i := range warmPlan {
+		warmPlan[i] = i % len(mix)
+	}
+	warm, warmWall, err := replay(client, *addr, mix, warmPlan, *concurrency)
+	if err != nil {
+		fmt.Fprintln(stderr, "coplotload: warm pass:", err)
+		return 1
+	}
+	for i, s := range warm {
+		if s.sum != cold[warmPlan[i]].sum {
+			fmt.Fprintf(stderr, "coplotload: warm response for %s differs from its cold response\n", mix[warmPlan[i]].name)
+			return 1
+		}
+	}
+
+	coldStats := computeStats(cold, coldWall)
+	warmStats := computeStats(warm, warmWall)
+	printPass(stdout, "cold", coldStats)
+	printPass(stdout, "warm", warmStats)
+	if warmStats.hits < warmStats.n {
+		fmt.Fprintf(stdout, "note: %d warm request(s) missed the cache\n", warmStats.n-warmStats.hits)
+	}
+
+	day := *date
+	if day == "" {
+		day = time.Now().UTC().Format("2006-01-02")
+	}
+	f := &bench.File{
+		Date:    day,
+		Host:    bench.CurrentHost(),
+		Entries: append(coldStats.entries("ServeCold"), warmStats.entries("ServeWarm")...),
+	}
+
+	// Resolve the baseline before writing, so a same-directory run
+	// never compares the fresh file against itself.
+	basePath := *baseline
+	if basePath == "" && *baselineDir != "" {
+		basePath, err = bench.LatestBaseline(*baselineDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "coplotload:", err)
+			return 1
+		}
+	}
+
+	outPath := ""
+	if *outDir != "" {
+		outPath = filepath.Join(*outDir, "BENCH_"+day+".json")
+		if err := f.WriteFile(outPath); err != nil {
+			fmt.Fprintln(stderr, "coplotload:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d entries)\n", outPath, len(f.Entries))
+	}
+
+	if basePath == "" || basePath == outPath {
+		return 0
+	}
+	base, err := bench.ReadFile(basePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "coplotload:", err)
+		return 1
+	}
+	regs := bench.Compare(base, f, *tolerance)
+	comparable := base.Host.Comparable(f.Host)
+	switch {
+	case len(regs) == 0:
+		fmt.Fprintf(stdout, "no regressions vs %s (tolerance %.0f%%)\n", basePath, *tolerance*100)
+		return 0
+	case comparable || *strictHost:
+		fmt.Fprintf(stderr, "coplotload: %d regression(s) vs %s:\n", len(regs), basePath)
+		for _, r := range regs {
+			fmt.Fprintf(stderr, "  %s\n", r)
+		}
+		return 1
+	default:
+		fmt.Fprintf(stdout, "advisory: %d figure(s) slower than %s, but the baseline host differs (use -strict-host to gate):\n",
+			len(regs), basePath)
+		for _, r := range regs {
+			fmt.Fprintf(stdout, "  %s\n", r)
+		}
+		return 0
+	}
+}
+
+// request is one prepared HTTP request of the synthetic mix.
+type request struct {
+	name        string // mix label, e.g. "generate/lublin"
+	path        string // URL path and query, appended to -addr
+	contentType string // empty when there is no body
+	body        []byte
+}
+
+// buildMix derives the synthetic request mix from the seed: mix
+// entries cycle over server-side workload generation (/v1/generate),
+// the Table-1 variables (/v1/variables), and the validity audit
+// (/v1/validate), the latter two over small client-generated SWF logs.
+// Every parameter comes from a per-entry derived stream, so the mix is
+// a pure function of (seed, size).
+func buildMix(seed uint64, size int) ([]request, error) {
+	modelNames := []string{"lublin", "jann", "feitelson96", "downey"}
+	reqs := make([]request, 0, size)
+	for i := 0; i < size; i++ {
+		r := rng.New(rng.Derive(seed, fmt.Sprintf("coplotload/%d", i)))
+		switch i % 3 {
+		case 0:
+			model := modelNames[r.Intn(len(modelNames))]
+			n := 500 + r.Intn(4)*250
+			reqs = append(reqs, request{
+				name: "generate/" + model,
+				path: fmt.Sprintf("/v1/generate?model=%s&procs=64&n=%d&seed=%d", model, n, r.Intn(1000000)),
+			})
+		case 1:
+			body, err := syntheticLog(r)
+			if err != nil {
+				return nil, err
+			}
+			reqs = append(reqs, request{
+				name:        "variables",
+				path:        fmt.Sprintf("/v1/variables?name=load-%d&procs=64", i),
+				contentType: "text/plain",
+				body:        body,
+			})
+		default:
+			body, err := syntheticLog(r)
+			if err != nil {
+				return nil, err
+			}
+			reqs = append(reqs, request{
+				name:        "validate",
+				path:        fmt.Sprintf("/v1/validate?name=load-%d&procs=64", i),
+				contentType: "text/plain",
+				body:        body,
+			})
+		}
+	}
+	return reqs, nil
+}
+
+// syntheticLog renders a small deterministic SWF log for a request
+// body, drawn from r.
+func syntheticLog(r *rng.Source) ([]byte, error) {
+	log := models.NewLublin(64).Generate(rng.New(r.Uint64()), 300+r.Intn(3)*100)
+	var buf bytes.Buffer
+	if err := swf.Write(&buf, log); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// sample is one completed request's measurement.
+type sample struct {
+	dur   time.Duration
+	cache string // the X-Coplot-Cache header: "hit" or "miss"
+	sum   [sha256.Size]byte
+}
+
+// replay sends plan (indices into mix) through a pool of workers and
+// returns the samples in plan order. Any request failure fails the
+// pass; 429 backpressure answers are retried with a short delay and do
+// not produce samples.
+func replay(client *http.Client, base string, mix []request, plan []int, workers int) ([]sample, time.Duration, error) {
+	samples := make([]sample, len(plan))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				s, err := send(client, base, mix[plan[i]])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				samples[i] = s
+			}
+		}()
+	}
+	for i := range plan {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return samples, time.Since(start), firstErr
+}
+
+// send issues one request and measures it. The server answers 429 when
+// its admission semaphore is full; those are waited out (the
+// Retry-After contract) rather than counted, up to a bounded number of
+// attempts.
+func send(client *http.Client, base string, r request) (sample, error) {
+	const maxAttempts = 200
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, base+r.path, bytes.NewReader(r.body))
+		if err != nil {
+			return sample{}, err
+		}
+		if r.contentType != "" {
+			req.Header.Set("Content-Type", r.contentType)
+		}
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			return sample{}, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return sample{}, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < maxAttempts {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return sample{}, fmt.Errorf("%s: %s: %s", r.name, resp.Status, bytes.TrimSpace(body))
+		}
+		return sample{
+			dur:   time.Since(start),
+			cache: resp.Header.Get("X-Coplot-Cache"),
+			sum:   sha256.Sum256(body),
+		}, nil
+	}
+}
+
+// passStats aggregates one pass's samples.
+type passStats struct {
+	n, hits            int
+	qps                float64
+	mean               float64   // ns
+	quantiles          []float64 // ns, aligned with cdfPoints
+	p50, p90, p99, max float64   // ns
+}
+
+// cdfPoints are the latency-CDF percentiles the report prints.
+var cdfPoints = []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}
+
+// computeStats reduces a pass to throughput and latency quantiles
+// (nearest-rank on the sorted durations).
+func computeStats(samples []sample, wall time.Duration) passStats {
+	durs := make([]float64, len(samples))
+	var sum float64
+	st := passStats{n: len(samples)}
+	for i, s := range samples {
+		durs[i] = float64(s.dur.Nanoseconds())
+		sum += durs[i]
+		if s.cache == "hit" {
+			st.hits++
+		}
+	}
+	sort.Float64s(durs)
+	q := func(p float64) float64 {
+		i := int(p*float64(len(durs))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(durs) {
+			i = len(durs) - 1
+		}
+		return durs[i]
+	}
+	st.mean = sum / float64(len(durs))
+	for _, p := range cdfPoints {
+		st.quantiles = append(st.quantiles, q(p))
+	}
+	st.p50, st.p90, st.p99 = q(0.50), q(0.90), q(0.99)
+	st.max = durs[len(durs)-1]
+	if wall > 0 {
+		st.qps = float64(len(durs)) / wall.Seconds()
+	}
+	return st
+}
+
+// entries renders the pass as BENCH entries: the headline mean ns/op
+// under name, and the tail under name/p99, so both gate independently
+// in bench.Compare.
+func (st passStats) entries(name string) []bench.Entry {
+	metrics := map[string]float64{
+		"p50_ns": st.p50, "p90_ns": st.p90, "p99_ns": st.p99, "max_ns": st.max,
+		"qps": st.qps, "hit_rate": float64(st.hits) / float64(st.n),
+	}
+	return []bench.Entry{
+		{Name: name, Iters: st.n, NsPerOp: st.mean, Metrics: metrics},
+		{Name: name + "/p99", Iters: st.n, NsPerOp: st.p99},
+	}
+}
+
+// printPass writes one pass's human-readable summary.
+func printPass(w io.Writer, name string, st passStats) {
+	fmt.Fprintf(w, "%s: %d requests, %.1f req/s, %d/%d cache hits\n", name, st.n, st.qps, st.hits, st.n)
+	fmt.Fprintf(w, "  latency CDF:")
+	for i, p := range cdfPoints {
+		fmt.Fprintf(w, " p%g=%s", p*100, time.Duration(st.quantiles[i]).Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, " max=%s\n", time.Duration(st.max).Round(time.Microsecond))
+}

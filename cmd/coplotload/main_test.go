@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coplot/internal/bench"
+	"coplot/internal/service"
+)
+
+// loadTarget serves a real Service over httptest for the generator to
+// hit.
+func loadTarget(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := service.New(service.Config{MaxInflight: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestLoadColdWarmAndBenchFile(t *testing.T) {
+	srv := loadTarget(t)
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-addr", srv.URL, "-mix", "4", "-requests", "12", "-concurrency", "3",
+		"-out", dir, "-date", "2026-08-08",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errBuf.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "cold: 4 requests") || !strings.Contains(text, "warm: 12 requests") {
+		t.Fatalf("report = %q", text)
+	}
+	// Every warm request replays a cold one, so all must hit the cache.
+	if !strings.Contains(text, "warm: 12 requests") || !strings.Contains(text, "12/12 cache hits") {
+		t.Fatalf("warm pass not fully cached: %q", text)
+	}
+
+	f, err := bench.ReadFile(filepath.Join(dir, "BENCH_2026-08-08.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bench.Entry, len(f.Entries))
+	for _, e := range f.Entries {
+		names[e.Name] = e
+	}
+	for _, want := range []string{"ServeCold", "ServeCold/p99", "ServeWarm", "ServeWarm/p99"} {
+		if _, ok := names[want]; !ok {
+			t.Fatalf("BENCH file missing entry %s (have %v)", want, f.Entries)
+		}
+	}
+	if hr := names["ServeWarm"].Metrics["hit_rate"]; hr != 1 {
+		t.Fatalf("warm hit_rate = %v, want 1", hr)
+	}
+	if hr := names["ServeCold"].Metrics["hit_rate"]; hr != 0 {
+		t.Fatalf("cold hit_rate = %v, want 0", hr)
+	}
+	if names["ServeCold"].NsPerOp <= 0 || names["ServeWarm"].NsPerOp <= 0 {
+		t.Fatal("non-positive ns/op")
+	}
+}
+
+func TestLoadRegressionGate(t *testing.T) {
+	srv := loadTarget(t)
+	dir := t.TempDir()
+	// An absurdly fast baseline from this very host: the fresh run must
+	// regress against it and gate.
+	base := &bench.File{
+		Date: "2026-08-01",
+		Host: bench.CurrentHost(),
+		Entries: []bench.Entry{
+			{Name: "ServeCold", Iters: 1, NsPerOp: 1},
+			{Name: "ServeWarm", Iters: 1, NsPerOp: 1},
+		},
+	}
+	if err := base.WriteFile(filepath.Join(dir, "BENCH_2026-08-01.json")); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-addr", srv.URL, "-mix", "3", "-requests", "6", "-concurrency", "2",
+		"-baseline-dir", dir,
+	}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr = %s)", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "regression(s) vs") {
+		t.Fatalf("stderr = %q", errBuf.String())
+	}
+}
+
+func TestBuildMixDeterministic(t *testing.T) {
+	a, err := buildMix(7, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildMix(7, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 6 {
+		t.Fatalf("mix size = %d", len(a))
+	}
+	for i := range a {
+		if a[i].path != b[i].path || !bytes.Equal(a[i].body, b[i].body) {
+			t.Fatalf("mix entry %d differs between identical seeds", i)
+		}
+	}
+	c, err := buildMix(8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].path != c[i].path || !bytes.Equal(a[i].body, c[i].body) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical mix")
+	}
+	// The three endpoint kinds all appear.
+	kinds := map[string]bool{}
+	for _, r := range a {
+		kinds[strings.SplitN(r.name, "/", 2)[0]] = true
+	}
+	for _, k := range []string{"generate", "variables", "validate"} {
+		if !kinds[k] {
+			t.Fatalf("mix missing %s requests: %v", k, kinds)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //	            [-jobs N] [-timeout D] [-task-timeout D]
 //	            [-retries N] [-backoff D] [-keep-going]
 //	            [-sitejobs N] [-modeljobs N] [-periodjobs N]
+//	            [-cache-dir DIR] [-cache-tier memory|disk|tiered]
 //	            [-manifest FILE] [-trace FILE] [-inject SPEC]
 //	            [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
 //	experiments -report [-manifest FILE] [-report-into FILE]
@@ -16,6 +17,12 @@
 // seeds (robustness sweep across master seeds), moments, stability,
 // loadscale, parametric, selfsim-models. -run accepts a comma-separated
 // list; dependencies shared between the named experiments run once.
+//
+// With -cache-dir, completed experiment outputs persist as
+// content-addressed files and a later invocation with the same seed
+// and settings reuses them instead of recomputing (keys fold in the
+// configuration and the Go version, so changed settings or toolchains
+// miss). The cache is bypassed while -inject is active.
 //
 // Experiments run on a dependency-aware parallel engine: -jobs bounds
 // how many run concurrently and -timeout caps each one's wall-clock
@@ -68,6 +75,7 @@ import (
 	"coplot/internal/experiments"
 	"coplot/internal/faultinject"
 	"coplot/internal/obs"
+	"coplot/internal/store"
 )
 
 func main() {
@@ -92,6 +100,8 @@ func run(args []string, stdout io.Writer) error {
 	siteJobs := fs.Int("sitejobs", 0, "jobs per production-site log (0 = default)")
 	modelJobs := fs.Int("modeljobs", 0, "jobs per synthetic-model log (0 = default)")
 	periodJobs := fs.Int("periodjobs", 0, "jobs per half-year period log (0 = default)")
+	cacheDir := fs.String("cache-dir", "", "durable experiment cache directory; completed outputs are reused by later invocations with the same settings")
+	cacheTier := fs.String("cache-tier", "", "cache backend: memory, disk, or tiered (empty = tiered when -cache-dir is set)")
 	manifest := fs.String("manifest", "out/manifest.json", "write the run manifest to this file ('' = off)")
 	trace := fs.String("trace", "", "append engine events as JSON lines to this file")
 	report := fs.Bool("report", false, "render the manifest as a Markdown timing table and exit")
@@ -162,6 +172,13 @@ func run(args []string, stdout io.Writer) error {
 		Jobs: *jobs, Timeout: *timeout, AttemptTimeout: *taskTimeout,
 		Retries: *retries, Backoff: *backoff, KeepGoing: *keepGoing,
 		Inject: sched, Sink: obs.Multi(sinks...),
+	}
+	if *cacheDir != "" || *cacheTier != "" {
+		backend, err := store.Open(*cacheDir, *cacheTier, experiments.OutputCodec{})
+		if err != nil {
+			return err
+		}
+		opts.Cache = backend
 	}
 	ctx := context.Background()
 

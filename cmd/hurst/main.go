@@ -7,6 +7,7 @@
 //
 //	hurst [-svgdir DIR] [-jobs N] [-timeout D]
 //	      [-retries N] [-backoff D] [-task-timeout D] [-keep-going=BOOL]
+//	      [-cache-dir DIR] [-cache-tier memory|disk|tiered]
 //	      FILE.swf...
 //
 // Files are estimated in parallel (-jobs workers, -timeout per file),
@@ -19,6 +20,11 @@
 // With -svgdir, the three diagnostic plots (pox plot, variance-time
 // plot, periodogram) of each series are written as SVG files.
 //
+// With -cache-dir, each file's rendered report persists keyed by the
+// file's content, so re-running over unchanged logs skips the
+// estimation entirely; -svgdir bypasses the cache (a hit would skip
+// writing the plots).
+//
 // Observability: -manifest records a JSON run manifest of the per-file
 // fan-out (wall time per file, jobs/timeout settings), -trace appends
 // the engine events as JSON lines, and -cpuprofile/-memprofile/-pprof
@@ -26,6 +32,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -39,6 +46,7 @@ import (
 	"coplot/internal/par"
 	"coplot/internal/selfsim"
 	"coplot/internal/service"
+	"coplot/internal/store"
 	"coplot/internal/swf"
 )
 
@@ -56,6 +64,8 @@ func realMain() int {
 	backoff := flag.Duration("backoff", 0, "base delay before the first retry, doubling per retry (0 = engine default)")
 	taskTimeout := flag.Duration("task-timeout", 0, "per-attempt time limit; a timed-out attempt is retried under -retries (0 = none)")
 	keepGoing := flag.Bool("keep-going", true, "report failing files and continue; false cancels the batch on first failure")
+	cacheDir := flag.String("cache-dir", "", "durable report cache directory; a file's rendered report is reused across invocations")
+	cacheTier := flag.String("cache-tier", "", "cache backend: memory, disk, or tiered (empty = tiered when -cache-dir is set)")
 	manifestPath := flag.String("manifest", "", "write the run manifest to this file")
 	tracePath := flag.String("trace", "", "append engine events as JSON lines to this file")
 	var prof obs.Profile
@@ -86,10 +96,19 @@ func realMain() int {
 		defer f.Close()
 		sinks = append(sinks, obs.NewTrace(f))
 	}
+	var cache store.Backend
+	if *cacheDir != "" || *cacheTier != "" {
+		cache, err = store.Open(*cacheDir, *cacheTier, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hurst:", err)
+			return 1
+		}
+	}
 	reports := estimateAll(flag.Args(), *svgDir, estimateOptions{
 		jobs: *jobs, timeout: *timeout, attemptTimeout: *taskTimeout,
 		retries: *retries, backoff: *backoff, keepGoing: *keepGoing,
-		sink: obs.Multi(sinks...),
+		sink:  obs.Multi(sinks...),
+		cache: cache,
 		// One budget for the whole batch: file workers and the
 		// estimator fan-out inside each file draw from the same -jobs.
 		budget: par.NewBudget(*jobs),
@@ -128,7 +147,8 @@ type estimateOptions struct {
 	backoff        time.Duration
 	keepGoing      bool
 	sink           obs.Sink
-	budget         *par.Budget // shared estimator workers, sized by jobs
+	cache          store.Backend // durable report cache; nil = none
+	budget         *par.Budget   // shared estimator workers, sized by jobs
 }
 
 // estimateAll runs estimate over the files on a bounded worker pool and
@@ -148,7 +168,7 @@ func estimateAll(paths []string, svgDir string, eopts estimateOptions) []report 
 	itemErrs := make([]error, len(paths)) // index i written only by its worker
 	reports, err := engine.Map(context.Background(), len(paths), opts,
 		func(ctx context.Context, i int) (report, error) {
-			text, err := estimate(ctx, paths[i], svgDir, eopts.budget)
+			text, err := estimate(ctx, paths[i], svgDir, eopts.cache, eopts.budget)
 			itemErrs[i] = err
 			if err != nil {
 				return report{}, err
@@ -174,17 +194,36 @@ func estimateAll(paths []string, svgDir string, eopts estimateOptions) []report 
 	return reports
 }
 
+// reportCacheSchema versions the cached report layout; bump it when
+// the report rendering changes, so stale disk caches miss instead of
+// serving old text.
+const reportCacheSchema = 1
+
 // estimate renders one log's estimates through the shared
 // serving-layer renderer — hurst output and the /v1/hurst endpoint
 // stay byte-identical — hooking the SVG diagnostics into its
-// per-series callback.
-func estimate(ctx context.Context, path, svgDir string, budget *par.Budget) (string, error) {
-	f, err := os.Open(path)
+// per-series callback. With a cache, the rendered report is keyed by
+// the file's content (plus the report label, which embeds the path)
+// and reused across invocations; SVG output bypasses the cache, since
+// a cached hit would skip writing the plots.
+func estimate(ctx context.Context, path, svgDir string, cache store.Backend, budget *par.Budget) (string, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return "", err
 	}
-	defer f.Close()
-	log, err := swf.Parse(f)
+	var key string
+	if cache != nil && svgDir == "" {
+		key = store.Key("hurst-cli", []string{
+			fmt.Sprintf("schema=%d", reportCacheSchema),
+			"label=" + path,
+		}, data)
+		if v, ok := cache.Get(key); ok {
+			if text, ok := v.([]byte); ok {
+				return string(text), nil
+			}
+		}
+	}
+	log, err := swf.Parse(bytes.NewReader(data))
 	if err != nil {
 		return "", err
 	}
@@ -194,7 +233,11 @@ func estimate(ctx context.Context, path, svgDir string, budget *par.Budget) (str
 			return writeDiagnostics(svgDir, path, name, x)
 		}
 	}
-	return service.HurstReport(ctx, path, log, budget, onSeries)
+	text, err := service.HurstReport(ctx, path, log, budget, onSeries)
+	if err == nil && key != "" {
+		cache.Put(key, []byte(text), int64(len(text)))
+	}
+	return text, err
 }
 
 func writeDiagnostics(dir, logPath, seriesName string, x []float64) error {

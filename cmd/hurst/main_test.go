@@ -10,6 +10,7 @@ import (
 	"coplot/internal/models"
 	"coplot/internal/par"
 	"coplot/internal/rng"
+	"coplot/internal/store"
 	"coplot/internal/swf"
 )
 
@@ -31,7 +32,7 @@ func writeTestLog(t *testing.T) string {
 func TestEstimateWritesDiagnostics(t *testing.T) {
 	path := writeTestLog(t)
 	svgDir := t.TempDir()
-	text, err := estimate(context.Background(), path, svgDir, par.NewBudget(2))
+	text, err := estimate(context.Background(), path, svgDir, nil, par.NewBudget(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestEstimateWritesDiagnostics(t *testing.T) {
 }
 
 func TestEstimateMissingFile(t *testing.T) {
-	if _, err := estimate(context.Background(), filepath.Join(t.TempDir(), "none.swf"), "", nil); err == nil {
+	if _, err := estimate(context.Background(), filepath.Join(t.TempDir(), "none.swf"), "", nil, nil); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -85,5 +86,57 @@ func TestEstimateAllParallelDeterministic(t *testing.T) {
 		if serial[i].text != parallel[i].text {
 			t.Fatalf("report %d differs between jobs=1 and jobs=4", i)
 		}
+	}
+}
+
+// TestEstimateWarmCache proves the cross-invocation cache: a second
+// estimate of the same file over the same disk backend — a fresh
+// backend instance, as a second CLI process would open — returns the
+// identical report from the cache without recomputing.
+func TestEstimateWarmCache(t *testing.T) {
+	path := writeTestLog(t)
+	dir := t.TempDir()
+	cache, err := store.Open(dir, "disk", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := estimate(context.Background(), path, "", cache, par.NewBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Second invocation": reopen the cache directory from scratch.
+	cache2, err := store.Open(dir, "disk", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := estimate(context.Background(), path, "", cache2, par.NewBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != cold {
+		t.Fatal("cached report differs from computed report")
+	}
+	st := cache2.(store.StatsProvider).Stats()
+	if st[0].Hits != 1 {
+		t.Fatalf("disk hits = %d, want 1", st[0].Hits)
+	}
+
+	// A different file misses: the key folds in both the content and
+	// the path (the report text embeds the path as its label).
+	other := writeTestLog(t)
+	data, err := os.ReadFile(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(other, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := estimate(context.Background(), other, "", cache2, par.NewBudget(1)); err != nil {
+		t.Fatal(err)
+	}
+	st = cache2.(store.StatsProvider).Stats()
+	if st[0].Misses == 0 {
+		t.Fatal("changed content should miss")
 	}
 }

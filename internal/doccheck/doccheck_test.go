@@ -7,13 +7,14 @@ import (
 )
 
 // TestEnginePackagesFullyDocumented is the godoc-hygiene gate of the
-// observability layer: every exported identifier in internal/engine and
-// internal/obs (types, funcs, methods, consts, struct fields, interface
-// methods) carries a doc comment.
+// infrastructure layers: every exported identifier in internal/engine,
+// internal/obs and internal/store (types, funcs, methods, consts,
+// struct fields, interface methods) carries a doc comment.
 func TestEnginePackagesFullyDocumented(t *testing.T) {
 	for _, dir := range []string{
 		filepath.Join("..", "engine"),
 		filepath.Join("..", "obs"),
+		filepath.Join("..", "store"),
 		".", // hold this package to its own bar
 	} {
 		violations, err := Check(dir, Full)

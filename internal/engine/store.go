@@ -1,12 +1,12 @@
 package engine
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 	"time"
 
 	"coplot/internal/obs"
+	"coplot/internal/store"
 )
 
 // Store is a memoized artifact cache shared by the experiments of one
@@ -20,37 +20,69 @@ import (
 // them a single time no matter how many experiments consume it or on
 // how many workers they run.
 //
-// A store lives as long as its owner wants: a CLI run discards it on
-// exit, while coplotd keeps one store across requests so repeated
-// requests are cache hits. Long-lived stores bound their memory with
-// SetByteLimit: artifacts inserted through DoSized carry a byte size,
-// and when the total exceeds the limit the least-recently-used
-// completed artifacts are evicted (and recomputed on their next
-// lookup). In-flight computations are never evicted.
+// The Store itself owns only the computation semantics: single-flight
+// deduplication, eviction of failed computations so retries recompute,
+// and the obs event stream. Where completed artifacts live — and for
+// how long — is delegated to a store.Backend: the default is an
+// unbounded in-memory LRU, SetByteLimit caps it, and SetBackend swaps
+// in a durable or tiered backend so artifacts survive process
+// restarts. An artifact the backend evicts is recomputed on its next
+// lookup; in-flight computations are never evicted.
 //
 // Cached values are shared across goroutines; compute functions must
 // return values that downstream readers treat as immutable.
 type Store struct {
-	mu      sync.Mutex
-	entries map[string]*storeEntry
-	sink    obs.Sink
-	limit   int64      // byte cap over sized artifacts; 0 = unbounded
-	bytes   int64      // total size of resident sized artifacts
-	lru     *list.List // completed entries, most recently used at front
+	mu       sync.Mutex
+	inflight map[string]*flight
+	backend  store.Backend
+	sink     obs.Sink
 }
 
-type storeEntry struct {
-	done chan struct{} // closed when val/err are set
+// flight is one in-progress computation; done closes when val/err are
+// set and the artifact (on success) has been handed to the backend.
+type flight struct {
+	done chan struct{}
 	val  any
 	err  error
-	key  string
-	size int64
-	elem *list.Element // LRU position; nil until the compute completed
 }
 
-// NewStore returns an empty artifact store.
+// NewStore returns an empty artifact store over an unbounded in-memory
+// backend.
 func NewStore() *Store {
-	return &Store{entries: map[string]*storeEntry{}, lru: list.New()}
+	return &Store{inflight: map[string]*flight{}, backend: store.NewMemory(0)}
+}
+
+// ensureLocked lazily initializes the zero-value Store. Callers hold
+// s.mu.
+func (s *Store) ensureLocked() {
+	if s.inflight == nil {
+		s.inflight = map[string]*flight{}
+	}
+	if s.backend == nil {
+		s.backend = store.NewMemory(0)
+	}
+}
+
+// SetBackend replaces the storage tier holding completed artifacts.
+// Call it before the store sees concurrent traffic — typically right
+// after NewStore; artifacts already resident in the old backend are
+// not migrated.
+func (s *Store) SetBackend(b store.Backend) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureLocked()
+	if b != nil {
+		s.backend = b
+	}
+}
+
+// Backend returns the storage tier holding completed artifacts, so
+// owners can inspect per-tier stats or share it across stores.
+func (s *Store) Backend() store.Backend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureLocked()
+	return s.backend
 }
 
 // Observe routes the store's cache events (hit, miss, single-flight
@@ -64,10 +96,16 @@ func (s *Store) Observe(sink obs.Sink) {
 // SetByteLimit caps the total reported size of resident artifacts;
 // exceeding it evicts least-recently-used completed entries until the
 // total fits again (an evicted key recomputes on its next lookup).
-// Zero (the default) disables eviction. Like Observe, set it before
-// the store sees concurrent traffic.
+// Zero (the default) disables eviction. The cap applies when the
+// backend supports one (the in-memory and tiered backends do); it is a
+// no-op on backends without a limit, like the bare disk tier.
 func (s *Store) SetByteLimit(n int64) {
-	s.limit = n
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureLocked()
+	if l, ok := s.backend.(store.Limiter); ok {
+		l.SetLimit(n)
+	}
 }
 
 // Bytes reports the total size of resident artifacts, as declared by
@@ -75,7 +113,8 @@ func (s *Store) SetByteLimit(n int64) {
 func (s *Store) Bytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.bytes
+	s.ensureLocked()
+	return s.backend.Bytes()
 }
 
 // Do returns the artifact under key, computing it with compute on the
@@ -98,85 +137,55 @@ func (s *Store) Do(key string, compute func() (any, error)) (any, error) {
 // most recently used.
 func (s *Store) DoSized(key string, compute func() (any, int64, error)) (any, error) {
 	s.mu.Lock()
-	if s.entries == nil {
-		s.entries = map[string]*storeEntry{}
+	s.ensureLocked()
+	if f, ok := s.inflight[key]; ok {
+		// Single flight: block on the in-progress compute.
+		s.mu.Unlock()
+		start := time.Now()
+		<-f.done
+		obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreWait, Name: key, Elapsed: time.Since(start)})
+		return f.val, f.err
 	}
-	if s.lru == nil {
-		s.lru = list.New()
+	if v, ok := s.backend.Get(key); ok {
+		s.mu.Unlock()
+		obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreHit, Name: key})
+		return v, nil
 	}
-	if e, ok := s.entries[key]; ok {
-		select {
-		case <-e.done: // already materialized: a plain cache hit
-			if e.elem != nil {
-				s.lru.MoveToFront(e.elem)
-			}
-			s.mu.Unlock()
-			obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreHit, Name: key})
-		default: // single flight: block on the in-progress compute
-			s.mu.Unlock()
-			start := time.Now()
-			<-e.done
-			obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreWait, Name: key, Elapsed: time.Since(start)})
-		}
-		return e.val, e.err
-	}
-	e := &storeEntry{done: make(chan struct{}), key: key}
-	s.entries[key] = e
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
 	s.mu.Unlock()
 
 	start := time.Now()
-	e.val, e.size, e.err = compute()
+	var size int64
+	f.val, size, f.err = compute()
 	var evicted []string
 	s.mu.Lock()
-	if e.err != nil {
-		// Evict before waking waiters: the failure stays visible to
-		// everyone already blocked on e.done, while later lookups retry.
-		if s.entries[key] == e {
-			delete(s.entries, key)
+	if s.inflight[key] == f {
+		delete(s.inflight, key)
+		if f.err == nil {
+			// Hand the artifact to the backend before waking waiters, so
+			// a lookup sequenced after this Do observes it resident. A
+			// failed compute is simply dropped: the error stays visible
+			// to everyone already blocked on f.done, while later lookups
+			// retry.
+			evicted = s.backend.Put(key, f.val, size)
 		}
-	} else if s.entries[key] == e {
-		e.elem = s.lru.PushFront(e)
-		s.bytes += e.size
-		evicted = s.evictOverLimit()
 	}
 	s.mu.Unlock()
-	close(e.done)
+	close(f.done)
 	for _, k := range evicted {
 		obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreEvict, Name: k})
 	}
 	obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreMiss, Name: key, Elapsed: time.Since(start)})
-	return e.val, e.err
-}
-
-// evictOverLimit drops least-recently-used completed entries until the
-// resident bytes fit the limit, returning the evicted keys. Callers
-// hold s.mu. Only completed entries live on the LRU list, so in-flight
-// computations are never touched; the newest entry itself is evicted
-// last, when it alone exceeds the limit.
-func (s *Store) evictOverLimit() []string {
-	if s.limit <= 0 {
-		return nil
-	}
-	var evicted []string
-	for s.bytes > s.limit && s.lru.Len() > 0 {
-		back := s.lru.Back()
-		e := back.Value.(*storeEntry)
-		s.lru.Remove(back)
-		e.elem = nil
-		s.bytes -= e.size
-		if s.entries[e.key] == e {
-			delete(s.entries, e.key)
-		}
-		evicted = append(evicted, e.key)
-	}
-	return evicted
+	return f.val, f.err
 }
 
 // Len reports how many artifacts are resident or in flight.
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.entries)
+	s.ensureLocked()
+	return len(s.inflight) + s.backend.Len()
 }
 
 // Memo is the typed access path to a Store: it computes (once) and

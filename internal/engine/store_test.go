@@ -256,3 +256,79 @@ func TestEngineDoAttemptTimeout(t *testing.T) {
 		t.Fatalf("err = %v, want deadline exceeded", err)
 	}
 }
+
+// TestStoreWaitersSurviveEvictionMidCompute pins the single-flight /
+// eviction interaction: when an artifact is evicted the instant it
+// completes (here because it alone exceeds the byte limit, and because
+// a writer floods the cache with competing keys), waiters already
+// blocked on the in-flight compute must still receive the computed
+// value — never nil — and the next lookup must recompute rather than
+// hit. Run under -race.
+func TestStoreWaitersSurviveEvictionMidCompute(t *testing.T) {
+	s := NewStore()
+	s.SetByteLimit(16) // each 32-byte artifact self-evicts on insert
+
+	// Background eviction pressure on unrelated keys.
+	stop := make(chan struct{})
+	var pressure sync.WaitGroup
+	pressure.Add(1)
+	go func() {
+		defer pressure.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := fmt.Sprintf("filler%d", i%7)
+			if _, err := s.DoSized(key, func() (any, int64, error) { return key, 8, nil }); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var computes atomic.Int32
+	const rounds = 20
+	for round := 0; round < rounds; round++ {
+		key := fmt.Sprintf("victim%d", round)
+		compute := func() (any, int64, error) {
+			computes.Add(1)
+			time.Sleep(time.Millisecond) // widen the single-flight window
+			return key, 32, nil
+		}
+		gate := make(chan struct{})
+		var wg sync.WaitGroup
+		for r := 0; r < 8; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-gate
+				v, err := s.DoSized(key, compute)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v == nil {
+					t.Errorf("waiter on %q received nil", key)
+					return
+				}
+				if v.(string) != key {
+					t.Errorf("waiter on %q received %v", key, v)
+				}
+			}()
+		}
+		close(gate)
+		wg.Wait()
+		// The artifact was evicted on insert; this lookup must recompute.
+		v, err := s.DoSized(key, compute)
+		if err != nil || v == nil || v.(string) != key {
+			t.Fatalf("post-eviction lookup of %q = %v, %v", key, v, err)
+		}
+	}
+	close(stop)
+	pressure.Wait()
+	if got := computes.Load(); got < 2*rounds {
+		t.Fatalf("computes = %d, want >= %d (each round must recompute after eviction)", got, 2*rounds)
+	}
+}

@@ -43,8 +43,32 @@ type Manifest struct {
 	Failures *FailureSummary `json:"failures,omitempty"`
 	// Store aggregates the artifact-store counters.
 	Store StoreStats `json:"store"`
+	// Storage lists the store backend's per-tier counters (memory,
+	// disk), top tier first. Unlike Store, which is folded from the
+	// event stream, Storage is stamped by the manifest's producer from
+	// the backend itself; batch CLIs without a tiered backend omit it.
+	Storage []StorageTier `json:"storage,omitempty"`
 	// Pool aggregates the worker-pool occupancy samples.
 	Pool PoolStats `json:"pool"`
+}
+
+// StorageTier is one storage backend tier's traffic and residency
+// counters, mirroring the store package's per-tier stats so manifests
+// stay decodable without importing it. All fields are traffic-dependent
+// (timing fields): Stable() drops the whole list.
+type StorageTier struct {
+	// Tier names the layer: "memory" or "disk".
+	Tier string `json:"tier"`
+	// Hits counts lookups answered by this tier.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups this tier could not answer.
+	Misses uint64 `json:"misses"`
+	// Evictions counts artifacts this tier dropped.
+	Evictions uint64 `json:"evictions"`
+	// Len is the tier's resident artifact count.
+	Len int `json:"len"`
+	// Bytes is the tier's resident byte total.
+	Bytes int64 `json:"bytes"`
 }
 
 // TaskRecord is one task's outcome in a Manifest.
@@ -115,8 +139,8 @@ type PoolStats struct {
 }
 
 // Stable returns a copy of m with every timing-dependent field zeroed:
-// Started, ElapsedMS, per-task ElapsedMS, Store.Waits, Pool.MaxInUse
-// and Pool.Samples. Golden comparisons and the determinism tests
+// Started, ElapsedMS, per-task ElapsedMS, Store.Waits, Pool.MaxInUse,
+// Pool.Samples and the per-tier Storage counters. Golden comparisons and the determinism tests
 // compare Stable() forms; everything that remains is a pure function of
 // the run configuration. Retry counts, skip reasons and the failure
 // summary survive: for a given fault schedule they are deterministic
@@ -126,6 +150,7 @@ func (m *Manifest) Stable() *Manifest {
 	c := *m
 	c.Started = time.Time{}
 	c.ElapsedMS = 0
+	c.Storage = nil
 	c.Store.Waits = 0
 	c.Pool.MaxInUse = 0
 	c.Pool.Samples = 0

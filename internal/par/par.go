@@ -34,6 +34,7 @@ import (
 type Budget struct {
 	tokens chan struct{}
 	size   int
+	par    int // effective parallelism: size capped by GOMAXPROCS
 }
 
 // NewBudget creates a budget for a total of n concurrent workers
@@ -41,11 +42,22 @@ type Budget struct {
 // free, the budget holds n-1 helper tokens: NewBudget(1) yields pure
 // serial execution and a lone kernel at NewBudget(n) uses exactly n
 // workers.
+//
+// Helper tokens are additionally capped at GOMAXPROCS-1: a budget
+// oversubscribed past what the machine can run (-jobs 4 on one CPU)
+// degrades to the hardware's real parallelism instead of paying
+// goroutine and scheduling overhead for workers that can never run
+// concurrently — so asking for more jobs never loses to asking for
+// fewer. Size still reports the requested total.
 func NewBudget(n int) *Budget {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	return &Budget{tokens: make(chan struct{}, n-1), size: n}
+	par := n
+	if cpus := runtime.GOMAXPROCS(0); par > cpus {
+		par = cpus
+	}
+	return &Budget{tokens: make(chan struct{}, par-1), size: n, par: par}
 }
 
 // Size returns the total worker count the budget was created for
@@ -55,6 +67,18 @@ func (b *Budget) Size() int {
 		return 1
 	}
 	return b.size
+}
+
+// Parallelism returns the number of workers a fan-out can actually run
+// at once: the budget's size capped by GOMAXPROCS at creation. Block
+// splitters size their partitions by this, so an oversubscribed budget
+// does not shred a loop into more pieces than the machine has CPUs.
+// A nil budget has parallelism 1.
+func (b *Budget) Parallelism() int {
+	if b == nil {
+		return 1
+	}
+	return b.par
 }
 
 // tryAcquire takes one helper token without blocking.
@@ -205,7 +229,7 @@ func ForEachBlock(ctx context.Context, b *Budget, n, minBlock int, fn func(lo, h
 	if minBlock < 1 {
 		minBlock = 1
 	}
-	parts := b.Size()
+	parts := b.Parallelism()
 	if max := (n + minBlock - 1) / minBlock; parts > max {
 		parts = max
 	}

@@ -208,3 +208,54 @@ func TestForEachBlockSmallInputInline(t *testing.T) {
 		t.Fatalf("small input split into %d blocks, want 1", calls)
 	}
 }
+
+// TestBudgetCapsAtGOMAXPROCS pins the auto-degrade contract: a budget
+// oversubscribed past the machine's CPU count keeps its requested Size
+// but caps its effective parallelism (and helper tokens) at GOMAXPROCS,
+// so -jobs 4 on a 1-CPU box runs serially instead of slower than
+// -jobs 1.
+func TestBudgetCapsAtGOMAXPROCS(t *testing.T) {
+	cpus := runtime.GOMAXPROCS(0)
+	b := NewBudget(cpus + 8)
+	if got := b.Size(); got != cpus+8 {
+		t.Fatalf("Size = %d, want %d", got, cpus+8)
+	}
+	if got := b.Parallelism(); got != cpus {
+		t.Fatalf("Parallelism = %d, want %d", got, cpus)
+	}
+	if got := cap(b.tokens); got != cpus-1 {
+		t.Fatalf("helper tokens = %d, want %d", got, cpus-1)
+	}
+	if got := (*Budget)(nil).Parallelism(); got != 1 {
+		t.Fatalf("nil Parallelism = %d, want 1", got)
+	}
+	if got := NewBudget(1).Parallelism(); got != 1 {
+		t.Fatalf("NewBudget(1).Parallelism = %d, want 1", got)
+	}
+
+	// The capped budget still runs every item exactly once, with
+	// observed concurrency never above the CPU count.
+	var cur, maxSeen, ran atomic.Int64
+	err := ForEach(context.Background(), b, 64, func(i int) error {
+		c := cur.Add(1)
+		for {
+			m := maxSeen.Load()
+			if c <= m || maxSeen.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+		ran.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 64 {
+		t.Fatalf("ran %d of 64 items", ran.Load())
+	}
+	if maxSeen.Load() > int64(cpus) {
+		t.Fatalf("observed concurrency %d exceeds %d CPUs", maxSeen.Load(), cpus)
+	}
+}

@@ -2,9 +2,6 @@ package service
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +14,7 @@ import (
 	"coplot/internal/engine"
 	"coplot/internal/obs"
 	"coplot/internal/par"
+	"coplot/internal/store"
 )
 
 // Config tunes a Service; the zero value serves with defaults.
@@ -30,10 +28,19 @@ type Config struct {
 	// are answered 429 with a Retry-After header instead of queueing
 	// (0 = twice the worker budget).
 	MaxInflight int
-	// CacheBytes bounds the response cache: past it, least-recently-used
-	// responses are evicted and recomputed on their next request
-	// (0 = 256 MiB, negative = unbounded).
+	// CacheBytes bounds the response cache's memory tier: past it,
+	// least-recently-used responses are evicted — recomputed on their
+	// next request, or refetched from disk when a durable tier backs
+	// the cache (0 = 256 MiB, negative = unbounded).
 	CacheBytes int64
+	// CacheDir roots the durable response cache: responses persist as
+	// content-addressed files there and survive restarts. Empty means
+	// memory only.
+	CacheDir string
+	// CacheTier picks the cache backend: "memory", "disk", "tiered",
+	// or "" for automatic — tiered when CacheDir is set, memory
+	// otherwise. "disk" and "tiered" require CacheDir.
+	CacheTier string
 	// MaxBodyBytes caps a request body (0 = 64 MiB).
 	MaxBodyBytes int64
 	// RequestTimeout bounds one request across all attempts (0 = none);
@@ -68,6 +75,7 @@ type Service struct {
 	cfg     Config
 	budget  *par.Budget
 	store   *engine.Store
+	backend store.Backend
 	metrics *obs.Metrics
 	sink    obs.Sink
 	sem     chan struct{}
@@ -80,8 +88,11 @@ type Service struct {
 }
 
 // New builds a Service from cfg. The worker budget, response cache and
-// metrics aggregate live as long as the Service does.
-func New(cfg Config) *Service {
+// metrics aggregate live as long as the Service does; a durable cache
+// tier (CacheDir) outlives it. The error is non-nil when the cache
+// configuration is unusable: an invalid tier name, a durable tier
+// without a directory, or an unopenable directory.
+func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:     cfg,
 		budget:  par.NewBudget(cfg.Jobs),
@@ -89,6 +100,12 @@ func New(cfg Config) *Service {
 		metrics: obs.NewMetrics(),
 		mux:     http.NewServeMux(),
 	}
+	backend, err := store.Open(cfg.CacheDir, cfg.CacheTier, responseCodec{})
+	if err != nil {
+		return nil, err
+	}
+	s.backend = backend
+	s.store.SetBackend(backend)
 	s.sink = obs.Multi(s.metrics, cfg.Sink)
 	s.store.Observe(s.sink)
 	switch {
@@ -111,7 +128,7 @@ func New(cfg Config) *Service {
 	s.mux.Handle("POST /v1/validate", s.endpoint("validate", s.validate))
 	s.mux.Handle("POST /v1/scale-load", s.endpoint("scale-load", s.scaleLoad))
 	s.mux.Handle("POST /v1/generate", s.endpoint("generate", s.generate))
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -164,6 +181,41 @@ func textResponse(text string) *response {
 // size reports the response's resident footprint for the cache's byte
 // accounting.
 func (r *response) size() int64 { return int64(len(r.body)) }
+
+// wireResponse is a response's durable form: exported fields for JSON,
+// with the body carried as base64 (encoding/json's []byte form), so a
+// cached response round-trips through the disk tier byte-identically.
+type wireResponse struct {
+	ContentType string            `json:"content_type"`
+	Body        []byte            `json:"body"`
+	Extra       map[string]string `json:"extra,omitempty"`
+}
+
+// responseCodec persists *response artifacts in the durable cache
+// tier; any other value stays memory-only.
+type responseCodec struct{}
+
+// Encode implements store.Codec.
+func (responseCodec) Encode(v any) ([]byte, bool) {
+	resp, ok := v.(*response)
+	if !ok {
+		return nil, false
+	}
+	data, err := json.Marshal(wireResponse{ContentType: resp.contentType, Body: resp.body, Extra: resp.extra})
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Decode implements store.Codec.
+func (responseCodec) Decode(data []byte) (any, error) {
+	var w wireResponse
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, err
+	}
+	return &response{contentType: w.ContentType, body: w.Body, extra: w.Extra}, nil
+}
 
 // handlerFunc parses one endpoint's request into its cache key and a
 // compute closure. Parse-stage errors (bad options, malformed
@@ -313,11 +365,28 @@ func (s *Service) healthz(w http.ResponseWriter, r *http.Request) {
 		len(s.sem), cap(s.sem), s.store.Bytes(), s.budget.Size())
 }
 
+// Manifest snapshots the service's aggregate manifest under info,
+// stamping the cache backend's per-tier storage counters on top of the
+// event-stream aggregate. The /metrics endpoint, the -manifest exit
+// file, and tests all read this one form.
+func (s *Service) Manifest(info obs.RunInfo) *obs.Manifest {
+	m := s.metrics.Manifest(info)
+	if sp, ok := s.backend.(store.StatsProvider); ok {
+		for _, ts := range sp.Stats() {
+			m.Storage = append(m.Storage, obs.StorageTier{
+				Tier: ts.Tier, Hits: ts.Hits, Misses: ts.Misses,
+				Evictions: ts.Evictions, Len: ts.Len, Bytes: ts.Bytes,
+			})
+		}
+	}
+	return m
+}
+
 // metricsHandler serves the aggregate run manifest — the same JSON the
 // batch CLIs write with -manifest, accumulated over the service's
 // lifetime.
 func (s *Service) metricsHandler(w http.ResponseWriter, r *http.Request) {
-	m := s.metrics.Manifest(obs.RunInfo{
+	m := s.Manifest(obs.RunInfo{
 		Tool: "coplotd", Seed: s.cfg.Seed, Jobs: s.cfg.Jobs, Timeout: s.cfg.RequestTimeout,
 	})
 	data, err := json.MarshalIndent(m, "", "  ")
@@ -329,23 +398,9 @@ func (s *Service) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	w.Write(append(data, '\n'))
 }
 
-// cacheKey derives the deterministic response-cache key: a content
-// hash over the endpoint name, its canonicalized options, and the
-// input blobs, each length-prefixed so concatenations cannot collide.
+// cacheKey derives the deterministic response-cache key — the key
+// format lives in the store package (store.Key) so CLI caches and the
+// serving layer address artifacts identically.
 func cacheKey(endpoint string, opts []string, blobs ...[]byte) string {
-	h := sha256.New()
-	put := func(b []byte) {
-		var n [8]byte
-		binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
-		h.Write(n[:])
-		h.Write(b)
-	}
-	put([]byte(endpoint))
-	for _, o := range opts {
-		put([]byte(o))
-	}
-	for _, b := range blobs {
-		put(b)
-	}
-	return endpoint + "-" + hex.EncodeToString(h.Sum(nil))[:32]
+	return store.Key(endpoint, opts, blobs...)
 }

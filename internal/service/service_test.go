@@ -60,7 +60,7 @@ func TestGenerateMatchesCLIBytes(t *testing.T) {
 	// /v1/generate must answer the exact bytes cmd/wgen writes: the
 	// model resolved by the shared ModelByName, run from the request
 	// seed, serialized by swf.Write.
-	svc := New(Config{Jobs: 1})
+	svc := mustNew(t, Config{Jobs: 1})
 	ts := httptest.NewServer(svc)
 	defer ts.Close()
 
@@ -99,7 +99,7 @@ func TestGenerateMatchesCLIBytes(t *testing.T) {
 }
 
 func TestLogEndpointsMatchCLIReports(t *testing.T) {
-	svc := New(Config{Jobs: 2})
+	svc := mustNew(t, Config{Jobs: 2})
 	ts := httptest.NewServer(svc)
 	defer ts.Close()
 	body := swfBody(t, 3, 1500)
@@ -171,7 +171,7 @@ func TestAnalyzeCSVMatchesCLIAtAnyJobs(t *testing.T) {
 	want := res.Report()
 
 	for _, jobs := range []int{1, 4} {
-		svc := New(Config{Jobs: jobs})
+		svc := mustNew(t, Config{Jobs: jobs})
 		ts := httptest.NewServer(svc)
 		resp, got := post(t, ts, "/v1/analyze", []byte(testCSV))
 		ts.Close()
@@ -227,7 +227,7 @@ func TestAnalyzeMultipartSWF(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	svc := New(Config{Jobs: 2})
+	svc := mustNew(t, Config{Jobs: 2})
 	ts := httptest.NewServer(svc)
 	defer ts.Close()
 	resp, err := http.Post(ts.URL+"/v1/analyze", mw.FormDataContentType(), bytes.NewReader(buf.Bytes()))
@@ -273,7 +273,7 @@ func TestConcurrentRequestsByteIdentical(t *testing.T) {
 	// reference bytes — determinism survives concurrency — and the
 	// duplicate pairs must dedupe in the single-flight cache.
 	refs := make(map[uint64]string)
-	refSvc := New(Config{Jobs: 2, MaxInflight: 16})
+	refSvc := mustNew(t, Config{Jobs: 2, MaxInflight: 16})
 	refTS := httptest.NewServer(refSvc)
 	for seed := uint64(1); seed <= 4; seed++ {
 		resp, body := post(t, refTS, fmt.Sprintf("/v1/analyze?seed=%d", seed), []byte(testCSV))
@@ -284,7 +284,7 @@ func TestConcurrentRequestsByteIdentical(t *testing.T) {
 	}
 	refTS.Close()
 
-	svc := New(Config{Jobs: 2, MaxInflight: 16})
+	svc := mustNew(t, Config{Jobs: 2, MaxInflight: 16})
 	ts := httptest.NewServer(svc)
 	defer ts.Close()
 	var wg sync.WaitGroup
@@ -329,7 +329,7 @@ func TestConcurrentRequestsByteIdentical(t *testing.T) {
 }
 
 func TestSaturationReturns429(t *testing.T) {
-	svc := New(Config{Jobs: 1, MaxInflight: 1})
+	svc := mustNew(t, Config{Jobs: 1, MaxInflight: 1})
 	enter := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
@@ -367,7 +367,7 @@ func TestSaturationReturns429(t *testing.T) {
 }
 
 func TestPanicContainedAs500(t *testing.T) {
-	svc := New(Config{Jobs: 1, MaxInflight: 4})
+	svc := mustNew(t, Config{Jobs: 1, MaxInflight: 4})
 	var calls atomic.Int64
 	svc.testHook = func(ctx context.Context, endpoint string) error {
 		if calls.Add(1) == 1 {
@@ -394,7 +394,7 @@ func TestPanicContainedAs500(t *testing.T) {
 }
 
 func TestRequestDeadlineReturns504(t *testing.T) {
-	svc := New(Config{Jobs: 1, MaxInflight: 4, RequestTimeout: 50 * time.Millisecond})
+	svc := mustNew(t, Config{Jobs: 1, MaxInflight: 4, RequestTimeout: 50 * time.Millisecond})
 	svc.testHook = func(ctx context.Context, endpoint string) error {
 		<-ctx.Done()
 		return ctx.Err()
@@ -408,7 +408,7 @@ func TestRequestDeadlineReturns504(t *testing.T) {
 }
 
 func TestBadInputsReturn400(t *testing.T) {
-	svc := New(Config{Jobs: 1})
+	svc := mustNew(t, Config{Jobs: 1})
 	ts := httptest.NewServer(svc)
 	defer ts.Close()
 	cases := []struct {
@@ -441,7 +441,7 @@ func TestCacheEvictionRecomputes(t *testing.T) {
 	// With a 1-byte cap every response is over the limit: it is evicted
 	// as soon as it is inserted, so a repeated request recomputes (miss)
 	// and the evictions show up in the metrics.
-	svc := New(Config{Jobs: 1, CacheBytes: 1})
+	svc := mustNew(t, Config{Jobs: 1, CacheBytes: 1})
 	ts := httptest.NewServer(svc)
 	defer ts.Close()
 	first, b1 := post(t, ts, "/v1/generate?model=lublin&n=80&seed=2", nil)
@@ -462,7 +462,7 @@ func TestCacheEvictionRecomputes(t *testing.T) {
 }
 
 func TestHealthzAndMetrics(t *testing.T) {
-	svc := New(Config{Jobs: 1})
+	svc := mustNew(t, Config{Jobs: 1})
 	ts := httptest.NewServer(svc)
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -497,7 +497,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 }
 
 func TestServeDrainsInflightRequests(t *testing.T) {
-	svc := New(Config{Jobs: 1, MaxInflight: 4})
+	svc := mustNew(t, Config{Jobs: 1, MaxInflight: 4})
 	enter := make(chan struct{})
 	var once sync.Once
 	svc.testHook = func(ctx context.Context, endpoint string) error {
@@ -535,5 +535,88 @@ func TestServeDrainsInflightRequests(t *testing.T) {
 	// The listener is closed: new connections are refused.
 	if _, err := http.Get(url + "/healthz"); err == nil {
 		t.Fatal("server still accepting connections after drain")
+	}
+}
+
+// mustNew builds a Service for tests, failing the test on config errors.
+func mustNew(t testing.TB, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCachePersistsAcrossRestart is the acceptance test for the
+// durable cache tier: a second Service opened over the same cache
+// directory — a simulated process restart — must serve a key the first
+// Service computed as a cache hit, with a byte-identical body.
+func TestCachePersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	const path = "/v1/generate?model=lublin&procs=128&n=400&seed=5"
+
+	svc1 := mustNew(t, Config{Jobs: 1, CacheDir: dir})
+	ts1 := httptest.NewServer(svc1)
+	resp1, body1 := post(t, ts1, path, nil)
+	ts1.Close()
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Coplot-Cache"); got != "miss" {
+		t.Fatalf("first process cache = %q, want miss", got)
+	}
+
+	// "Restart": a fresh Service, fresh engine store, same directory.
+	svc2 := mustNew(t, Config{Jobs: 1, CacheDir: dir})
+	ts2 := httptest.NewServer(svc2)
+	defer ts2.Close()
+	resp2, body2 := post(t, ts2, path, nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after restart: %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Coplot-Cache"); got != "hit" {
+		t.Fatalf("restarted process cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("restarted process served different bytes for the same key")
+	}
+	if resp1.Header.Get("X-Coplot-Key") != resp2.Header.Get("X-Coplot-Key") {
+		t.Fatal("cache keys differ across restart")
+	}
+
+	// The manifest reports both tiers: the hit came from disk.
+	m := svc2.Manifest(obs.RunInfo{Tool: "test"})
+	if len(m.Storage) != 2 || m.Storage[0].Tier != "memory" || m.Storage[1].Tier != "disk" {
+		t.Fatalf("storage tiers = %+v, want memory+disk", m.Storage)
+	}
+	if m.Storage[1].Hits != 1 || m.Storage[1].Len != 1 {
+		t.Fatalf("disk tier = %+v, want 1 hit / 1 resident", m.Storage[1])
+	}
+}
+
+// TestCacheTierConfig pins the tier selection and its failure modes.
+func TestCacheTierConfig(t *testing.T) {
+	if _, err := New(Config{CacheTier: "disk"}); err == nil {
+		t.Fatal("disk tier without a dir must fail")
+	}
+	if _, err := New(Config{CacheTier: "bogus"}); err == nil {
+		t.Fatal("unknown tier must fail")
+	}
+	// Explicit memory tier ignores the dir and stays volatile.
+	dir := t.TempDir()
+	svc := mustNew(t, Config{Jobs: 1, CacheDir: dir, CacheTier: "memory"})
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	resp, body := post(t, ts, "/v1/generate?model=lublin&procs=128&n=100&seed=3", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	svc2 := mustNew(t, Config{Jobs: 1, CacheDir: dir, CacheTier: "memory"})
+	ts2 := httptest.NewServer(svc2)
+	defer ts2.Close()
+	resp2, _ := post(t, ts2, "/v1/generate?model=lublin&procs=128&n=100&seed=3", nil)
+	if got := resp2.Header.Get("X-Coplot-Cache"); got != "miss" {
+		t.Fatalf("memory tier served %q after restart, want miss", got)
 	}
 }

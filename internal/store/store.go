@@ -1,0 +1,167 @@
+// Package store is the pluggable storage subsystem under the engine's
+// memoizing single-flight artifact store: a small Backend interface
+// over completed artifacts, with an in-memory LRU tier, a durable
+// content-addressed disk tier, and a tiered memory-over-disk
+// combination of the two.
+//
+// The split of responsibilities with internal/engine:
+//
+//   - engine.Store owns the *computation* semantics — single-flight
+//     deduplication (each key computes exactly once while concurrent
+//     callers wait), eviction of errored entries so retries recompute,
+//     and the obs event stream.
+//   - a store.Backend owns the *residency* semantics — which completed
+//     artifacts stay, for how long, and where: process memory bounded
+//     by an LRU byte cap, sha256-named files on disk that survive
+//     restarts, or both layered.
+//
+// Values cross the Backend boundary as opaque `any` artifacts with a
+// declared byte size. The Memory tier keeps them as-is; the durable
+// tiers translate them to bytes and back through a Codec, and simply
+// decline to persist values their codec cannot encode — such values
+// stay memory-resident only, which keeps arbitrary in-process
+// artifacts (parsed logs, matrices) and durable byte-renderable ones
+// (HTTP responses, rendered reports) behind the same interface.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Backend is one storage tier for completed artifacts. Implementations
+// are safe for concurrent use; the single-flight layer above guarantees
+// at most one Put per key is in flight, but Gets race freely with Puts
+// and Deletes.
+type Backend interface {
+	// Get returns the artifact under key and marks it recently used.
+	Get(key string) (any, bool)
+	// Put inserts the artifact with its declared resident size and
+	// returns the keys evicted to make room (nil when nothing was).
+	// The newly inserted key itself may appear among the evicted when
+	// it alone exceeds the tier's capacity.
+	Put(key string, val any, size int64) (evicted []string)
+	// Delete removes the artifact under key, if resident.
+	Delete(key string)
+	// Len reports how many artifacts are resident.
+	Len() int
+	// Bytes reports the total declared size of resident artifacts.
+	Bytes() int64
+}
+
+// Limiter is implemented by backends whose memory residency is bounded
+// by a byte cap (Memory, and Tiered for its memory layer).
+type Limiter interface {
+	// SetLimit caps the resident bytes; exceeding it evicts
+	// least-recently-used artifacts. Zero or negative disables the cap.
+	SetLimit(n int64)
+}
+
+// StatsProvider is implemented by backends that count their traffic;
+// the serving layer surfaces these per-tier counters on /metrics.
+type StatsProvider interface {
+	// Stats returns one entry per storage tier, top tier first.
+	Stats() []TierStats
+}
+
+// TierStats is one storage tier's traffic and residency counters.
+type TierStats struct {
+	// Tier names the layer: "memory" or "disk".
+	Tier string `json:"tier"`
+	// Hits counts Gets answered by this tier.
+	Hits uint64 `json:"hits"`
+	// Misses counts Gets this tier could not answer.
+	Misses uint64 `json:"misses"`
+	// Evictions counts artifacts dropped by this tier: LRU victims in
+	// memory, scrubbed or corrupt entries on disk.
+	Evictions uint64 `json:"evictions"`
+	// Len is the tier's resident artifact count.
+	Len int `json:"len"`
+	// Bytes is the tier's resident byte total.
+	Bytes int64 `json:"bytes"`
+}
+
+// Codec translates artifacts to durable bytes and back, so a byte-
+// oriented tier can hold typed values. Encode reports false for values
+// the codec does not handle — the durable tier skips those instead of
+// failing the Put.
+type Codec interface {
+	// Encode renders v as its durable bytes, or reports false when v is
+	// not byte-renderable under this codec.
+	Encode(v any) ([]byte, bool)
+	// Decode reverses Encode.
+	Decode(data []byte) (any, error)
+}
+
+// RawBytes is the identity Codec: []byte values persist as themselves;
+// everything else stays memory-only.
+type RawBytes struct{}
+
+// Encode implements Codec.
+func (RawBytes) Encode(v any) ([]byte, bool) {
+	b, ok := v.([]byte)
+	return b, ok
+}
+
+// Decode implements Codec.
+func (RawBytes) Decode(data []byte) (any, error) { return data, nil }
+
+// Open builds the backend for a (-cache-dir, -cache-tier) flag pair,
+// so every process — coplotd and the batch CLIs alike — interprets the
+// pair the same way. Tier "" is automatic: tiered when dir is set,
+// memory otherwise. "memory" ignores dir; "disk" and "tiered" require
+// one. The memory layers start unbounded; callers cap them through
+// Limiter. A nil codec defaults to RawBytes.
+func Open(dir, tier string, codec Codec) (Backend, error) {
+	if tier == "" {
+		if dir == "" {
+			tier = "memory"
+		} else {
+			tier = "tiered"
+		}
+	}
+	switch tier {
+	case "memory":
+		return NewMemory(0), nil
+	case "disk", "tiered":
+		if dir == "" {
+			return nil, fmt.Errorf("store: cache tier %q requires a cache dir", tier)
+		}
+		disk, err := NewDisk(dir, codec)
+		if err != nil {
+			return nil, err
+		}
+		if tier == "disk" {
+			return disk, nil
+		}
+		return NewTiered(NewMemory(0), disk), nil
+	default:
+		return nil, fmt.Errorf("store: unknown cache tier %q (want memory, disk, or tiered)", tier)
+	}
+}
+
+// Key derives a deterministic content-hash cache key: a sha256 over
+// the namespace, its canonicalized options, and the input blobs, each
+// length-prefixed so concatenations cannot collide. The result is
+// "namespace-" plus 32 hex digits — the serving layer keys responses
+// with it, and the CLIs key their rendered reports the same way so a
+// warm disk cache carries across invocations.
+func Key(namespace string, opts []string, blobs ...[]byte) string {
+	h := sha256.New()
+	put := func(b []byte) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
+		h.Write(n[:])
+		h.Write(b)
+	}
+	put([]byte(namespace))
+	for _, o := range opts {
+		put([]byte(o))
+	}
+	for _, b := range blobs {
+		put(b)
+	}
+	return namespace + "-" + hex.EncodeToString(h.Sum(nil))[:32]
+}
