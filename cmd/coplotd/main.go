@@ -14,12 +14,19 @@
 //	GET  /healthz        liveness and vitals
 //	GET  /metrics        aggregate run manifest (JSON)
 //
+// Cluster mode (both endpoints replica-to-replica only):
+//
+//	GET  /internal/v1/artifact/{key}   fetch a resident cached artifact
+//	PUT  /internal/v1/artifact/{key}   accept a back-filled artifact
+//
 // Usage:
 //
 //	coplotd [-addr HOST:PORT] [-jobs N] [-max-inflight N] [-cache-bytes N]
 //	        [-cache-dir DIR] [-cache-tier memory|disk|tiered]
 //	        [-request-timeout D] [-task-timeout D] [-retries N] [-backoff D]
 //	        [-drain D] [-seed N] [-trace FILE] [-manifest FILE]
+//	        [-peers URL,URL,...] [-self URL] [-ring-replicas N]
+//	        [-peer-timeout D] [-peer-retries N]
 //
 // One -jobs worker budget is shared by every in-flight request, so
 // total kernel parallelism stays bounded under concurrent load;
@@ -34,6 +41,18 @@
 // tiered); by default a -cache-dir means tiered — an LRU memory layer,
 // bounded by -cache-bytes, over the durable files.
 //
+// Cluster mode: start N replicas with the same -peers list (every
+// replica's base URL, comma-separated) and each replica's own URL as
+// -self, and the replicas act as one cache. A consistent-hash ring
+// (-ring-replicas virtual nodes per member) assigns every content key
+// an owner replica; on a local miss a replica first tries a
+// checksummed peer fill from the owner before recomputing, and a
+// computed response whose owner is another replica is back-filled
+// there. A dead peer is never a client-visible error — fetches and
+// back-fills time out after -peer-timeout per attempt (+ -peer-retries
+// deterministic-backoff retries) and the replica falls back to local
+// compute, byte-identical by determinism.
+//
 // Observability: each request emits engine events (-trace appends them
 // as JSON lines), /metrics serves the same aggregate manifest the
 // batch CLIs write with -manifest (also written to -manifest on exit),
@@ -46,6 +65,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -72,6 +92,11 @@ func realMain() int {
 	backoff := flag.Duration("backoff", 0, "base delay before the first retry, doubling per retry (0 = engine default)")
 	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight requests (0 = no limit)")
 	seed := flag.Uint64("seed", 7, "retry-jitter seed (analysis seeds come from each request)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every cluster replica, including this one (empty = single replica)")
+	self := flag.String("self", "", "this replica's own base URL as peers reach it; required with -peers")
+	ringReplicas := flag.Int("ring-replicas", 0, "consistent-hash virtual nodes per ring member (0 = 64)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "per-attempt time limit for peer fetches and back-fills (0 = 2s)")
+	peerRetries := flag.Int("peer-retries", 1, "extra attempts after a failed peer operation (0 = single attempt)")
 	tracePath := flag.String("trace", "", "append engine events as JSON lines to this file")
 	manifestPath := flag.String("manifest", "", "write the aggregate run manifest to this file on exit")
 	var prof obs.Profile
@@ -110,6 +135,11 @@ func realMain() int {
 		Retries:        *retries,
 		Backoff:        *backoff,
 		Seed:           *seed,
+		Peers:          splitPeers(*peers),
+		Self:           *self,
+		RingReplicas:   *ringReplicas,
+		PeerTimeout:    *peerTimeout,
+		PeerRetries:    *peerRetries,
 		Sink:           sink,
 	})
 	if err != nil {
@@ -146,4 +176,16 @@ func realMain() int {
 	}
 	fmt.Fprintln(os.Stderr, "coplotd: drained, exiting")
 	return 0
+}
+
+// splitPeers parses the -peers flag: a comma-separated URL list with
+// blanks dropped, nil when the flag is empty.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

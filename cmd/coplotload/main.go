@@ -10,10 +10,21 @@
 //
 // Usage:
 //
-//	coplotload [-addr URL] [-requests N] [-concurrency N]
+//	coplotload [-addr URL | -addrs URL,URL,...] [-requests N] [-concurrency N]
 //	           [-mix N] [-seed N] [-out DIR] [-date YYYY-MM-DD]
 //	           [-baseline FILE | -baseline-dir DIR]
 //	           [-tolerance F] [-strict-host]
+//
+// With -addrs, coplotload drives an N-replica coplotd cluster as one
+// target: each request is sent to a replica drawn from a seeded stream
+// (deliberately not round-robin, which would resonate with the mix
+// cycle and overstate locality), the byte-identity check then spans
+// replicas — a warm response must match its cold counterpart no matter
+// which replica served either — and the BENCH entries are named
+// ClusterServeCold/ClusterServeWarm so cluster figures never gate
+// against single-node baselines. The warm-pass hit_rate metric is the
+// cluster-wide warm-hit ratio: with peer fill on, a response computed
+// on one replica is a cache hit from every other.
 //
 // The mix is derived from -seed alone: -mix unique requests cycling
 // over the /v1/generate, /v1/variables, and /v1/validate endpoints,
@@ -42,6 +53,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -60,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("coplotload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the coplotd under load")
+	addrs := fs.String("addrs", "", "comma-separated base URLs of an N-replica cluster to drive as one target (overrides -addr)")
 	requests := fs.Int("requests", 64, "warm-pass request count (the mix repeats to fill it)")
 	concurrency := fs.Int("concurrency", 4, "concurrent in-flight requests per pass")
 	mixSize := fs.Int("mix", 6, "unique requests in the synthetic mix")
@@ -78,6 +91,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	targets := []string{*addr}
+	if *addrs != "" {
+		targets = targets[:0]
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				targets = append(targets, a)
+			}
+		}
+		if len(targets) == 0 {
+			fmt.Fprintln(stderr, "coplotload: -addrs must name at least one URL")
+			return 2
+		}
+	}
+
 	mix, err := buildMix(*seed, *mixSize)
 	if err != nil {
 		fmt.Fprintln(stderr, "coplotload:", err)
@@ -91,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i := range coldPlan {
 		coldPlan[i] = i
 	}
-	cold, coldWall, err := replay(client, *addr, mix, coldPlan, *concurrency)
+	cold, coldWall, err := replay(client, targets, assign(*seed, "cold", len(coldPlan), len(targets)), mix, coldPlan, *concurrency)
 	if err != nil {
 		fmt.Fprintln(stderr, "coplotload: cold pass:", err)
 		return 1
@@ -102,7 +129,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i := range warmPlan {
 		warmPlan[i] = i % len(mix)
 	}
-	warm, warmWall, err := replay(client, *addr, mix, warmPlan, *concurrency)
+	warm, warmWall, err := replay(client, targets, assign(*seed, "warm", len(warmPlan), len(targets)), mix, warmPlan, *concurrency)
 	if err != nil {
 		fmt.Fprintln(stderr, "coplotload: warm pass:", err)
 		return 1
@@ -121,6 +148,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if warmStats.hits < warmStats.n {
 		fmt.Fprintf(stdout, "note: %d warm request(s) missed the cache\n", warmStats.n-warmStats.hits)
 	}
+	prefix := ""
+	if len(targets) > 1 {
+		prefix = "Cluster"
+		fmt.Fprintf(stdout, "cluster: %d replicas, warm hit ratio %.3f\n",
+			len(targets), float64(warmStats.hits)/float64(warmStats.n))
+	}
 
 	day := *date
 	if day == "" {
@@ -129,7 +162,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	f := &bench.File{
 		Date:    day,
 		Host:    bench.CurrentHost(),
-		Entries: append(coldStats.entries("ServeCold"), warmStats.entries("ServeWarm")...),
+		Entries: append(coldStats.entries(prefix+"ServeCold"), warmStats.entries(prefix+"ServeWarm")...),
 	}
 
 	// Resolve the baseline before writing, so a same-directory run
@@ -255,11 +288,26 @@ type sample struct {
 	sum   [sha256.Size]byte
 }
 
-// replay sends plan (indices into mix) through a pool of workers and
-// returns the samples in plan order. Any request failure fails the
-// pass; 429 backpressure answers are retried with a short delay and do
-// not produce samples.
-func replay(client *http.Client, base string, mix []request, plan []int, workers int) ([]sample, time.Duration, error) {
+// assign draws each plan position's target replica from a seeded
+// stream derived from (seed, pass). A deterministic-but-arithmetically
+// unrelated assignment matters: round-robin (i % targets) would beat
+// in phase with the warm plan's mix cycle (i % mix), pinning every
+// mix entry to one replica and reporting perfect locality even with
+// peer fill disabled.
+func assign(seed uint64, pass string, n, targets int) []int {
+	r := rng.New(rng.Derive(seed, "coplotload/assign/"+pass))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(targets)
+	}
+	return out
+}
+
+// replay sends plan (indices into mix) through a pool of workers, each
+// request to its assigned target, and returns the samples in plan
+// order. Any request failure fails the pass; 429 backpressure answers
+// are retried with a short delay and do not produce samples.
+func replay(client *http.Client, targets []string, assign []int, mix []request, plan []int, workers int) ([]sample, time.Duration, error) {
 	samples := make([]sample, len(plan))
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -271,7 +319,7 @@ func replay(client *http.Client, base string, mix []request, plan []int, workers
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				s, err := send(client, base, mix[plan[i]])
+				s, err := send(client, targets[assign[i]], mix[plan[i]])
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

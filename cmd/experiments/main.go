@@ -101,7 +101,7 @@ func run(args []string, stdout io.Writer) error {
 	modelJobs := fs.Int("modeljobs", 0, "jobs per synthetic-model log (0 = default)")
 	periodJobs := fs.Int("periodjobs", 0, "jobs per half-year period log (0 = default)")
 	cacheDir := fs.String("cache-dir", "", "durable experiment cache directory; completed outputs are reused by later invocations with the same settings")
-	cacheTier := fs.String("cache-tier", "", "cache backend: memory, disk, or tiered (empty = tiered when -cache-dir is set)")
+	cacheTier := fs.String("cache-tier", "", "cache backend: memory, disk, or tiered (empty = tiered when -cache-dir is set, memory otherwise)")
 	manifest := fs.String("manifest", "out/manifest.json", "write the run manifest to this file ('' = off)")
 	trace := fs.String("trace", "", "append engine events as JSON lines to this file")
 	report := fs.Bool("report", false, "render the manifest as a Markdown timing table and exit")

@@ -65,7 +65,7 @@ func realMain() int {
 	taskTimeout := flag.Duration("task-timeout", 0, "per-attempt time limit; a timed-out attempt is retried under -retries (0 = none)")
 	keepGoing := flag.Bool("keep-going", true, "report failing files and continue; false cancels the batch on first failure")
 	cacheDir := flag.String("cache-dir", "", "durable report cache directory; a file's rendered report is reused across invocations")
-	cacheTier := flag.String("cache-tier", "", "cache backend: memory, disk, or tiered (empty = tiered when -cache-dir is set)")
+	cacheTier := flag.String("cache-tier", "", "cache backend: memory, disk, or tiered (empty = tiered when -cache-dir is set, memory otherwise)")
 	manifestPath := flag.String("manifest", "", "write the run manifest to this file")
 	tracePath := flag.String("trace", "", "append engine events as JSON lines to this file")
 	var prof obs.Profile

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultVNodes is the number of virtual nodes per member when a Ring
+// is built with a non-positive vnode count. More virtual nodes smooth
+// the key distribution across members at the cost of a larger (still
+// tiny) ring; 64 keeps per-member load within a few percent of even
+// for small clusters.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over the cluster's member URLs. It is
+// a pure function of the deduplicated, sorted member set and the vnode
+// count: every replica that agrees on those two inputs computes the
+// same owner for every key, with no coordination. Ring is immutable
+// after construction and safe for concurrent use.
+type Ring struct {
+	points  []ringPoint
+	members []string
+}
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// and the member it maps to.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds the ring over members with vnodes virtual nodes per
+// member (non-positive means DefaultVNodes). Members are normalized
+// with NormalizeMember, deduplicated, and sorted, so the ring does not
+// depend on flag order or trailing slashes. At least one member is
+// required.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := map[string]bool{}
+	var ms []string
+	for _, m := range members {
+		m = NormalizeMember(m)
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		ms = append(ms, m)
+	}
+	if len(ms) == 0 {
+		return nil, errors.New("cluster: ring needs at least one member")
+	}
+	sort.Strings(ms)
+	r := &Ring{members: ms}
+	for _, m := range ms {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(m, v), node: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical point hashes (astronomically rare) tie-break on the
+		// member name so the ring order stays a total order.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// NormalizeMember canonicalizes one member URL for ring membership and
+// self-identification: surrounding whitespace and trailing slashes are
+// stripped, so "http://a:1/" and " http://a:1" name the same replica.
+func NormalizeMember(u string) string {
+	return strings.TrimRight(strings.TrimSpace(u), "/")
+}
+
+// pointHash positions virtual node vnode of member node on the hash
+// circle: the top 8 bytes of sha256("node#vnode"), matching the key
+// hash so points and keys share one circle.
+func pointHash(node string, vnode int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", node, vnode)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the member that owns key: the member of the first
+// virtual node at or clockwise after sha256(key) on the circle,
+// wrapping past the top back to the lowest point.
+func (r *Ring) Owner(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	h := binary.BigEndian.Uint64(sum[:8])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Members returns the normalized, deduplicated, sorted member set the
+// ring was built over.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}

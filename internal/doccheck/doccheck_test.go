@@ -8,13 +8,15 @@ import (
 
 // TestEnginePackagesFullyDocumented is the godoc-hygiene gate of the
 // infrastructure layers: every exported identifier in internal/engine,
-// internal/obs and internal/store (types, funcs, methods, consts,
-// struct fields, interface methods) carries a doc comment.
+// internal/obs, internal/store and internal/cluster (types, funcs,
+// methods, consts, struct fields, interface methods) carries a doc
+// comment.
 func TestEnginePackagesFullyDocumented(t *testing.T) {
 	for _, dir := range []string{
 		filepath.Join("..", "engine"),
 		filepath.Join("..", "obs"),
 		filepath.Join("..", "store"),
+		filepath.Join("..", "cluster"),
 		".", // hold this package to its own bar
 	} {
 		violations, err := Check(dir, Full)

@@ -136,40 +136,60 @@ func (s *Store) Do(key string, compute func() (any, error)) (any, error) {
 // the SetByteLimit cap. Touching a cached entry (hit or wait) marks it
 // most recently used.
 func (s *Store) DoSized(key string, compute func() (any, int64, error)) (any, error) {
-	s.mu.Lock()
-	s.ensureLocked()
-	if f, ok := s.inflight[key]; ok {
-		// Single flight: block on the in-progress compute.
+	// Backend Get/Put happen outside s.mu: a backend may do real I/O
+	// (disk reads, or peer HTTP round-trips in cluster mode), and
+	// holding the store lock across that would serialize every key in
+	// the process behind one slow tier. The loop re-checks the inflight
+	// table after each unlocked probe, so single-flight still holds:
+	// a key computes at most once at a time.
+	var (
+		f       *flight
+		backend store.Backend
+	)
+	for {
+		s.mu.Lock()
+		s.ensureLocked()
+		if g, ok := s.inflight[key]; ok {
+			// Single flight: block on the in-progress compute.
+			s.mu.Unlock()
+			start := time.Now()
+			<-g.done
+			obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreWait, Name: key, Elapsed: time.Since(start)})
+			return g.val, g.err
+		}
+		backend = s.backend
 		s.mu.Unlock()
-		start := time.Now()
-		<-f.done
-		obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreWait, Name: key, Elapsed: time.Since(start)})
-		return f.val, f.err
-	}
-	if v, ok := s.backend.Get(key); ok {
+		if v, ok := backend.Get(key); ok {
+			obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreHit, Name: key})
+			return v, nil
+		}
+		s.mu.Lock()
+		if _, ok := s.inflight[key]; ok {
+			// Lost the registration race to a concurrent Do for the same
+			// key; loop back to wait on its flight.
+			s.mu.Unlock()
+			continue
+		}
+		f = &flight{done: make(chan struct{})}
+		s.inflight[key] = f
 		s.mu.Unlock()
-		obs.Emit(s.sink, obs.Event{Kind: obs.KindStoreHit, Name: key})
-		return v, nil
+		break
 	}
-	f := &flight{done: make(chan struct{})}
-	s.inflight[key] = f
-	s.mu.Unlock()
 
 	start := time.Now()
 	var size int64
 	f.val, size, f.err = compute()
 	var evicted []string
+	if f.err == nil {
+		// Hand the artifact to the backend before waking waiters, so a
+		// lookup sequenced after this Do observes it resident. A failed
+		// compute is simply dropped: the error stays visible to everyone
+		// already blocked on f.done, while later lookups retry.
+		evicted = backend.Put(key, f.val, size)
+	}
 	s.mu.Lock()
 	if s.inflight[key] == f {
 		delete(s.inflight, key)
-		if f.err == nil {
-			// Hand the artifact to the backend before waking waiters, so
-			// a lookup sequenced after this Do observes it resident. A
-			// failed compute is simply dropped: the error stays visible
-			// to everyone already blocked on f.done, while later lookups
-			// retry.
-			evicted = s.backend.Put(key, f.val, size)
-		}
 	}
 	s.mu.Unlock()
 	close(f.done)

@@ -65,6 +65,12 @@ type StorageTier struct {
 	Misses uint64 `json:"misses"`
 	// Evictions counts artifacts this tier dropped.
 	Evictions uint64 `json:"evictions"`
+	// Fills counts artifacts pushed into this tier from outside the
+	// local lookup path (cluster back-fills); zero for plain tiers.
+	Fills uint64 `json:"fills,omitempty"`
+	// Errors counts failed interactions with this tier (peer fetch or
+	// back-fill failures in cluster mode); zero for plain tiers.
+	Errors uint64 `json:"errors,omitempty"`
 	// Len is the tier's resident artifact count.
 	Len int `json:"len"`
 	// Bytes is the tier's resident byte total.

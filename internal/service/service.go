@@ -11,6 +11,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"coplot/internal/cluster"
 	"coplot/internal/engine"
 	"coplot/internal/obs"
 	"coplot/internal/par"
@@ -60,6 +61,25 @@ type Config struct {
 	// each request (the "seed" query parameter), not from here, so
 	// responses do not depend on server configuration.
 	Seed uint64
+	// Peers is the full cluster member list (base URLs, including
+	// Self). When set, the cache backend is wrapped in the peer-aware
+	// cluster tier — misses try a peer fill from the key's owner
+	// replica, computed responses back-fill their owner — and the
+	// /internal/v1/artifact/{key} exchange endpoints are mounted.
+	// Empty means single-replica operation.
+	Peers []string
+	// Self is this replica's own base URL as the other replicas reach
+	// it; required when Peers is set, must appear in Peers.
+	Self string
+	// RingReplicas is the consistent-hash ring's virtual nodes per
+	// member (0 = cluster.DefaultVNodes).
+	RingReplicas int
+	// PeerTimeout bounds each peer fetch or back-fill attempt
+	// (0 = cluster.DefaultTimeout).
+	PeerTimeout time.Duration
+	// PeerRetries is how many extra attempts follow a failed peer
+	// operation, spaced by the deterministic backoff (0 = none).
+	PeerRetries int
 	// Sink receives the request events (task.start/finish, store
 	// hit/miss/evict, pool samples) in addition to the service's own
 	// metrics aggregate; nil means metrics only.
@@ -80,6 +100,7 @@ type Service struct {
 	sink    obs.Sink
 	sem     chan struct{}
 	mux     *http.ServeMux
+	peers   int // remote replicas in the cluster ring (0 = single-replica)
 
 	// testHook, when set, runs inside each request's compute step
 	// before the real work; tests use it to block, fail or panic a
@@ -103,6 +124,28 @@ func New(cfg Config) (*Service, error) {
 	backend, err := store.Open(cfg.CacheDir, cfg.CacheTier, responseCodec{})
 	if err != nil {
 		return nil, err
+	}
+	if len(cfg.Peers) > 0 {
+		peer, err := cluster.New(cluster.Config{
+			Self:    cfg.Self,
+			Peers:   cfg.Peers,
+			VNodes:  cfg.RingReplicas,
+			Timeout: cfg.PeerTimeout,
+			Retries: cfg.PeerRetries,
+			Seed:    cfg.Seed,
+			Local:   backend,
+			Codec:   responseCodec{},
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The exchange endpoints serve the LOCAL backend: a peer asking
+		// this replica for an artifact sees only what is resident here.
+		h := cluster.NewHandler(backend, responseCodec{}, s.maxBody())
+		s.mux.Handle("GET /internal/v1/artifact/{key}", h)
+		s.mux.Handle("PUT /internal/v1/artifact/{key}", h)
+		s.peers = len(peer.Ring().Members()) - 1
+		backend = peer
 	}
 	s.backend = backend
 	s.store.SetBackend(backend)
@@ -139,6 +182,14 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Metrics exposes the service's aggregate counters (tests and the
 // /metrics endpoint read the same object).
 func (s *Service) Metrics() *obs.Metrics { return s.metrics }
+
+// maxBody is the request/artifact body cap in effect.
+func (s *Service) maxBody() int64 {
+	if s.cfg.MaxBodyBytes > 0 {
+		return s.cfg.MaxBodyBytes
+	}
+	return 64 << 20
+}
 
 // Serve runs the service on ln until stop delivers, then drains:
 // in-flight requests get up to drain (0 = no limit) to finish while
@@ -247,11 +298,7 @@ func (s *Service) endpoint(name string, h handlerFunc) http.Handler {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 			defer cancel()
 		}
-		maxBody := s.cfg.MaxBodyBytes
-		if maxBody <= 0 {
-			maxBody = 64 << 20
-		}
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody()))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -361,8 +408,8 @@ func (s *Service) fail(w http.ResponseWriter, endpoint string, err error) {
 // healthz answers liveness probes with the service's vitals.
 func (s *Service) healthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"inflight\":%d,\"capacity\":%d,\"cache_bytes\":%d,\"jobs\":%d}\n",
-		len(s.sem), cap(s.sem), s.store.Bytes(), s.budget.Size())
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"inflight\":%d,\"capacity\":%d,\"cache_bytes\":%d,\"jobs\":%d,\"peers\":%d}\n",
+		len(s.sem), cap(s.sem), s.store.Bytes(), s.budget.Size(), s.peers)
 }
 
 // Manifest snapshots the service's aggregate manifest under info,
@@ -375,7 +422,8 @@ func (s *Service) Manifest(info obs.RunInfo) *obs.Manifest {
 		for _, ts := range sp.Stats() {
 			m.Storage = append(m.Storage, obs.StorageTier{
 				Tier: ts.Tier, Hits: ts.Hits, Misses: ts.Misses,
-				Evictions: ts.Evictions, Len: ts.Len, Bytes: ts.Bytes,
+				Evictions: ts.Evictions, Fills: ts.Fills, Errors: ts.Errors,
+				Len: ts.Len, Bytes: ts.Bytes,
 			})
 		}
 	}

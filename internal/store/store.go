@@ -77,6 +77,14 @@ type TierStats struct {
 	// Evictions counts artifacts dropped by this tier: LRU victims in
 	// memory, scrubbed or corrupt entries on disk.
 	Evictions uint64 `json:"evictions"`
+	// Fills counts artifacts pushed into this tier from outside the
+	// local Get/Put path — today, cluster back-fills accepted from a
+	// non-owner replica or delivered to a peer. Zero for plain tiers.
+	Fills uint64 `json:"fills,omitempty"`
+	// Errors counts failed interactions with this tier — today,
+	// cluster peer fetches or back-fills that errored (timeout,
+	// checksum mismatch, transport failure). Zero for plain tiers.
+	Errors uint64 `json:"errors,omitempty"`
 	// Len is the tier's resident artifact count.
 	Len int `json:"len"`
 	// Bytes is the tier's resident byte total.
