@@ -14,6 +14,16 @@
 //	GET  /healthz        liveness and vitals
 //	GET  /metrics        aggregate run manifest (JSON)
 //
+// Streaming endpoints (stateful, never cached):
+//
+//	POST   /v1/stream/{id}/append   fold an SWF chunk into observation ?obs=NAME,
+//	                                creating the stream on first use; answers the
+//	                                new snapshot (JSON)
+//	GET    /v1/stream/{id}          latest snapshot (JSON)
+//	GET    /v1/stream/{id}/watch    live snapshot + drift feed (Server-Sent Events)
+//	DELETE /v1/stream/{id}          drop the stream
+//	GET    /v1/streams              registered stream ids (JSON)
+//
 // Cluster mode (both endpoints replica-to-replica only):
 //
 //	GET  /internal/v1/artifact/{key}   fetch a resident cached artifact
@@ -27,6 +37,7 @@
 //	        [-drain D] [-seed N] [-trace FILE] [-manifest FILE]
 //	        [-peers URL,URL,...] [-self URL] [-ring-replicas N]
 //	        [-peer-timeout D] [-peer-retries N]
+//	        [-max-streams N] [-drift-pos F] [-drift-angle F]
 //
 // One -jobs worker budget is shared by every in-flight request, so
 // total kernel parallelism stays bounded under concurrent load;
@@ -52,6 +63,15 @@
 // back-fills time out after -peer-timeout per attempt (+ -peer-retries
 // deterministic-backoff retries) and the replica falls back to local
 // compute, byte-identical by determinism.
+//
+// Streaming: a stream is a set of named, growing SWF logs with a live
+// Co-plot embedding over them, re-solved incrementally on every append
+// (warm-started from the previous configuration) and re-anchored on a
+// cold solve whenever the warm update is not trustworthy. Appends and
+// drift threshold crossings surface as stream.update / stream.drift
+// events on -trace, in /metrics and in the exit manifest; -drift-pos
+// and -drift-angle set the default thresholds (per-stream options
+// override them) and -max-streams caps the registry.
 //
 // Observability: each request emits engine events (-trace appends them
 // as JSON lines), /metrics serves the same aggregate manifest the
@@ -97,6 +117,9 @@ func realMain() int {
 	ringReplicas := flag.Int("ring-replicas", 0, "consistent-hash virtual nodes per ring member (0 = 64)")
 	peerTimeout := flag.Duration("peer-timeout", 0, "per-attempt time limit for peer fetches and back-fills (0 = 2s)")
 	peerRetries := flag.Int("peer-retries", 1, "extra attempts after a failed peer operation (0 = single attempt)")
+	maxStreams := flag.Int("max-streams", 0, "live streams held by the /v1/stream endpoints (0 = 64)")
+	driftPos := flag.Float64("drift-pos", 0, "default positional drift threshold, fraction of the map's RMS radius (0 = 0.25)")
+	driftAngle := flag.Float64("drift-angle", 0, "default arrow drift threshold in radians (0 = 0.35)")
 	tracePath := flag.String("trace", "", "append engine events as JSON lines to this file")
 	manifestPath := flag.String("manifest", "", "write the aggregate run manifest to this file on exit")
 	var prof obs.Profile
@@ -141,6 +164,9 @@ func realMain() int {
 		PeerTimeout:    *peerTimeout,
 		PeerRetries:    *peerRetries,
 		Sink:           sink,
+		MaxStreams:     *maxStreams,
+		DriftPos:       *driftPos,
+		DriftAngle:     *driftAngle,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coplotd:", err)

@@ -292,7 +292,7 @@ func analyzeOnce(ctx context.Context, ds *Dataset, opts Options) (*Result, error
 			Y:    fit.Config.At(i, 1),
 		})
 	}
-	res.Arrows = fitArrows(ds.Variables, z, fit.Config)
+	res.Arrows = FitArrows(ds.Variables, z, fit.Config)
 	var sum float64
 	min := math.Inf(1)
 	for _, a := range res.Arrows {
@@ -308,12 +308,16 @@ func analyzeOnce(ctx context.Context, ds *Dataset, opts Options) (*Result, error
 	return res, nil
 }
 
-// fitArrows computes stage 4: for each variable, the direction through
+// FitArrows computes stage 4: for each variable, the direction through
 // the configuration's center of gravity that maximizes the correlation
 // between the variable's values and the point projections. The optimal
 // direction is the least-squares regression of z_j on the coordinates,
 // and the achieved correlation is the multiple correlation coefficient.
-func fitArrows(names []string, z *mat.Matrix, config *mat.Matrix) []Arrow {
+// z holds one column of normalized values per name; config one
+// coordinate row per observation. Exported so layers that maintain
+// their own configurations (the streaming updater) fit arrows through
+// the same code path as Analyze.
+func FitArrows(names []string, z *mat.Matrix, config *mat.Matrix) []Arrow {
 	n := config.Rows
 	arrows := make([]Arrow, 0, len(names))
 	for j, name := range names {
@@ -350,7 +354,7 @@ func (r *Result) FitExtraVariable(name string, values []float64) (Arrow, error) 
 	for i, v := range z {
 		zm.Set(i, 0, v)
 	}
-	arrows := fitArrows([]string{name}, zm, r.config())
+	arrows := FitArrows([]string{name}, zm, r.config())
 	return arrows[0], nil
 }
 

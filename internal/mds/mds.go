@@ -48,6 +48,20 @@ type Options struct {
 	Restarts int             // extra random restarts; best result wins. default 4; -1 disables them
 	Seed     uint64          // seed for the random restarts
 
+	// InitialConfig, when non-nil, warm-starts the solver: it replaces
+	// Torgerson classical scaling as start 0, so the descent begins
+	// from a prior solution instead of a cold analytic guess. Rows must
+	// match the dissimilarity order and Cols the output dims. Combined
+	// with Restarts: -1 the solve is a single warm descent — the
+	// streaming layer's update path, which converges in a few
+	// iterations when the dissimilarities changed only slightly. The
+	// matrix is cloned before use and never mutated; the clone is
+	// centered and rescaled to the dissimilarity scale before the
+	// descent (scale carries no rank information, and re-anchoring it
+	// keeps chained warm solves from contracting toward a collapsed
+	// configuration).
+	InitialConfig *mat.Matrix
+
 	// Par is the shared worker budget (see internal/par) for the
 	// multi-start fan-out and the blocked distance loops. Nil runs the
 	// solver serially. Any budget produces byte-identical results: all
@@ -210,7 +224,29 @@ func SSAContext(ctx context.Context, d *mat.Matrix, opts Options) (Result, error
 	}
 	starts := make([]startConfig, 0, opts.Restarts+1)
 	var classicalErr error
-	if x0, err := Classical(d, opts.Dims); err == nil {
+	if opts.InitialConfig != nil {
+		if opts.InitialConfig.Rows != n || opts.InitialConfig.Cols != opts.Dims {
+			return Result{}, fmt.Errorf("mds: initial config is %dx%d, want %dx%d",
+				opts.InitialConfig.Rows, opts.InitialConfig.Cols, n, opts.Dims)
+		}
+		// Center the seed and re-anchor its scale to the dissimilarities.
+		// Stress-1 and the rank image are scale-invariant, so the rescale
+		// never worsens the seed's fit — but without it a chain of warm
+		// solves has no scale anchor at all (cold solves inherit theirs
+		// from classical scaling) and the slow contraction of the Guttman
+		// transform compounds across the chain into a collapsed, falsely
+		// perfect configuration. A seed with no extent left carries no
+		// shape to warm-start from; fall back to classical scaling then.
+		x0 := opts.InitialConfig.Clone()
+		center(x0)
+		if ScaleToDissim(x0, d) {
+			starts = append(starts, startConfig{idx: 0, x0: x0})
+		} else if xc, err := Classical(d, opts.Dims); err == nil {
+			starts = append(starts, startConfig{idx: 0, x0: xc})
+		} else {
+			classicalErr = err
+		}
+	} else if x0, err := Classical(d, opts.Dims); err == nil {
 		starts = append(starts, startConfig{idx: 0, x0: x0})
 	} else {
 		classicalErr = err
@@ -260,6 +296,39 @@ func SSAContext(ctx context.Context, d *mat.Matrix, opts Options) (Result, error
 		return Result{}, fmt.Errorf("mds: no restart converged: %w", firstErr)
 	}
 	return best, nil
+}
+
+// ScaleToDissim scales x in place so the sum of its squared pairwise
+// distances equals the sum of squared dissimilarities — Kruskal's scale
+// normalization. Non-metric MDS solutions carry no scale of their own
+// (stress-1 and the rank image are invariant under uniform scaling), so
+// configurations that must be compared with the rotation-only Align
+// should first be brought to this common gauge; the streaming layer
+// canonicalizes every accepted embedding this way. Reports false, and
+// leaves x untouched, when x has no extent to rescale (all points
+// coincident) or d is identically zero.
+func ScaleToDissim(x *mat.Matrix, d *mat.Matrix) bool {
+	n := x.Rows
+	var sumX2, sumD2 float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := 0.0
+			for c := 0; c < x.Cols; c++ {
+				df := x.At(i, c) - x.At(j, c)
+				s += df * df
+			}
+			sumX2 += s
+			sumD2 += d.At(i, j) * d.At(i, j)
+		}
+	}
+	if sumX2 <= 0 || sumD2 <= 0 {
+		return false
+	}
+	f := math.Sqrt(sumD2 / sumX2)
+	for k := range x.Data {
+		x.Data[k] *= f
+	}
+	return true
 }
 
 // pair indexes the upper triangle of the dissimilarity matrix.

@@ -1,0 +1,126 @@
+package mds
+
+import (
+	"fmt"
+	"math"
+
+	"coplot/internal/mat"
+)
+
+// Align rigidly aligns config onto ref: it finds the translation plus
+// orthogonal transform (rotation or reflection, no scaling) of config
+// that minimizes the summed squared distance to ref, and returns the
+// transformed copy together with the root-mean-square deviation that
+// remains. MDS solutions are only defined up to such transforms, so
+// Align is the comparison primitive behind drift detection and the
+// streamed-vs-batch equivalence tests: two configurations describe the
+// same map exactly when their aligned RMSD is small.
+//
+// Both matrices must be n×2 with n ≥ 1 and equal row counts; config is
+// never mutated.
+func Align(ref, config *mat.Matrix) (*mat.Matrix, float64, error) {
+	if ref.Cols != 2 || config.Cols != 2 {
+		return nil, 0, fmt.Errorf("mds: Align needs 2-D configurations, got %d and %d columns", ref.Cols, config.Cols)
+	}
+	n := ref.Rows
+	if n == 0 || config.Rows != n {
+		return nil, 0, fmt.Errorf("mds: Align row mismatch: %d vs %d", n, config.Rows)
+	}
+
+	// Center both configurations.
+	var rx, ry, cx, cy float64
+	for i := 0; i < n; i++ {
+		rx += ref.At(i, 0)
+		ry += ref.At(i, 1)
+		cx += config.At(i, 0)
+		cy += config.At(i, 1)
+	}
+	inv := 1 / float64(n)
+	rx, ry, cx, cy = rx*inv, ry*inv, cx*inv, cy*inv
+
+	// Cross-covariance M = Ycᵀ·Xc (config against ref, both centered).
+	var m00, m01, m10, m11 float64
+	for i := 0; i < n; i++ {
+		yx, yy := config.At(i, 0)-cx, config.At(i, 1)-cy
+		xx, xy := ref.At(i, 0)-rx, ref.At(i, 1)-ry
+		m00 += yx * xx
+		m01 += yx * xy
+		m10 += yy * xx
+		m11 += yy * xy
+	}
+
+	// The optimal orthogonal transform is the polar factor U·Vᵀ of
+	// M = U·Σ·Vᵀ. For 2×2 the SVD has a closed form via the rotation
+	// decomposition M = R(φ)·diag(s1,s2)·R(θ)ᵀ, where s2 may come out
+	// negative; its sign is exactly the reflection decision.
+	e := (m00 + m11) / 2
+	f := (m00 - m11) / 2
+	g := (m10 + m01) / 2
+	h := (m10 - m01) / 2
+	a1 := math.Atan2(g, f) // θ+φ
+	a2 := math.Atan2(h, e) // φ−θ
+	theta := (a1 - a2) / 2
+	phi := (a1 + a2) / 2
+	q := math.Hypot(e, h)
+	p := math.Hypot(f, g)
+	s2 := q - p // second singular value, signed
+
+	cphi, sphi := math.Cos(phi), math.Sin(phi)
+	cthe, sthe := math.Cos(theta), math.Sin(theta)
+	// R = U·sign(Σ)·Vᵀ with U = R(φ)·flip?, V = R(θ)·flip?; expanding,
+	// R = R(φ)·diag(1, sgn(s2))·R(θ)ᵀ.
+	sgn := 1.0
+	if s2 < 0 {
+		sgn = -1
+	}
+	// When M is exactly zero (a collapsed configuration) the transform
+	// is arbitrary; the formulas above then yield the identity-like
+	// deterministic choice, which is all the caller needs.
+	r00 := cphi*cthe + sgn*sphi*sthe
+	r01 := cphi*sthe - sgn*sphi*cthe
+	r10 := sphi*cthe - sgn*cphi*sthe
+	r11 := sphi*sthe + sgn*cphi*cthe
+
+	// aligned = (Yc·R) + mean(ref). R maps centered config coordinates
+	// onto the ref frame: row yᵢ ↦ yᵢ·R with R as built above applied
+	// on the right as [r00 r10; r01 r11]ᵀ… keep it explicit instead:
+	// alignedᵢ = (yx·r00 + yy·r10, yx·r01 + yy·r11).
+	out := mat.New(n, 2)
+	var ss float64
+	for i := 0; i < n; i++ {
+		yx, yy := config.At(i, 0)-cx, config.At(i, 1)-cy
+		ax := yx*r00 + yy*r10 + rx
+		ay := yx*r01 + yy*r11 + ry
+		out.Set(i, 0, ax)
+		out.Set(i, 1, ay)
+		dx, dy := ax-ref.At(i, 0), ay-ref.At(i, 1)
+		ss += dx*dx + dy*dy
+	}
+	return out, math.Sqrt(ss * inv), nil
+}
+
+// RMSRadius is the root-mean-square distance of a configuration's
+// points from their centroid — the natural scale against which aligned
+// displacements are judged (drift thresholds are expressed relative to
+// it, so they mean the same thing for large and small maps).
+func RMSRadius(x *mat.Matrix) float64 {
+	n := x.Rows
+	if n == 0 {
+		return 0
+	}
+	means := make([]float64, x.Cols)
+	for c := range means {
+		for i := 0; i < n; i++ {
+			means[c] += x.At(i, c)
+		}
+		means[c] /= float64(n)
+	}
+	var ss float64
+	for i := 0; i < n; i++ {
+		for c := 0; c < x.Cols; c++ {
+			d := x.At(i, c) - means[c]
+			ss += d * d
+		}
+	}
+	return math.Sqrt(ss / float64(n))
+}

@@ -50,6 +50,20 @@ type Manifest struct {
 	Storage []StorageTier `json:"storage,omitempty"`
 	// Pool aggregates the worker-pool occupancy samples.
 	Pool PoolStats `json:"pool"`
+	// Stream aggregates the live-stream counters (stream.update /
+	// stream.drift events); nil when the run served no streams, so
+	// batch-CLI manifests are unchanged by the streaming layer.
+	Stream *StreamStats `json:"stream,omitempty"`
+}
+
+// StreamStats aggregates the streaming layer's event counters. Both
+// counts are deterministic for a given append sequence, so Stable()
+// keeps them.
+type StreamStats struct {
+	// Updates counts accepted appends across all streams.
+	Updates uint64 `json:"updates"`
+	// Drifts counts drift threshold crossings across all streams.
+	Drifts uint64 `json:"drifts,omitempty"`
 }
 
 // StorageTier is one storage backend tier's traffic and residency
@@ -164,6 +178,10 @@ func (m *Manifest) Stable() *Manifest {
 	for i := range c.Tasks {
 		c.Tasks[i].ElapsedMS = 0
 	}
+	if m.Stream != nil {
+		st := *m.Stream
+		c.Stream = &st
+	}
 	if m.Failures != nil {
 		f := *m.Failures
 		f.Failed = append([]string(nil), m.Failures.Failed...)
@@ -227,6 +245,7 @@ type Metrics struct {
 	tasks    map[string]*TaskRecord
 	store    StoreStats
 	pool     PoolStats
+	stream   StreamStats
 	degraded bool
 }
 
@@ -278,6 +297,10 @@ func (m *Metrics) Event(e Event) {
 		m.store.Waits++
 	case KindStoreEvict:
 		m.store.Evictions++
+	case KindStreamUpdate:
+		m.stream.Updates++
+	case KindStreamDrift:
+		m.stream.Drifts++
 	case KindPoolSample:
 		m.pool.Samples++
 		if e.InUse > m.pool.MaxInUse {
@@ -320,6 +343,10 @@ func (m *Metrics) Manifest(info RunInfo) *Manifest {
 	}
 	if mf.Store.Lookups > 0 {
 		mf.Store.HitRatio = float64(mf.Store.Lookups-mf.Store.Misses) / float64(mf.Store.Lookups)
+	}
+	if m.stream != (StreamStats{}) {
+		st := m.stream
+		mf.Stream = &st
 	}
 	for _, t := range m.tasks {
 		mf.Tasks = append(mf.Tasks, *t)

@@ -67,6 +67,15 @@ const (
 	// KindPoolSample snapshots worker-pool occupancy on every slot
 	// acquire/release: InUse of Capacity workers busy.
 	KindPoolSample Kind = "pool.sample"
+	// KindStreamUpdate marks one accepted append on a live stream:
+	// Name holds the stream id and Version the snapshot version the
+	// append produced.
+	KindStreamUpdate Kind = "stream.update"
+	// KindStreamDrift marks a drift threshold crossing between
+	// consecutive stream embeddings: Name holds the stream id, Reason
+	// the "kind:subject" pair (e.g. "position:CTC"), Delta the
+	// measured excursion, and Version the snapshot that carried it.
+	KindStreamDrift Kind = "stream.drift"
 )
 
 // Event is one structured observation about a run. Unused fields stay
@@ -98,6 +107,10 @@ type Event struct {
 	Failed int `json:"failed,omitempty"`
 	// Skipped counts the skipped dependents of a run.degraded.
 	Skipped int `json:"skipped,omitempty"`
+	// Version is the snapshot version of a stream.update/stream.drift.
+	Version uint64 `json:"version,omitempty"`
+	// Delta is the measured excursion of a stream.drift.
+	Delta float64 `json:"delta,omitempty"`
 }
 
 // SkipReasonUpstreamFailed is the Reason of a task.skip emitted for a

@@ -30,15 +30,10 @@ import (
 
 // SWFDatasetVars are the log-derived Table-1 variables an SWF analysis
 // maps (machine-configuration variables are uniform across one
-// request's inputs and excluded). cmd/coplot and the /v1/analyze
-// handler both build their datasets from this list.
-var SWFDatasetVars = []string{
-	workload.VarRuntimeLoad,
-	workload.VarRuntimeMedian, workload.VarRuntimeInterval,
-	workload.VarProcsMedian, workload.VarProcsInterval,
-	workload.VarWorkMedian, workload.VarWorkInterval,
-	workload.VarInterArrMedian, workload.VarInterArrInterval,
-}
+// request's inputs and excluded). The canonical list lives in the
+// workload package (workload.DatasetVars) so the streaming layer can
+// share it; this alias keeps the serving layer's public name.
+var SWFDatasetVars = workload.DatasetVars
 
 // ParseCSVDataset reads a CSV data matrix: the first row holds
 // variable names (first cell ignored), each following row an

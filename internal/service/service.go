@@ -16,6 +16,7 @@ import (
 	"coplot/internal/obs"
 	"coplot/internal/par"
 	"coplot/internal/store"
+	"coplot/internal/stream"
 )
 
 // Config tunes a Service; the zero value serves with defaults.
@@ -81,9 +82,21 @@ type Config struct {
 	// operation, spaced by the deterministic backoff (0 = none).
 	PeerRetries int
 	// Sink receives the request events (task.start/finish, store
-	// hit/miss/evict, pool samples) in addition to the service's own
-	// metrics aggregate; nil means metrics only.
+	// hit/miss/evict, pool samples, stream update/drift) in addition to
+	// the service's own metrics aggregate; nil means metrics only.
 	Sink obs.Sink
+	// MaxStreams caps the live streams the /v1/stream endpoints hold
+	// (0 = 64). Streams past the cap are refused 409 at creation.
+	MaxStreams int
+	// DriftPos is the default positional drift threshold for newly
+	// created streams, as a fraction of the previous map's RMS radius
+	// (0 = stream.DefaultDriftPos). Per-stream "drift-pos" options
+	// override it.
+	DriftPos float64
+	// DriftAngle is the default arrow drift threshold in radians for
+	// newly created streams (0 = stream.DefaultDriftAngle). Per-stream
+	// "drift-angle" options override it.
+	DriftAngle float64
 }
 
 // Service is the HTTP serving layer: deterministic, cacheable analysis
@@ -100,6 +113,7 @@ type Service struct {
 	sink    obs.Sink
 	sem     chan struct{}
 	mux     *http.ServeMux
+	streams *stream.Set
 	peers   int // remote replicas in the cluster ring (0 = single-replica)
 
 	// testHook, when set, runs inside each request's compute step
@@ -171,6 +185,15 @@ func New(cfg Config) (*Service, error) {
 	s.mux.Handle("POST /v1/validate", s.endpoint("validate", s.validate))
 	s.mux.Handle("POST /v1/scale-load", s.endpoint("scale-load", s.scaleLoad))
 	s.mux.Handle("POST /v1/generate", s.endpoint("generate", s.generate))
+
+	// Streaming endpoints: stateful, so they live outside the
+	// cache/single-flight machinery (see streams.go).
+	s.streams = stream.NewSet(cfg.MaxStreams)
+	s.mux.HandleFunc("POST /v1/stream/{id}/append", s.streamAppend)
+	s.mux.HandleFunc("GET /v1/stream/{id}/watch", s.streamWatch)
+	s.mux.HandleFunc("GET /v1/stream/{id}", s.streamGet)
+	s.mux.HandleFunc("DELETE /v1/stream/{id}", s.streamDelete)
+	s.mux.HandleFunc("GET /v1/streams", s.streamList)
 	return s, nil
 }
 

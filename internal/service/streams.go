@@ -1,0 +1,269 @@
+package service
+
+// The streaming endpoints. Unlike the batch endpoints, streams are
+// stateful: appends mutate a live stream.Stream held in the service's
+// registry, so nothing here touches the response cache or the engine's
+// single-flight store — a stream append is not a pure function of its
+// request. Appends still pass through the admission semaphore (an
+// append runs the embedding solver); the SSE watch endpoint does not,
+// because a watcher parks for minutes and holds no compute.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"coplot/internal/stream"
+)
+
+// readBody reads the request body under the service's byte cap.
+func readBody(w http.ResponseWriter, r *http.Request, max int64) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, max))
+}
+
+// streamOptionKeys are the create-time options an append may carry.
+// They are resolved to canonical form when the stream is created and
+// pinned in its Config.Tag; later appends may repeat them verbatim or
+// omit them, but never change them.
+var streamOptionKeys = []string{"seed", "procs", "sched", "alloc", "drift-pos", "drift-angle"}
+
+// streamOptions resolves the create-time options of an append request
+// against the service defaults, returning the stream configuration and
+// the canonical (url-encoded) option string pinned in Config.Tag.
+func (s *Service) streamOptions(q url.Values) (stream.Config, string, error) {
+	seed, err := qUint(q, "seed", 7)
+	if err != nil {
+		return stream.Config{}, "", err
+	}
+	procs, err := qInt(q, "procs", 128)
+	if err != nil {
+		return stream.Config{}, "", err
+	}
+	sched := qStr(q, "sched", "easy")
+	alloc := qStr(q, "alloc", "unlimited")
+	m, merr := ParseMachine("cli", procs, sched, alloc)
+	if merr != nil {
+		return stream.Config{}, "", badRequest(merr)
+	}
+	driftPos, err := qFloat(q, "drift-pos", s.streamDriftPos())
+	if err != nil {
+		return stream.Config{}, "", err
+	}
+	driftAngle, err := qFloat(q, "drift-angle", s.streamDriftAngle())
+	if err != nil {
+		return stream.Config{}, "", err
+	}
+	canon := url.Values{
+		"seed":        {strconv.FormatUint(seed, 10)},
+		"procs":       {strconv.Itoa(procs)},
+		"sched":       {sched},
+		"alloc":       {alloc},
+		"drift-pos":   {fmt.Sprintf("%g", driftPos)},
+		"drift-angle": {fmt.Sprintf("%g", driftAngle)},
+	}
+	cfg := stream.Config{
+		Machine:    m,
+		Seed:       seed,
+		Par:        s.budget,
+		DriftPos:   driftPos,
+		DriftAngle: driftAngle,
+		Sink:       s.sink,
+		Tag:        canon.Encode(),
+	}
+	return cfg, cfg.Tag, nil
+}
+
+// streamDriftPos is the service-wide positional drift default.
+func (s *Service) streamDriftPos() float64 {
+	if s.cfg.DriftPos != 0 {
+		return s.cfg.DriftPos
+	}
+	return stream.DefaultDriftPos
+}
+
+// streamDriftAngle is the service-wide arrow drift default.
+func (s *Service) streamDriftAngle() float64 {
+	if s.cfg.DriftAngle != 0 {
+		return s.cfg.DriftAngle
+	}
+	return stream.DefaultDriftAngle
+}
+
+// checkStreamOptions compares the options present on a follow-up
+// append against the canonical set pinned at creation; any differing
+// key is a conflict (409) — one stream, one configuration.
+func checkStreamOptions(q url.Values, tag string) error {
+	pinned, err := url.ParseQuery(tag)
+	if err != nil {
+		return err
+	}
+	for _, k := range streamOptionKeys {
+		if !q.Has(k) {
+			continue
+		}
+		if got, want := q.Get(k), pinned.Get(k); got != want {
+			return &statusError{
+				code: http.StatusConflict,
+				err:  fmt.Errorf("stream option %s=%s conflicts with the stream's %s=%s", k, got, k, want),
+			}
+		}
+	}
+	return nil
+}
+
+// writeStreamJSON answers with v as JSON.
+func writeStreamJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+// streamAppend maps POST /v1/stream/{id}/append: the body is an SWF
+// chunk folded into observation `obs` (default "log") of stream {id},
+// created on first use with the request's create-time options. The
+// answer is the stream's new snapshot. Appends are admitted through
+// the service semaphore and bypass the response cache entirely.
+func (s *Service) streamAppend(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server at capacity", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.sem }()
+
+	id := r.PathValue("id")
+	q := r.URL.Query()
+	obsName := qStr(q, "obs", "log")
+	body, err := readBody(w, r, s.maxBody())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	cfg, _, err := s.streamOptions(q)
+	if err != nil {
+		s.fail(w, "stream-append", err)
+		return
+	}
+	st, created, err := s.streams.GetOrCreate(id, cfg)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, stream.ErrTooManyStreams) {
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	if !created {
+		if err := checkStreamOptions(q, st.Config().Tag); err != nil {
+			s.fail(w, "stream-append", err)
+			return
+		}
+	}
+
+	snap, err := st.Append(r.Context(), obsName, body)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, stream.ErrTooManyObservations) || errors.Is(err, stream.ErrTooManyJobs) {
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("X-Coplot-Stream-Version", strconv.FormatUint(snap.Version, 10))
+	writeStreamJSON(w, http.StatusOK, snap)
+}
+
+// streamGet maps GET /v1/stream/{id}: the latest snapshot.
+func (s *Service) streamGet(w http.ResponseWriter, r *http.Request) {
+	st := s.streams.Get(r.PathValue("id"))
+	if st == nil {
+		http.Error(w, "no such stream", http.StatusNotFound)
+		return
+	}
+	snap := st.Latest()
+	if snap == nil {
+		http.Error(w, "stream has no snapshot yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("X-Coplot-Stream-Version", strconv.FormatUint(snap.Version, 10))
+	writeStreamJSON(w, http.StatusOK, snap)
+}
+
+// streamDelete maps DELETE /v1/stream/{id}. Watchers of a deleted
+// stream keep their subscriptions; they stop receiving new versions
+// once every appender reference is gone.
+func (s *Service) streamDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.streams.Delete(r.PathValue("id")) {
+		http.Error(w, "no such stream", http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// streamList maps GET /v1/streams: the registered stream ids, sorted.
+func (s *Service) streamList(w http.ResponseWriter, r *http.Request) {
+	writeStreamJSON(w, http.StatusOK, map[string]any{"streams": s.streams.List()})
+}
+
+// streamWatch maps GET /v1/stream/{id}/watch: a Server-Sent Events
+// feed of the stream. The current snapshot arrives immediately, then
+// every accepted append — coalesced under back-pressure, so a slow
+// consumer skips versions but never stalls appenders and never sees a
+// version twice. Each snapshot arrives as a `snapshot` event (the SSE
+// id is the version); every drift crossing in it is re-emitted as a
+// separate `drift` event for consumers that only care about anomalies.
+func (s *Service) streamWatch(w http.ResponseWriter, r *http.Request) {
+	st := s.streams.Get(r.PathValue("id"))
+	if st == nil {
+		http.Error(w, "no such stream", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported by this connection", http.StatusInternalServerError)
+		return
+	}
+	ch, cancel := st.Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case snap, ok := <-ch:
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(snap)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: snapshot\nid: %d\ndata: %s\n\n", snap.Version, data)
+			for _, d := range snap.Drift {
+				dd, err := json.Marshal(d)
+				if err != nil {
+					return
+				}
+				fmt.Fprintf(w, "event: drift\nid: %d\ndata: %s\n\n", snap.Version, dd)
+			}
+			fl.Flush()
+		}
+	}
+}

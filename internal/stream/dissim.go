@@ -1,0 +1,67 @@
+package stream
+
+import (
+	"math"
+
+	"coplot/internal/mat"
+)
+
+// UpdateRows recomputes the city-block dissimilarity rows (and, by
+// symmetry, columns) of d for the given row indices against the
+// normalized matrix z, leaving every pair between untouched rows
+// alone. The inner loop is the exact expression core.CityBlockWith
+// evaluates — same operand order, same summation order — so a matrix
+// maintained through UpdateRows bit-matches a full batch recompute
+// whenever the untouched z rows are bitwise unchanged; the property
+// suite enforces that equivalence across randomized update histories.
+//
+// rows may contain duplicates and need not be sorted; indices out of
+// range are the caller's bug and panic, as with any matrix access.
+func UpdateRows(d, z *mat.Matrix, rows []int) {
+	n := z.Rows
+	touched := make([]bool, n)
+	for _, i := range rows {
+		touched[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if !touched[i] {
+			continue
+		}
+		d.Set(i, i, 0)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			// Between two touched rows the pair is recomputed twice,
+			// to the identical value; correctness over cleverness.
+			s := 0.0
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for c := 0; c < z.Cols; c++ {
+				s += math.Abs(z.At(lo, c) - z.At(hi, c))
+			}
+			d.Set(i, j, s)
+			d.Set(j, i, s)
+		}
+	}
+}
+
+// growSquare returns a (n+k)×(n+k) matrix carrying m's values in its
+// leading block; k = 0 returns m unchanged, and a nil m (the empty
+// stream) grows into a fresh k×k matrix.
+func growSquare(m *mat.Matrix, k int) *mat.Matrix {
+	if k == 0 {
+		return m
+	}
+	if m == nil {
+		return mat.New(k, k)
+	}
+	n := m.Rows
+	out := mat.New(n+k, n+k)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*out.Cols:i*out.Cols+n], m.Data[i*n:(i+1)*n])
+	}
+	return out
+}

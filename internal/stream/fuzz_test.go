@@ -1,0 +1,116 @@
+package stream
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// FuzzStreamAppend throws adversarial chunk pairs at a two-observation
+// stream — torn SWF lines, out-of-order and duplicate job ids, header
+// noise, arbitrary bytes — and holds Append to its contract: it never
+// panics, a rejected chunk leaves the published snapshot untouched,
+// accepted appends version monotonically, the running moments always
+// agree with a batch recompute over the surviving observation values,
+// and the stream stays resumable (a known-good chunk is still accepted
+// after any amount of garbage). Two observations keep the stream below
+// the embedding threshold, so the target exercises exactly the
+// ingestion and incremental-statistics layers the fuzzer can cover
+// quickly.
+func FuzzStreamAppend(f *testing.F) {
+	const valid = "1 0.5 5 10 2 8.25 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n" +
+		"2 1.5 0 3 1 -1 -1 1 4 -1 0 2 1 2 1 -1 -1 -1\n"
+	f.Add([]byte(valid), []byte("3 2 0 4 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))
+	f.Add([]byte(valid[:20]), []byte(valid)) // torn mid-line
+	f.Add(                                   // out-of-order submits, then a duplicate job id
+		[]byte("2 9 0 3 1 -1 -1 1 4 -1 0 2 1 2 1 -1 -1 -1\n1 0 5 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"),
+		[]byte("1 0 5 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"),
+	)
+	f.Add([]byte("; header only\n"), []byte{})
+	f.Add([]byte("1 NaN 0 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"), []byte("1 2 3\n"))
+
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		s, err := New(Config{Name: "fuzz"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		var version uint64
+		for _, in := range []struct {
+			obs   string
+			chunk []byte
+		}{{"x", a}, {"y", b}, {"x", b}, {"y", a}} {
+			before := s.Latest()
+			snap, err := s.Append(ctx, in.obs, in.chunk)
+			if err != nil {
+				if got := s.Latest(); got != before {
+					t.Fatalf("rejected append replaced the snapshot: %+v", got)
+				}
+				continue
+			}
+			version++
+			if snap.Version != version {
+				t.Fatalf("version %d after %d accepted appends", snap.Version, version)
+			}
+			if snap.Status == StatusOK {
+				t.Fatalf("two observations produced a live embedding: %+v", snap)
+			}
+		}
+
+		// The running moments must match a batch recompute over the
+		// observation values they claim to summarize, however the adds,
+		// removes and replacements interleaved. Values a pathological
+		// log pushes past ~1e150 are excluded: there the naive batch
+		// oracle overflows in the squares while the pivot-shifted
+		// accumulator legitimately does not, so there is no trustworthy
+		// reference to compare against.
+		for j := range s.moments {
+			var live []float64
+			comparable := true
+			for _, o := range s.rows {
+				v := o.vals[j]
+				if math.IsNaN(v) {
+					continue
+				}
+				if math.Abs(v) > 1e150 {
+					comparable = false
+					break
+				}
+				live = append(live, v)
+			}
+			if !comparable {
+				continue
+			}
+			if s.moments[j].Len() != len(live) {
+				t.Fatalf("variable %d: moments over %d values, observations carry %d",
+					j, s.moments[j].Len(), len(live))
+			}
+			if len(live) == 0 {
+				continue
+			}
+			wantMean, wantSS := 0.0, 0.0
+			for _, v := range live {
+				wantMean += v
+			}
+			wantMean /= float64(len(live))
+			for _, v := range live {
+				d := v - wantMean
+				wantSS += d * d
+			}
+			if !closeRel(s.moments[j].Mean(), wantMean) || !closeRel(s.moments[j].SumSq(), wantSS) {
+				t.Fatalf("variable %d: moments (%v, %v) drifted from batch (%v, %v)",
+					j, s.moments[j].Mean(), s.moments[j].SumSq(), wantMean, wantSS)
+			}
+		}
+
+		// Resumable: whatever the garbage did, a well-formed chunk still
+		// lands.
+		snap, err := s.Append(ctx, "x", []byte(valid))
+		if err != nil {
+			t.Fatalf("stream not resumable after fuzzed chunks: %v", err)
+		}
+		if snap.Version != version+1 {
+			t.Fatalf("resume version %d, want %d", snap.Version, version+1)
+		}
+	})
+}

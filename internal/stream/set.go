@@ -1,0 +1,88 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrTooManyStreams rejects a create past the Set's capacity.
+var ErrTooManyStreams = errors.New("stream: too many streams")
+
+// Set is a named registry of live streams — the serving layer's
+// per-process stream table. Safe for concurrent use; the per-stream
+// mutexes are independent, so appends to distinct streams never
+// contend here beyond the map lookup.
+type Set struct {
+	mu      sync.Mutex
+	max     int
+	streams map[string]*Stream
+}
+
+// NewSet builds a registry holding at most max streams (0 = 64).
+func NewSet(max int) *Set {
+	if max <= 0 {
+		max = 64
+	}
+	return &Set{max: max, streams: make(map[string]*Stream)}
+}
+
+// GetOrCreate returns the stream named id, creating it with cfg on
+// first sight. cfg.Name is overwritten with id; the boolean reports
+// whether this call created the stream (callers use it to detect
+// option conflicts against an existing stream's Config).
+func (st *Set) GetOrCreate(id string, cfg Config) (*Stream, bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s, ok := st.streams[id]; ok {
+		return s, false, nil
+	}
+	if len(st.streams) >= st.max {
+		return nil, false, fmt.Errorf("%w: %d", ErrTooManyStreams, st.max)
+	}
+	cfg.Name = id
+	s, err := New(cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	st.streams[id] = s
+	return s, true, nil
+}
+
+// Get returns the stream named id, or nil.
+func (st *Set) Get(id string) *Stream {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.streams[id]
+}
+
+// Delete removes the stream named id, reporting whether it existed.
+// Existing subscribers keep their channels; they simply stop
+// receiving once the last reference drops.
+func (st *Set) Delete(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.streams[id]
+	delete(st.streams, id)
+	return ok
+}
+
+// List returns the registered stream ids, sorted.
+func (st *Set) List() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ids := make([]string, 0, len(st.streams))
+	for id := range st.streams {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len reports the number of registered streams.
+func (st *Set) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.streams)
+}

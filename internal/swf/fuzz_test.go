@@ -15,11 +15,11 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte("; Computer: test\n; Procs: 4\n1 0 5 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))
 	f.Add([]byte("1 0.5 5 10 2 8.25 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n2 1.5 0 3 1 -1 -1 1 4 -1 0 2 1 2 1 -1 -1 -1\n"))
 	f.Add([]byte("\n   \n; only a header\n"))
-	f.Add([]byte("1 2 3\n"))                                                 // short line
-	f.Add([]byte("x 0 0 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))           // bad int
-	f.Add([]byte("1 NaN 0 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))         // non-finite
-	f.Add([]byte("1 +Inf 0 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))        // non-finite
-	f.Add([]byte("1 1e999 0 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))       // float overflow
+	f.Add([]byte("1 2 3\n"))                                                         // short line
+	f.Add([]byte("x 0 0 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))                    // bad int
+	f.Add([]byte("1 NaN 0 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))                  // non-finite
+	f.Add([]byte("1 +Inf 0 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))                 // non-finite
+	f.Add([]byte("1 1e999 0 10 2 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n"))                // float overflow
 	f.Add([]byte("1 0 0 10 99999999999999999999 8 -1 2 15 -1 1 1 1 1 2 -1 -1 -1\n")) // int overflow
 	f.Fuzz(func(t *testing.T, data []byte) {
 		log, err := Parse(bytes.NewReader(data))

@@ -51,6 +51,19 @@ var AllVariables = []string{
 	VarWorkMedian, VarWorkInterval, VarInterArrMedian, VarInterArrInterval,
 }
 
+// DatasetVars is the log-derived subset of Table 1 an SWF analysis
+// maps: the machine-configuration variables are uniform across one
+// request's inputs and excluded. cmd/coplot, the /v1/analyze handler
+// and the streaming layer all build their Co-plot datasets from this
+// list, which is what keeps their embeddings comparable.
+var DatasetVars = []string{
+	VarRuntimeLoad,
+	VarRuntimeMedian, VarRuntimeInterval,
+	VarProcsMedian, VarProcsInterval,
+	VarWorkMedian, VarWorkInterval,
+	VarInterArrMedian, VarInterArrInterval,
+}
+
 // Variables holds one observation row: a workload characterized by the
 // Table 1 variables. Missing values are NaN.
 type Variables struct {
