@@ -348,3 +348,109 @@ func BenchmarkCityBlock(b *testing.B) {
 		_ = sink
 	})
 }
+
+// ---- Scale tier --------------------------------------------------------
+
+// The scale tier measures the corpus-sized path: 1000 synthetic
+// observations, two orders of magnitude past the paper's 15. The
+// BenchmarkScale* set runs under cmd/benchjson into the bench/scale
+// baseline (CI job bench-scale); the committed numbers record the
+// landmark-vs-full speedup that -landmarks buys at this size and pin
+// the alienation agreement between the two paths. Run with
+// `-benchtime 1x`: one full solve at n=1000 is minutes of CPU, which
+// is exactly the cost the landmark variant is there to show avoided.
+
+// scaleObservations is the scale tier's observation count.
+const scaleObservations = 1000
+
+// scaleLandmarks is the sample size the landmark variants embed
+// exactly; the remaining observations are placed against it.
+const scaleLandmarks = 50
+
+// scaleDataset builds a reproducible n-observation dataset with the
+// paper's variable count and the correlation structure real workload
+// corpora have: every variable is a noisy mix of two latent factors
+// per observation (isotropic noise would make any 2-D map — full or
+// landmark — equally meaningless).
+func scaleDataset(n, p int, seed uint64) *core.Dataset {
+	r := rng.New(seed)
+	ds := &core.Dataset{
+		Observations: make([]string, n),
+		Variables:    make([]string, p),
+		X:            make([][]float64, n),
+	}
+	for j := 0; j < p; j++ {
+		ds.Variables[j] = fmt.Sprintf("v%d", j)
+	}
+	for i := 0; i < n; i++ {
+		ds.Observations[i] = fmt.Sprintf("o%d", i)
+		l1, l2 := r.Norm()*3, r.Norm()
+		row := make([]float64, p)
+		for j := range row {
+			w := float64(j+1) / float64(p)
+			row[j] = w*l1 + (1-w)*l2 + 0.15*r.Norm()
+		}
+		ds.X[i] = row
+	}
+	return ds
+}
+
+// benchScaleAnalyze runs the full Co-plot pipeline at scale; landmarks
+// = 0 is the exact pre-landmark solve the speedup is measured against.
+func benchScaleAnalyze(b *testing.B, landmarks int) {
+	ds := scaleDataset(scaleObservations, 9, 41)
+	budget := par.NewBudget(4)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.AnalyzeContext(context.Background(), ds, core.Options{
+			MDS: mds.Options{Seed: 3, Par: budget, Landmarks: landmarks},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Alienation
+	}
+	b.ReportMetric(last, "alienation")
+}
+
+func BenchmarkScaleAnalyzeFull(b *testing.B)     { benchScaleAnalyze(b, 0) }
+func BenchmarkScaleAnalyzeLandmark(b *testing.B) { benchScaleAnalyze(b, scaleLandmarks) }
+
+// BenchmarkScaleAlienation measures the O(m log m) alienation kernel
+// alone over the scale tier's ~500k pairs (the quadratic form would
+// visit ~1.2e11 pair-of-pairs here). The jobs=1/jobs=4 pair exposes
+// the blocked moment pass to the benchjson speedup gate.
+func BenchmarkScaleAlienation(b *testing.B) {
+	d := core.CityBlock(kernelMatrix(scaleObservations, 9, 41))
+	x := kernelMatrix(scaleObservations, 2, 42)
+	benchKernelJobs(b, func(b *testing.B, budget *par.Budget) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink = mds.AlienationWith(d, x, budget)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkScaleSmacof pins the solver's allocation behavior: the
+// iters=10 and iters=200 variants run the same SMACOF descent cut off
+// at different iteration caps, and with the scratch buffers reused
+// across iterations their allocs/op must match — an alloc count that
+// grows with the cap means a per-iteration allocation crept back in.
+func BenchmarkScaleSmacof(b *testing.B) {
+	d := core.CityBlock(kernelMatrix(120, 9, 17))
+	for _, iters := range []int{10, 200} {
+		b.Run(fmt.Sprintf("iters=%d", iters), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := mds.SSA(d, mds.Options{
+					Seed: 3, Restarts: -1, Method: mds.Monotone,
+					Tol: 1e-300, MaxIter: iters,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

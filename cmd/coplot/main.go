@@ -20,6 +20,11 @@
 // -keep-going drops unreadable logs (with a warning and a non-zero
 // exit) instead of aborting, as long as at least 3 logs survive.
 //
+// -landmarks N embeds a sample of N observations exactly and places
+// the rest against it (landmark MDS) when the dataset is larger than
+// N, keeping corpus-scale runs interactive; 0 always solves exactly.
+// The resolved value is part of the report cache key.
+//
 // With -cache-dir, the rendered map report persists keyed by the input
 // bytes and options, so re-running over unchanged inputs prints the
 // cached report without recomputing; -svg/-shepard bypass the cache (a
@@ -77,6 +82,7 @@ func realMain() int {
 	prune := flag.Float64("prune", 0, "prune variables with max correlation below this (0 = keep all)")
 	vars := flag.String("vars", "", "comma-separated variable subset to analyze")
 	seed := flag.Uint64("seed", 7, "MDS restart seed")
+	landmarks := flag.Int("landmarks", 0, "landmark count: analyses over more observations use landmark MDS (0 = always solve exactly)")
 	procs := flag.Int("procs", 128, "machine size for SWF inputs")
 	jobs := flag.Int("jobs", 0, "worker budget: SWF files loaded concurrently and analysis kernel workers (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-file parse/characterize time limit across all attempts (0 = none)")
@@ -125,7 +131,7 @@ func realMain() int {
 			fmt.Fprintln(os.Stderr, "coplot:", err)
 			return 1
 		}
-		if key, ok := cacheKeyFor(*csvPath, flag.Args(), *prune, *vars, *seed, *procs); ok {
+		if key, ok := cacheKeyFor(*csvPath, flag.Args(), *prune, *vars, *seed, *procs, *landmarks); ok {
 			reportKey = key
 			if v, ok := cache.Get(key); ok {
 				if text, ok := v.([]byte); ok {
@@ -171,7 +177,7 @@ func realMain() int {
 	res, err := core.Analyze(ds, core.Options{
 		// The same -jobs budget that bounded the file fan-out drives
 		// the analysis kernels (SSA multi-starts, dissimilarity rows).
-		MDS:            mds.Options{Seed: *seed, Par: par.NewBudget(*jobs)},
+		MDS:            mds.Options{Seed: *seed, Par: par.NewBudget(*jobs), Landmarks: *landmarks},
 		PruneThreshold: *prune,
 	})
 	if err != nil {
@@ -215,7 +221,7 @@ const reportCacheSchema = 1
 // shape the report (-jobs is excluded — output is identical at any
 // worker count). ok is false when an input cannot be read or the
 // argument mix is invalid; the normal load path surfaces the error.
-func cacheKeyFor(csvPath string, swfPaths []string, prune float64, vars string, seed uint64, procs int) (string, bool) {
+func cacheKeyFor(csvPath string, swfPaths []string, prune float64, vars string, seed uint64, procs, landmarks int) (string, bool) {
 	if csvPath != "" && len(swfPaths) > 0 {
 		return "", false
 	}
@@ -238,6 +244,7 @@ func cacheKeyFor(csvPath string, swfPaths []string, prune float64, vars string, 
 		"vars=" + vars,
 		fmt.Sprintf("seed=%d", seed),
 		fmt.Sprintf("procs=%d", procs),
+		fmt.Sprintf("landmarks=%d", landmarks),
 	}
 	return store.Key("coplot-cli", opts, blobs...), true
 }

@@ -103,31 +103,34 @@ func TestLoadDatasetDispatch(t *testing.T) {
 // cases the cache must not serve.
 func TestCacheKeyFor(t *testing.T) {
 	csv := writeFile(t, "m.csv", "name,x,y\na,1,2\nb,3,4\nc,5,6\n")
-	k1, ok := cacheKeyFor(csv, nil, 0.7, "", 7, 128)
+	k1, ok := cacheKeyFor(csv, nil, 0.7, "", 7, 128, 0)
 	if !ok {
 		t.Fatal("readable input rejected")
 	}
-	k2, _ := cacheKeyFor(csv, nil, 0.7, "", 7, 128)
+	k2, _ := cacheKeyFor(csv, nil, 0.7, "", 7, 128, 0)
 	if k1 != k2 {
 		t.Fatal("same inputs keyed differently")
 	}
-	if k3, _ := cacheKeyFor(csv, nil, 0.8, "", 7, 128); k3 == k1 {
+	if k3, _ := cacheKeyFor(csv, nil, 0.8, "", 7, 128, 0); k3 == k1 {
 		t.Fatal("prune change did not change the key")
 	}
-	if k4, _ := cacheKeyFor(csv, nil, 0.7, "", 8, 128); k4 == k1 {
+	if k4, _ := cacheKeyFor(csv, nil, 0.7, "", 8, 128, 0); k4 == k1 {
 		t.Fatal("seed change did not change the key")
+	}
+	if k6, _ := cacheKeyFor(csv, nil, 0.7, "", 7, 128, 50); k6 == k1 {
+		t.Fatal("landmark change did not change the key")
 	}
 	if err := os.WriteFile(csv, []byte("name,x,y\na,9,9\nb,3,4\nc,5,6\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if k5, _ := cacheKeyFor(csv, nil, 0.7, "", 7, 128); k5 == k1 {
+	if k5, _ := cacheKeyFor(csv, nil, 0.7, "", 7, 128, 0); k5 == k1 {
 		t.Fatal("content change did not change the key")
 	}
 
-	if _, ok := cacheKeyFor(csv, []string{"x.swf"}, 0, "", 7, 128); ok {
+	if _, ok := cacheKeyFor(csv, []string{"x.swf"}, 0, "", 7, 128, 0); ok {
 		t.Fatal("mixed csv+swf arguments must not key")
 	}
-	if _, ok := cacheKeyFor(filepath.Join(t.TempDir(), "none.csv"), nil, 0, "", 7, 128); ok {
+	if _, ok := cacheKeyFor(filepath.Join(t.TempDir(), "none.csv"), nil, 0, "", 7, 128, 0); ok {
 		t.Fatal("unreadable input must not key")
 	}
 }

@@ -37,13 +37,20 @@
 //	        [-drain D] [-seed N] [-trace FILE] [-manifest FILE]
 //	        [-peers URL,URL,...] [-self URL] [-ring-replicas N]
 //	        [-peer-timeout D] [-peer-retries N]
-//	        [-max-streams N] [-drift-pos F] [-drift-angle F]
+//	        [-max-streams N] [-drift-pos F] [-drift-angle F] [-landmarks N]
 //
 // One -jobs worker budget is shared by every in-flight request, so
 // total kernel parallelism stays bounded under concurrent load;
 // -max-inflight caps admitted requests and the excess is answered 429
 // with Retry-After. SIGTERM or SIGINT drains in-flight requests for up
 // to -drain before exiting 0.
+//
+// -landmarks sets the service-wide scale threshold: an analysis or
+// stream over more observations than this embeds a landmark sample
+// exactly and places the rest against it (landmark MDS) instead of
+// running the full solver, keeping corpus-scale requests interactive.
+// Per-request ?landmarks= overrides it; the resolved value is part of
+// the response cache key.
 //
 // With -cache-dir the response cache gains a durable tier: responses
 // persist as content-addressed files there, so a restarted coplotd
@@ -118,6 +125,7 @@ func realMain() int {
 	peerTimeout := flag.Duration("peer-timeout", 0, "per-attempt time limit for peer fetches and back-fills (0 = 2s)")
 	peerRetries := flag.Int("peer-retries", 1, "extra attempts after a failed peer operation (0 = single attempt)")
 	maxStreams := flag.Int("max-streams", 0, "live streams held by the /v1/stream endpoints (0 = 64)")
+	landmarks := flag.Int("landmarks", 0, "default landmark count: analyses and streams over more observations use landmark MDS (0 = always solve exactly)")
 	driftPos := flag.Float64("drift-pos", 0, "default positional drift threshold, fraction of the map's RMS radius (0 = 0.25)")
 	driftAngle := flag.Float64("drift-angle", 0, "default arrow drift threshold in radians (0 = 0.35)")
 	tracePath := flag.String("trace", "", "append engine events as JSON lines to this file")
@@ -167,6 +175,7 @@ func realMain() int {
 		MaxStreams:     *maxStreams,
 		DriftPos:       *driftPos,
 		DriftAngle:     *driftAngle,
+		Landmarks:      *landmarks,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coplotd:", err)

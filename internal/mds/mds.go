@@ -13,6 +13,7 @@ package mds
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -62,6 +63,36 @@ type Options struct {
 	// configuration).
 	InitialConfig *mat.Matrix
 
+	// Landmarks, when positive, switches cold solves on matrices with
+	// more observations than the (clamped, see MinLandmarks) landmark
+	// count to landmark MDS: that many landmarks are chosen by
+	// farthest-point sampling and embedded by the full multi-start
+	// solver, every remaining observation is placed independently by
+	// distance-based majorization against the fixed landmark
+	// positions, and LandmarkPolish full-matrix SMACOF iterations
+	// refine the assembled configuration. The full solve is O(starts ·
+	// iters · n²) while the landmark solve is O(starts · iters · k²)
+	// plus O(n·k) placement plus the short polish, so at n ≥ 1000 it
+	// is the difference between minutes and interactive time. 0 keeps
+	// the exact full solve. A warm-started solve (InitialConfig) never
+	// uses landmarks — a warm descent is already a few cheap
+	// iterations from its seed.
+	Landmarks int
+
+	// LandmarkPolish caps the full-matrix SMACOF polish that follows
+	// landmark placement: 0 means DefaultLandmarkPolish, negative
+	// disables the polish entirely (placement-only configuration), and
+	// a positive value is used as-is. Result.Iterations reports the
+	// polish iterations of a landmark solve.
+	LandmarkPolish int
+
+	// LandmarkSet pins the landmark indices instead of farthest-point
+	// sampling; it is consulted only when Landmarks > 0. The streaming
+	// layer pins the previous solve's set here so consecutive
+	// re-anchors over slowly drifting data keep the same reference
+	// frame instead of re-sampling into a slightly different one.
+	LandmarkSet []int
+
 	// Par is the shared worker budget (see internal/par) for the
 	// multi-start fan-out and the blocked distance loops. Nil runs the
 	// solver serially. Any budget produces byte-identical results: all
@@ -109,9 +140,24 @@ type Result struct {
 	Stress float64
 	// Iterations actually performed (best restart).
 	Iterations int
+	// Converged reports whether the descent halted with its final
+	// step inside the tolerance band: |change| < Tol·(previous
+	// stress). False when the iteration cap ran out — and, crucially,
+	// when the halt was triggered by a stress *rise* beyond the
+	// tolerance: rank-image disparities are not a descent guarantee,
+	// so the solver stops when a step makes things worse, but such a
+	// stop is not convergence and warm-accept gates must not treat it
+	// as one.
+	Converged bool
 	// Start is the index of the winning start: 0 for classical scaling,
 	// k for the k-th random restart.
 	Start int
+	// Landmarks holds the landmark indices a landmark solve embedded
+	// first (in selection order), nil for a full solve. Callers that
+	// re-solve the same growing matrix (the streaming layer) feed it
+	// back through Options.LandmarkSet to keep the reference frame
+	// stable across solves.
+	Landmarks []int
 }
 
 // DegenerateInputError reports dissimilarities that admit no meaningful
@@ -215,6 +261,27 @@ func SSAContext(ctx context.Context, d *mat.Matrix, opts Options) (Result, error
 		}
 	}
 	diss := flattenPairs(d)
+
+	if k := opts.landmarkCount(n); k > 0 && opts.InitialConfig == nil {
+		res, err := landmarkSSA(ctx, d, diss, k, opts)
+		var deg *DegenerateInputError
+		if err != nil && errors.As(err, &deg) {
+			// The landmark subproblem degenerated (e.g. a constant
+			// landmark submatrix) even though the full matrix passed
+			// the degeneracy checks above — solve the full problem
+			// instead of failing on an artifact of the sampling.
+			return ssaMulti(ctx, d, diss, opts)
+		}
+		return res, err
+	}
+	return ssaMulti(ctx, d, diss, opts)
+}
+
+// ssaMulti is the exact multi-start solve over the full matrix: every
+// start runs SMACOF to convergence on all n·(n−1)/2 pairs. opts must
+// already have defaults applied and d must have passed the input checks.
+func ssaMulti(ctx context.Context, d *mat.Matrix, diss []pair, opts Options) (Result, error) {
+	n := d.Rows
 
 	// Generate every start configuration up front from one serial RNG
 	// stream, so the fan-out below is free to run them in any order.
@@ -356,6 +423,14 @@ func flattenPairs(d *mat.Matrix) []pair {
 // outweighs the arithmetic.
 const minPairsPerBlock = 4096
 
+// perfectStress is the normalized-stress level below which a fit is
+// numerically perfect: distances match disparities to one part in 10⁹
+// RMS, far under anything the paper's data can distinguish, and close
+// enough to zero that the relative tolerance band degenerates into
+// comparing float noise. The Converged verdict treats a halt at or
+// under this level as converged regardless of the final step's sign.
+const perfectStress = 1e-9
+
 func ssaFrom(ctx context.Context, d *mat.Matrix, diss []pair, x0 *mat.Matrix, start int, opts Options) (Result, error) {
 	n := d.Rows
 	dims := opts.Dims
@@ -366,22 +441,31 @@ func ssaFrom(ctx context.Context, d *mat.Matrix, diss []pair, x0 *mat.Matrix, st
 	disp := make([]float64, m) // disparities in diss order
 	xNew := mat.New(n, dims)
 
+	// Every buffer the iteration loop needs is allocated once here and
+	// reused: the SMACOF steady state performs no heap allocation, so
+	// solve cost scales with arithmetic, not with GC pressure (the
+	// bench suite asserts allocs/op is independent of MaxIter).
+	scratch := smacofScratch{diag: make([]float64, n)}
+
 	// The distance loop is the per-iteration hot spot: embarrassingly
 	// parallel over pair ranges, so block it on the budget. Small pair
 	// counts (the paper's 15×15 matrices have 105 pairs) stay inline.
-	computeDistances := func() {
-		_ = par.ForEachBlock(context.Background(), opts.Par, m, minPairsPerBlock, func(lo, hi int) error {
-			for k := lo; k < hi; k++ {
-				p := diss[k]
-				s := 0.0
-				for c := 0; c < dims; c++ {
-					df := x.At(p.i, c) - x.At(p.j, c)
-					s += df * df
-				}
-				dist[k] = math.Sqrt(s)
+	// The block closure is built once — a literal inside
+	// computeDistances would be re-allocated every iteration.
+	distBlock := func(lo, hi int) error {
+		for k := lo; k < hi; k++ {
+			p := diss[k]
+			s := 0.0
+			for c := 0; c < dims; c++ {
+				df := x.At(p.i, c) - x.At(p.j, c)
+				s += df * df
 			}
-			return nil
-		})
+			dist[k] = math.Sqrt(s)
+		}
+		return nil
+	}
+	computeDistances := func() {
+		_ = par.ForEachBlock(context.Background(), opts.Par, m, minPairsPerBlock, distBlock)
 	}
 
 	computeDisparities := func() error {
@@ -390,8 +474,7 @@ func ssaFrom(ctx context.Context, d *mat.Matrix, diss []pair, x0 *mat.Matrix, st
 			copy(disp, dist)
 			sort.Float64s(disp) // k-th smallest distance ↔ k-th smallest dissimilarity
 		case Monotone:
-			fit := stats.PAVA(dist, nil)
-			copy(disp, fit)
+			scratch.pava.Fit(disp, dist, nil)
 			// Rescale so Σ disp² = Σ dist² (keeps the configuration size).
 			var sd, sf float64
 			for k := range dist {
@@ -418,11 +501,20 @@ func ssaFrom(ctx context.Context, d *mat.Matrix, diss []pair, x0 *mat.Matrix, st
 				sd += dist[k] * dist[k]
 				ss += p.s * p.s
 			}
-			if ss > 0 && sd > 0 {
+			switch {
+			case ss > 0 && sd > 0:
 				f := math.Sqrt(sd / ss)
 				for k := range disp {
 					disp[k] *= f
 				}
+			case sd == 0 && ss > 0:
+				// Every configuration distance is zero while the
+				// dissimilarities still have extent: the points have
+				// collapsed onto one location. The Monotone branch
+				// already refuses this state; without the same guard
+				// here a Metric solve would iterate on it to MaxIter
+				// and return a zero-extent "fit".
+				return &DegenerateInputError{Reason: "metric fit collapsed: every configuration distance is zero"}
 			}
 		}
 		return nil
@@ -443,6 +535,7 @@ func ssaFrom(ctx context.Context, d *mat.Matrix, diss []pair, x0 *mat.Matrix, st
 
 	prev := math.Inf(1)
 	iters := 0
+	converged := false
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		// Cancellation is observed between iterations: each SMACOF step
 		// runs to completion, so an abandoned solve never leaves a
@@ -459,11 +552,39 @@ func ssaFrom(ctx context.Context, d *mat.Matrix, diss []pair, x0 *mat.Matrix, st
 		if opts.Trace != nil {
 			opts.Trace(start, iter, s)
 		}
-		if prev-s < opts.Tol*prev {
+		// A perfect fit halts immediately. At stress zero every
+		// distance equals its disparity exactly, so the Guttman
+		// transform is the identity on a centered configuration —
+		// further iterations cannot change the answer. The relative
+		// test below can never fire on this state (`prev-s < Tol*prev`
+		// is `0 < 0` once prev reaches zero), so without this branch a
+		// perfect fit burned the whole iteration cap and was then
+		// reported as non-converged — which made small streams, whose
+		// few points embed exactly, re-anchor on every append.
+		if s == 0 {
+			converged = true
+			break
+		}
+		// The loop halts when a step no longer improves the stress by
+		// at least the tolerance — including when it makes the stress
+		// *rise* (rank-image disparities are not a descent guarantee).
+		// But `prev-s < Tol*prev` alone cannot tell those apart, and a
+		// rise beyond the tolerance is not convergence: the streaming
+		// warm-accept gate keys off that signal, so reporting a
+		// worsening step as converged let degrading warm solves
+		// through. The halt point is unchanged (configurations stay
+		// bit-identical); only the Converged verdict changes, and it
+		// uses a symmetric band — |prev−s| < Tol·prev — so an
+		// oscillation within tolerance of a settled descent still
+		// counts as converged while a genuine degradation does not. A
+		// rise-halt at numerically perfect stress still converged: the
+		// relative band is meaningless against float noise there.
+		if improved := prev - s; improved < opts.Tol*prev {
+			converged = improved > -opts.Tol*prev || s <= perfectStress
 			break
 		}
 		prev = s
-		doSmacof(x, xNew, diss, dist, disp, n, dims)
+		doSmacof(x, xNew, diss, dist, disp, n, dims, scratch.diag)
 		x, xNew = xNew, x
 	}
 	computeDistances()
@@ -475,23 +596,35 @@ func ssaFrom(ctx context.Context, d *mat.Matrix, diss []pair, x0 *mat.Matrix, st
 	rotatePrincipal(x)
 	res := Result{
 		Config:     x,
-		Alienation: AlienationOf(diss, dist),
+		Alienation: alienationOf(diss, dist, opts.Par),
 		Stress:     stress(),
 		Iterations: iters,
+		Converged:  converged,
 		Start:      start,
 	}
 	return res, nil
 }
 
+// smacofScratch holds the buffers one SMACOF descent reuses across
+// iterations — the Guttman-transform diagonal and the PAVA block
+// buffers — so the iteration loop performs no heap allocation.
+type smacofScratch struct {
+	diag []float64
+	pava stats.PAVAScratch
+}
+
 // doSmacof writes the Guttman-transform update of x into xNew:
 // xNew = (1/n)·B(X)·X, where B_ij = −disp_ij/dist_ij for i≠j (0 when the
-// points coincide) and B_ii = Σ_{j≠i} disp_ij/dist_ij.
-func doSmacof(x, xNew *mat.Matrix, diss []pair, dist, disp []float64, n, dims int) {
+// points coincide) and B_ii = Σ_{j≠i} disp_ij/dist_ij. diag is caller-
+// provided scratch of length n (contents ignored, overwritten).
+func doSmacof(x, xNew *mat.Matrix, diss []pair, dist, disp []float64, n, dims int, diag []float64) {
 	// acc_i accumulates Σ_{j≠i} b_ij·x_j; diag_i accumulates Σ_{j≠i} b_ij.
 	for i := range xNew.Data {
 		xNew.Data[i] = 0
 	}
-	diag := make([]float64, n)
+	for i := range diag {
+		diag[i] = 0
+	}
 	for k, p := range diss {
 		var b float64
 		if dist[k] > 1e-12 {
@@ -512,36 +645,17 @@ func doSmacof(x, xNew *mat.Matrix, diss []pair, dist, disp []float64, n, dims in
 	}
 }
 
-// AlienationOf computes Guttman's coefficient of alienation
-// Θ = sqrt(1 − μ²) with μ from equation (3): the normalized sum over all
-// pairs of pairs of the product of dissimilarity differences and distance
-// differences. diss supplies S in any fixed order and dist the matching
-// configuration distances.
-func AlienationOf(diss []pair, dist []float64) float64 {
-	m := len(diss)
-	var num, den float64
-	for a := 0; a < m; a++ {
-		for b := a + 1; b < m; b++ {
-			ds := diss[a].s - diss[b].s
-			dd := dist[a] - dist[b]
-			num += ds * dd
-			den += math.Abs(ds) * math.Abs(dd)
-		}
-	}
-	if den == 0 {
-		return 0
-	}
-	mu := num / den
-	v := 1 - mu*mu
-	if v < 0 {
-		v = 0
-	}
-	return math.Sqrt(v)
-}
-
 // Alienation computes Θ for an explicit dissimilarity matrix and
 // configuration, for callers outside the solver.
 func Alienation(d *mat.Matrix, config *mat.Matrix) float64 {
+	return AlienationWith(d, config, nil)
+}
+
+// AlienationWith is Alienation with a worker budget for the fast
+// path's blocked moment pass (nil = serial), mirroring the
+// CityBlock/CityBlockWith convention. The result is byte-identical at
+// any worker count.
+func AlienationWith(d *mat.Matrix, config *mat.Matrix, budget *par.Budget) float64 {
 	diss := flattenPairs(d)
 	dist := make([]float64, len(diss))
 	for k, p := range diss {
@@ -552,7 +666,7 @@ func Alienation(d *mat.Matrix, config *mat.Matrix) float64 {
 		}
 		dist[k] = math.Sqrt(s)
 	}
-	return AlienationOf(diss, dist)
+	return alienationOf(diss, dist, budget)
 }
 
 // center translates the configuration to zero mean per dimension.

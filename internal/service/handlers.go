@@ -116,7 +116,8 @@ type swfPart struct {
 // analyze maps POST /v1/analyze: the Co-plot pipeline over a CSV data
 // matrix (any body) or a set of SWF logs (multipart/form-data, one
 // part per log, at least 3). Options: prune, seed (default 7, the CLI
-// default), vars, procs. The body is the exact cmd/coplot report.
+// default), vars, procs, landmarks (default Config.Landmarks). The
+// body is the exact cmd/coplot report.
 func (s *Service) analyze(r *http.Request, body []byte) (string, func(context.Context) (*response, error), error) {
 	q := r.URL.Query()
 	prune, err := qFloat(q, "prune", 0)
@@ -131,11 +132,19 @@ func (s *Service) analyze(r *http.Request, body []byte) (string, func(context.Co
 	if err != nil {
 		return "", nil, err
 	}
+	landmarks, err := qInt(q, "landmarks", s.cfg.Landmarks)
+	if err != nil {
+		return "", nil, err
+	}
 	vars := qStr(q, "vars", "")
+	// The resolved landmark count is part of the canonical options —
+	// the server default participates in the key, so two replicas with
+	// different -landmarks defaults never alias each other's entries.
 	canon := []string{
 		fmt.Sprintf("prune=%g", prune),
 		fmt.Sprintf("seed=%d", seed),
 		fmt.Sprintf("procs=%d", procs),
+		fmt.Sprintf("landmarks=%d", landmarks),
 		"vars=" + vars,
 	}
 
@@ -174,7 +183,7 @@ func (s *Service) analyze(r *http.Request, body []byte) (string, func(context.Co
 			if err != nil {
 				return nil, badRequest(err)
 			}
-			return s.analyzeDataset(ctx, ds, vars, prune, seed)
+			return s.analyzeDataset(ctx, ds, vars, prune, seed, landmarks)
 		}
 		return key, run, nil
 	}
@@ -186,7 +195,7 @@ func (s *Service) analyze(r *http.Request, body []byte) (string, func(context.Co
 		if err != nil {
 			return nil, badRequest(err)
 		}
-		return s.analyzeDataset(ctx, ds, vars, prune, seed)
+		return s.analyzeDataset(ctx, ds, vars, prune, seed, landmarks)
 	}
 	return key, run, nil
 }
@@ -226,7 +235,7 @@ func parseMultipartLogs(body []byte, boundary string) ([]swfPart, error) {
 // analyzeDataset runs the Co-plot pipeline the way cmd/coplot does —
 // same defaults, same report — drawing kernel workers from the
 // service-wide budget.
-func (s *Service) analyzeDataset(ctx context.Context, ds *core.Dataset, vars string, prune float64, seed uint64) (*response, error) {
+func (s *Service) analyzeDataset(ctx context.Context, ds *core.Dataset, vars string, prune float64, seed uint64, landmarks int) (*response, error) {
 	if vars != "" {
 		var err error
 		ds, err = ds.Select(strings.Split(vars, ","))
@@ -235,7 +244,7 @@ func (s *Service) analyzeDataset(ctx context.Context, ds *core.Dataset, vars str
 		}
 	}
 	res, err := core.AnalyzeContext(ctx, ds, core.Options{
-		MDS:            mds.Options{Seed: seed, Par: s.budget},
+		MDS:            mds.Options{Seed: seed, Par: s.budget, Landmarks: landmarks},
 		PruneThreshold: prune,
 	})
 	if err != nil {

@@ -97,6 +97,13 @@ type Config struct {
 	// newly created streams (0 = stream.DefaultDriftAngle). Per-stream
 	// "drift-angle" options override it.
 	DriftAngle float64
+	// Landmarks is the default landmark count for analyses and
+	// streams: matrices with more observations than this are embedded
+	// by landmark MDS instead of the exact full solve
+	// (mds.Options.Landmarks; 0 = always solve exactly). Per-request
+	// "landmarks" options override it, and the resolved value is part
+	// of every analyze cache key.
+	Landmarks int
 }
 
 // Service is the HTTP serving layer: deterministic, cacheable analysis

@@ -29,7 +29,7 @@ func readBody(w http.ResponseWriter, r *http.Request, max int64) ([]byte, error)
 // They are resolved to canonical form when the stream is created and
 // pinned in its Config.Tag; later appends may repeat them verbatim or
 // omit them, but never change them.
-var streamOptionKeys = []string{"seed", "procs", "sched", "alloc", "drift-pos", "drift-angle"}
+var streamOptionKeys = []string{"seed", "procs", "sched", "alloc", "drift-pos", "drift-angle", "landmarks"}
 
 // streamOptions resolves the create-time options of an append request
 // against the service defaults, returning the stream configuration and
@@ -57,6 +57,10 @@ func (s *Service) streamOptions(q url.Values) (stream.Config, string, error) {
 	if err != nil {
 		return stream.Config{}, "", err
 	}
+	landmarks, err := qInt(q, "landmarks", s.cfg.Landmarks)
+	if err != nil {
+		return stream.Config{}, "", err
+	}
 	canon := url.Values{
 		"seed":        {strconv.FormatUint(seed, 10)},
 		"procs":       {strconv.Itoa(procs)},
@@ -64,6 +68,7 @@ func (s *Service) streamOptions(q url.Values) (stream.Config, string, error) {
 		"alloc":       {alloc},
 		"drift-pos":   {fmt.Sprintf("%g", driftPos)},
 		"drift-angle": {fmt.Sprintf("%g", driftAngle)},
+		"landmarks":   {strconv.Itoa(landmarks)},
 	}
 	cfg := stream.Config{
 		Machine:    m,
@@ -71,6 +76,7 @@ func (s *Service) streamOptions(q url.Values) (stream.Config, string, error) {
 		Par:        s.budget,
 		DriftPos:   driftPos,
 		DriftAngle: driftAngle,
+		Landmarks:  landmarks,
 		Sink:       s.sink,
 		Tag:        canon.Encode(),
 	}

@@ -235,20 +235,46 @@ func PAVA(ys, weights []float64) []float64 {
 	if n == 0 {
 		return nil
 	}
-	w := weights
-	if w == nil {
-		w = make([]float64, n)
-		for i := range w {
-			w[i] = 1
-		}
+	out := make([]float64, n)
+	var s PAVAScratch
+	s.Fit(out, ys, weights)
+	return out
+}
+
+// PAVAScratch holds the block buffers of the pool-adjacent-violators
+// algorithm so repeated fits reuse them: after the first Fit of a given
+// length, further fits allocate nothing. The SMACOF monotone loop runs
+// one fit per iteration, so the zero-allocation steady state matters
+// there; the zero value is ready to use.
+type PAVAScratch struct {
+	vals   []float64
+	wts    []float64
+	counts []int
+}
+
+// Fit writes the isotonic regression of ys into dst (the same length);
+// dst may alias ys. weights may be nil for unit weights, which are
+// applied implicitly — no weight slice is materialized. The arithmetic
+// is identical to PAVA's, merge for merge.
+func (s *PAVAScratch) Fit(dst, ys, weights []float64) {
+	n := len(ys)
+	if n == 0 {
+		return
+	}
+	if cap(s.vals) < n {
+		s.vals = make([]float64, 0, n)
+		s.wts = make([]float64, 0, n)
+		s.counts = make([]int, 0, n)
 	}
 	// Blocks are maintained as (value, weight, count) triples.
-	vals := make([]float64, 0, n)
-	wts := make([]float64, 0, n)
-	counts := make([]int, 0, n)
+	vals, wts, counts := s.vals[:0], s.wts[:0], s.counts[:0]
 	for i := 0; i < n; i++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
 		vals = append(vals, ys[i])
-		wts = append(wts, w[i])
+		wts = append(wts, w)
 		counts = append(counts, 1)
 		for len(vals) > 1 && vals[len(vals)-2] > vals[len(vals)-1] {
 			// Merge the last two blocks.
@@ -262,13 +288,16 @@ func PAVA(ys, weights []float64) []float64 {
 			counts = counts[:last]
 		}
 	}
-	out := make([]float64, 0, n)
+	s.vals, s.wts, s.counts = vals, wts, counts
+	// All reads of ys are complete, so writing dst is safe even when
+	// the two alias.
+	k := 0
 	for b, v := range vals {
-		for k := 0; k < counts[b]; k++ {
-			out = append(out, v)
+		for c := 0; c < counts[b]; c++ {
+			dst[k] = v
+			k++
 		}
 	}
-	return out
 }
 
 // Min returns the smallest element of xs (NaN for empty input).

@@ -99,6 +99,16 @@ type Config struct {
 	Seed uint64
 	// Par is the worker budget for the solver; nil runs serially.
 	Par *par.Budget
+	// Landmarks, when positive, makes cold solves over more
+	// observations than this use landmark MDS (mds.Options.Landmarks):
+	// a stream tracking hundreds of observations re-anchors in
+	// interactive time instead of a full multi-start. The landmark set
+	// is reused across appends while the observation set is unchanged
+	// — consecutive re-anchors keep the same reference frame — and
+	// re-sampled when an observation joins. Warm descents are
+	// unaffected (they are already cheap single descents). 0 keeps
+	// exact full solves.
+	Landmarks int
 	// DriftPos is the positional drift threshold relative to the
 	// previous map's RMS radius (0 = DefaultDriftPos, negative
 	// disables positional drift).
@@ -214,6 +224,13 @@ type Stream struct {
 	prevAlien  float64     // alienation of the last accepted solve
 	prevArrows []core.Arrow
 	anchor     *mat.Matrix // last cold configuration (trust-region center)
+
+	// landmarkSet pins the landmark sample of the last cold solve
+	// (when Config.Landmarks is active) so later re-anchors over the
+	// same observation set reuse the same frame; landmarkRows is the
+	// observation count it was sampled at — a set change invalidates it.
+	landmarkSet  []int
+	landmarkRows int
 
 	version uint64
 	last    *Snapshot
@@ -545,7 +562,10 @@ func (s *Stream) embed(ctx context.Context, o *observation) *Snapshot {
 	// anchor is what makes a streamed map equivalent to the one-shot
 	// batch map, and what makes on-screen motion mean data change
 	// rather than solver restlessness.
-	cold := mds.Options{Seed: s.cfg.Seed, Par: s.cfg.Par}
+	cold := mds.Options{Seed: s.cfg.Seed, Par: s.cfg.Par, Landmarks: s.cfg.Landmarks}
+	if s.cfg.Landmarks > 0 && s.landmarkRows == n {
+		cold.LandmarkSet = s.landmarkSet
+	}
 	var fit mds.Result
 	var err error
 	warm := false
@@ -569,7 +589,11 @@ func (s *Stream) embed(ctx context.Context, o *observation) *Snapshot {
 			mds.ScaleToDissim(wfit.Config, s.d)
 		}
 		switch {
-		case werr != nil || wfit.Iterations >= s.cfg.WarmMaxIter:
+		case werr != nil || !wfit.Converged || wfit.Iterations >= s.cfg.WarmMaxIter:
+			// !Converged covers both an exhausted iteration cap and a
+			// descent that halted on a stress rise beyond WarmTol —
+			// the latter used to masquerade as convergence and let a
+			// degrading warm solve through this gate.
 			reanchor = "no-converge"
 		case wfit.Alienation > s.prevAlien+s.cfg.ReanchorMargin:
 			reanchor = "fit-degraded"
@@ -588,10 +612,17 @@ func (s *Stream) embed(ctx context.Context, o *observation) *Snapshot {
 			snap.Status = StatusDegenerate
 			snap.Error = err.Error()
 			s.prev, s.prevRows, s.prevArrows, s.anchor = nil, 0, nil, nil
+			s.landmarkSet, s.landmarkRows = nil, 0
 			return snap
 		}
 		mds.ScaleToDissim(fit.Config, s.d)
 		s.anchor = fit.Config
+		// Pin (or refresh) the landmark frame this cold solve used, so
+		// the next re-anchor at the same observation set keeps it.
+		s.landmarkSet, s.landmarkRows = fit.Landmarks, 0
+		if fit.Landmarks != nil {
+			s.landmarkRows = n
+		}
 	}
 
 	snap.Status = StatusOK
