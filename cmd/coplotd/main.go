@@ -14,6 +14,18 @@
 //	GET  /healthz        liveness and vitals
 //	GET  /metrics        aggregate run manifest (JSON)
 //
+// Corpus endpoints — a managed reference set of analyzed workloads,
+// seeded at startup with the paper's 15 observations (ten production
+// logs, five models; disable with -corpus-jobs=-1) and extended by
+// uploads:
+//
+//	POST   /v1/corpus       analyze an SWF body and admit it (?name= required)
+//	GET    /v1/corpus       the corpus index (cluster-merged, JSON)
+//	GET    /v1/corpus/{id}  one entry (JSON)
+//	DELETE /v1/corpus/{id}  remove an entry, cluster-wide
+//	POST   /v1/match        rank the corpus against an SWF body: joint
+//	                        Co-plot embedding + nearest neighbors (JSON)
+//
 // Streaming endpoints (stateful, never cached):
 //
 //	POST   /v1/stream/{id}/append   fold an SWF chunk into observation ?obs=NAME,
@@ -24,10 +36,12 @@
 //	DELETE /v1/stream/{id}          drop the stream
 //	GET    /v1/streams              registered stream ids (JSON)
 //
-// Cluster mode (both endpoints replica-to-replica only):
+// Cluster mode (all replica-to-replica only):
 //
-//	GET  /internal/v1/artifact/{key}   fetch a resident cached artifact
-//	PUT  /internal/v1/artifact/{key}   accept a back-filled artifact
+//	GET    /internal/v1/artifact/{key}   fetch a resident cached artifact
+//	PUT    /internal/v1/artifact/{key}   accept a back-filled artifact
+//	GET    /internal/v1/corpus           this replica's own corpus index
+//	DELETE /internal/v1/corpus/{id}      drop an entry from this replica
 //
 // Usage:
 //
@@ -38,6 +52,7 @@
 //	        [-peers URL,URL,...] [-self URL] [-ring-replicas N]
 //	        [-peer-timeout D] [-peer-retries N]
 //	        [-max-streams N] [-drift-pos F] [-drift-angle F] [-landmarks N]
+//	        [-corpus-jobs N]
 //
 // One -jobs worker budget is shared by every in-flight request, so
 // total kernel parallelism stays bounded under concurrent load;
@@ -70,6 +85,18 @@
 // back-fills time out after -peer-timeout per attempt (+ -peer-retries
 // deterministic-backoff retries) and the replica falls back to local
 // compute, byte-identical by determinism.
+//
+// Corpus and match: the corpus holds analyzed workloads — each reduced
+// to its Table-1 variable vector, content-addressed, persisted through
+// the response cache's durable tier (so it survives restarts) and, in
+// cluster mode, merged across replicas on every read. /v1/match joins
+// an uploaded SWF trace with the corpus, computes the joint Co-plot
+// embedding (gauge-canonicalized, landmark MDS past -landmarks), and
+// answers the ranked nearest neighbors by map distance plus
+// per-variable z-score deltas — deterministically: the same corpus and
+// trace produce byte-identical rankings at any worker count, on any
+// replica. -corpus-jobs sizes the generated seed logs; replicas of one
+// cluster must agree on it so their seed entries share IDs.
 //
 // Streaming: a stream is a set of named, growing SWF logs with a live
 // Co-plot embedding over them, re-solved incrementally on every append
@@ -126,6 +153,7 @@ func realMain() int {
 	peerRetries := flag.Int("peer-retries", 1, "extra attempts after a failed peer operation (0 = single attempt)")
 	maxStreams := flag.Int("max-streams", 0, "live streams held by the /v1/stream endpoints (0 = 64)")
 	landmarks := flag.Int("landmarks", 0, "default landmark count: analyses and streams over more observations use landmark MDS (0 = always solve exactly)")
+	corpusJobs := flag.Int("corpus-jobs", 0, "log length of the 15 seed corpus observations (0 = 2000, negative = start with an empty corpus)")
 	driftPos := flag.Float64("drift-pos", 0, "default positional drift threshold, fraction of the map's RMS radius (0 = 0.25)")
 	driftAngle := flag.Float64("drift-angle", 0, "default arrow drift threshold in radians (0 = 0.35)")
 	tracePath := flag.String("trace", "", "append engine events as JSON lines to this file")
@@ -176,6 +204,7 @@ func realMain() int {
 		DriftPos:       *driftPos,
 		DriftAngle:     *driftAngle,
 		Landmarks:      *landmarks,
+		CorpusJobs:     *corpusJobs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coplotd:", err)

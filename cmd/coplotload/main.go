@@ -11,7 +11,8 @@
 // Usage:
 //
 //	coplotload [-addr URL | -addrs URL,URL,...] [-requests N] [-concurrency N]
-//	           [-mix N] [-seed N] [-out DIR] [-date YYYY-MM-DD]
+//	           [-mix N] [-match-mix N] [-match-requests N] [-seed N]
+//	           [-out DIR] [-date YYYY-MM-DD]
 //	           [-baseline FILE | -baseline-dir DIR]
 //	           [-tolerance F] [-strict-host]
 //
@@ -31,7 +32,17 @@
 // with model parameters and client-generated SWF bodies drawn from the
 // repository's deterministic generator. The same seed always produces
 // the same requests, so runs are comparable across invocations and
-// machines.
+// machines. All traffic flows through the typed API client
+// (pkg/coplotclient), so the load generator doubles as a live exercise
+// of the public client package.
+//
+// A separate match pass then drives POST /v1/match — the joint
+// Co-plot embedding against the server's corpus — with -match-mix
+// unique query traces, cold then warm over -match-requests replays,
+// reported as MatchCold/MatchWarm BENCH entries (Cluster-prefixed like
+// the serve figures). Match figures never mix into ServeCold/ServeWarm,
+// so existing serving baselines keep gating unchanged; -match-mix=0
+// skips the pass for servers running without a corpus.
 //
 // With -out, the measurements are written as BENCH_<date>.json under
 // the directory (the serving counterpart of cmd/benchjson's kernel
@@ -45,7 +56,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -61,6 +74,7 @@ import (
 	"coplot/internal/models"
 	"coplot/internal/rng"
 	"coplot/internal/swf"
+	"coplot/pkg/coplotclient"
 )
 
 func main() {
@@ -76,6 +90,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	requests := fs.Int("requests", 64, "warm-pass request count (the mix repeats to fill it)")
 	concurrency := fs.Int("concurrency", 4, "concurrent in-flight requests per pass")
 	mixSize := fs.Int("mix", 6, "unique requests in the synthetic mix")
+	matchMix := fs.Int("match-mix", 3, "unique query traces in the /v1/match pass (0 = skip the match pass)")
+	matchRequests := fs.Int("match-requests", 24, "warm-pass request count of the match pass")
 	seed := fs.Uint64("seed", 1, "seed deriving the request mix")
 	outDir := fs.String("out", "", "directory for the BENCH_<date>.json file (empty = don't write)")
 	date := fs.String("date", "", "measurement date for the file name (default: today, UTC)")
@@ -110,7 +126,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "coplotload:", err)
 		return 1
 	}
-	client := &http.Client{Timeout: 5 * time.Minute}
+	httpClient := &http.Client{Timeout: 5 * time.Minute}
+	clients := make([]*coplotclient.Client, len(targets))
+	for i, t := range targets {
+		clients[i] = coplotclient.New(t, httpClient)
+	}
 
 	// Cold pass: every unique request once, so each one's first compute
 	// is measured exactly once.
@@ -118,7 +138,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i := range coldPlan {
 		coldPlan[i] = i
 	}
-	cold, coldWall, err := replay(client, targets, assign(*seed, "cold", len(coldPlan), len(targets)), mix, coldPlan, *concurrency)
+	cold, coldWall, err := replay(clients, assign(*seed, "cold", len(coldPlan), len(targets)), mix, coldPlan, *concurrency)
 	if err != nil {
 		fmt.Fprintln(stderr, "coplotload: cold pass:", err)
 		return 1
@@ -129,7 +149,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i := range warmPlan {
 		warmPlan[i] = i % len(mix)
 	}
-	warm, warmWall, err := replay(client, targets, assign(*seed, "warm", len(warmPlan), len(targets)), mix, warmPlan, *concurrency)
+	warm, warmWall, err := replay(clients, assign(*seed, "warm", len(warmPlan), len(targets)), mix, warmPlan, *concurrency)
 	if err != nil {
 		fmt.Fprintln(stderr, "coplotload: warm pass:", err)
 		return 1
@@ -163,6 +183,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Date:    day,
 		Host:    bench.CurrentHost(),
 		Entries: append(coldStats.entries(prefix+"ServeCold"), warmStats.entries(prefix+"ServeWarm")...),
+	}
+
+	// Match pass: the /v1/match joint embedding against the server's
+	// corpus, its own mix and BENCH names so match figures never gate
+	// against serve baselines.
+	if *matchMix > 0 {
+		mmix, err := buildMatchMix(*seed, *matchMix)
+		if err != nil {
+			fmt.Fprintln(stderr, "coplotload:", err)
+			return 1
+		}
+		mColdPlan := make([]int, len(mmix))
+		for i := range mColdPlan {
+			mColdPlan[i] = i
+		}
+		mCold, mColdWall, err := replay(clients, assign(*seed, "match-cold", len(mColdPlan), len(targets)), mmix, mColdPlan, *concurrency)
+		if err != nil {
+			fmt.Fprintln(stderr, "coplotload: match cold pass:", err)
+			return 1
+		}
+		mWarmPlan := make([]int, *matchRequests)
+		for i := range mWarmPlan {
+			mWarmPlan[i] = i % len(mmix)
+		}
+		mWarm, mWarmWall, err := replay(clients, assign(*seed, "match-warm", len(mWarmPlan), len(targets)), mmix, mWarmPlan, *concurrency)
+		if err != nil {
+			fmt.Fprintln(stderr, "coplotload: match warm pass:", err)
+			return 1
+		}
+		for i, s := range mWarm {
+			if s.sum != mCold[mWarmPlan[i]].sum {
+				fmt.Fprintf(stderr, "coplotload: warm match response for %s differs from its cold response\n", mmix[mWarmPlan[i]].name)
+				return 1
+			}
+		}
+		mColdStats := computeStats(mCold, mColdWall)
+		mWarmStats := computeStats(mWarm, mWarmWall)
+		printPass(stdout, "match cold", mColdStats)
+		printPass(stdout, "match warm", mWarmStats)
+		f.Entries = append(f.Entries, mColdStats.entries(prefix+"MatchCold")...)
+		f.Entries = append(f.Entries, mWarmStats.entries(prefix+"MatchWarm")...)
 	}
 
 	// Resolve the baseline before writing, so a same-directory run
@@ -270,6 +331,28 @@ func buildMix(seed uint64, size int) ([]request, error) {
 	return reqs, nil
 }
 
+// buildMatchMix derives the /v1/match request mix: size unique query
+// traces, each a small client-generated SWF log matched against the
+// server's corpus with the default options. A pure function of
+// (seed, size), like buildMix.
+func buildMatchMix(seed uint64, size int) ([]request, error) {
+	reqs := make([]request, 0, size)
+	for i := 0; i < size; i++ {
+		r := rng.New(rng.Derive(seed, fmt.Sprintf("coplotload/match/%d", i)))
+		body, err := syntheticLog(r)
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, request{
+			name:        fmt.Sprintf("match/%d", i),
+			path:        fmt.Sprintf("/v1/match?name=load-match-%d&procs=64", i),
+			contentType: "text/plain",
+			body:        body,
+		})
+	}
+	return reqs, nil
+}
+
 // syntheticLog renders a small deterministic SWF log for a request
 // body, drawn from r.
 func syntheticLog(r *rng.Source) ([]byte, error) {
@@ -283,9 +366,9 @@ func syntheticLog(r *rng.Source) ([]byte, error) {
 
 // sample is one completed request's measurement.
 type sample struct {
-	dur   time.Duration
-	cache string // the X-Coplot-Cache header: "hit" or "miss"
-	sum   [sha256.Size]byte
+	dur time.Duration
+	hit bool // served from the response cache (X-Coplot-Cache)
+	sum [sha256.Size]byte
 }
 
 // assign draws each plan position's target replica from a seeded
@@ -307,7 +390,7 @@ func assign(seed uint64, pass string, n, targets int) []int {
 // request to its assigned target, and returns the samples in plan
 // order. Any request failure fails the pass; 429 backpressure answers
 // are retried with a short delay and do not produce samples.
-func replay(client *http.Client, targets []string, assign []int, mix []request, plan []int, workers int) ([]sample, time.Duration, error) {
+func replay(clients []*coplotclient.Client, assign []int, mix []request, plan []int, workers int) ([]sample, time.Duration, error) {
 	samples := make([]sample, len(plan))
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -319,7 +402,7 @@ func replay(client *http.Client, targets []string, assign []int, mix []request, 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				s, err := send(client, targets[assign[i]], mix[plan[i]])
+				s, err := send(clients[assign[i]], mix[plan[i]])
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -340,41 +423,27 @@ func replay(client *http.Client, targets []string, assign []int, mix []request, 
 	return samples, time.Since(start), firstErr
 }
 
-// send issues one request and measures it. The server answers 429 when
-// its admission semaphore is full; those are waited out (the
-// Retry-After contract) rather than counted, up to a bounded number of
-// attempts.
-func send(client *http.Client, base string, r request) (sample, error) {
+// send issues one request through the typed client and measures it.
+// The server answers 429 (code "overloaded") when its admission
+// semaphore is full; those are waited out (the Retry-After contract)
+// rather than counted, up to a bounded number of attempts.
+func send(client *coplotclient.Client, r request) (sample, error) {
 	const maxAttempts = 200
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequest(http.MethodPost, base+r.path, bytes.NewReader(r.body))
-		if err != nil {
-			return sample{}, err
-		}
-		if r.contentType != "" {
-			req.Header.Set("Content-Type", r.contentType)
-		}
 		start := time.Now()
-		resp, err := client.Do(req)
+		body, meta, err := client.Do(context.Background(), http.MethodPost, r.path, r.contentType, r.body)
 		if err != nil {
-			return sample{}, err
-		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return sample{}, err
-		}
-		if resp.StatusCode == http.StatusTooManyRequests && attempt < maxAttempts {
-			time.Sleep(20 * time.Millisecond)
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			return sample{}, fmt.Errorf("%s: %s: %s", r.name, resp.Status, bytes.TrimSpace(body))
+			var apiErr *coplotclient.Error
+			if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests && attempt < maxAttempts {
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			return sample{}, fmt.Errorf("%s: %w", r.name, err)
 		}
 		return sample{
-			dur:   time.Since(start),
-			cache: resp.Header.Get("X-Coplot-Cache"),
-			sum:   sha256.Sum256(body),
+			dur: time.Since(start),
+			hit: meta.CacheHit,
+			sum: sha256.Sum256(body),
 		}, nil
 	}
 }
@@ -400,7 +469,7 @@ func computeStats(samples []sample, wall time.Duration) passStats {
 	for i, s := range samples {
 		durs[i] = float64(s.dur.Nanoseconds())
 		sum += durs[i]
-		if s.cache == "hit" {
+		if s.hit {
 			st.hits++
 		}
 	}

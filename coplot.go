@@ -6,7 +6,7 @@
 //
 // The package re-exports the stable surface of the internal packages:
 //
-//   - the Co-plot pipeline (Analyze): z-normalization, city-block
+//   - the Co-plot pipeline (AnalyzeContext): z-normalization, city-block
 //     dissimilarities, Guttman Smallest Space Analysis, and variable
 //     arrows with maximal correlations;
 //   - Standard Workload Format logs (ParseSWF / WriteSWF) and the
@@ -63,24 +63,17 @@ type Point = core.Point
 // Arrow is a variable's direction of maximal correlation.
 type Arrow = core.Arrow
 
-// Analyze runs the four-stage Co-plot pipeline on the dataset. It is
-// AnalyzeContext with context.Background(): use AnalyzeContext when
-// the analysis should honor a deadline or cancellation.
-func Analyze(ds *Dataset, opts Options) (*Result, error) {
-	return core.Analyze(ds, opts)
-}
-
 // AnalyzeContext runs the four-stage Co-plot pipeline under a context.
 // Cancellation is observed between the solver's SMACOF iterations and
 // between pruning rounds, so a long analysis stops promptly when ctx
-// ends (returning ctx.Err()); a completed analysis is byte-identical
-// to Analyze for the same dataset and options.
+// ends (returning ctx.Err()). Pass context.Background() when no
+// deadline applies.
 func AnalyzeContext(ctx context.Context, ds *Dataset, opts Options) (*Result, error) {
 	return core.AnalyzeContext(ctx, ds, opts)
 }
 
-// DegenerateInputError is the typed failure Analyze returns when the
-// dissimilarities admit no meaningful non-metric fit (for example a
+// DegenerateInputError is the typed failure AnalyzeContext returns when
+// the dissimilarities admit no meaningful non-metric fit (for example a
 // constant matrix, whose rank order carries no information). Callers
 // detect it with errors.As to distinguish bad input from solver bugs.
 type DegenerateInputError = mds.DegenerateInputError
@@ -259,23 +252,8 @@ func methodNames() string {
 
 // ScaleLoadWith raises or lowers a workload's load by the given factor
 // with the typed section-8 operator; maxProcs bounds parallelism
-// scaling. This is the preferred form of the old string-keyed
-// ScaleLoad.
+// scaling. Wire names are turned into LoadMethod values by
+// ParseLoadMethod.
 func ScaleLoadWith(l *Log, method LoadMethod, factor float64, maxProcs int) (*Log, error) {
 	return loadctl.Apply(l, method, factor, maxProcs)
-}
-
-// ScaleLoad raises or lowers a workload's load by the given factor
-// with the operator named methodName.
-//
-// Deprecated: use ParseLoadMethod and ScaleLoadWith, which give a
-// typed method value and an errors.Is-detectable ErrUnknownLoadMethod
-// instead of a string-matched lookup. ScaleLoad remains as a thin
-// wrapper and keeps its exact signature for existing callers.
-func ScaleLoad(l *Log, methodName string, factor float64, maxProcs int) (*Log, error) {
-	m, err := ParseLoadMethod(methodName)
-	if err != nil {
-		return nil, err
-	}
-	return ScaleLoadWith(l, m, factor, maxProcs)
 }

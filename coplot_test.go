@@ -21,7 +21,7 @@ func TestFacadeAnalyzeWorkflow(t *testing.T) {
 			{1, 10}, {2, 20}, {3, 28}, {4, 41}, {5, 52},
 		},
 	}
-	res, err := Analyze(ds, Options{})
+	res, err := AnalyzeContext(context.Background(), ds, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestFacadeSVGRendering(t *testing.T) {
 			{1, 5, 2}, {2, 3, 4}, {3, 1, 8}, {4, 2, 16},
 		},
 	}
-	res, err := Analyze(ds, Options{})
+	res, err := AnalyzeContext(context.Background(), ds, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,14 +165,18 @@ func TestFacadeParametricModel(t *testing.T) {
 func TestFacadeScaleLoad(t *testing.T) {
 	lublin := Models(128)[4]
 	log := GenerateWorkload(lublin, 12, 800)
-	scaled, err := ScaleLoad(log, "scale-runtime", 2, 128)
+	m, err := ParseLoadMethod("scale-runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := ScaleLoadWith(log, m, 2, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if scaled.Jobs[0].Runtime != 2*log.Jobs[0].Runtime {
 		t.Fatal("runtime not scaled")
 	}
-	if _, err := ScaleLoad(log, "nope", 2, 128); err == nil {
+	if _, err := ParseLoadMethod("nope"); err == nil {
 		t.Fatal("unknown method accepted")
 	}
 }
@@ -223,16 +227,18 @@ func TestFacadeLoadMethodAPI(t *testing.T) {
 			t.Fatalf("ParseLoadMethod(%q) = %v, %v", m.String(), got, err)
 		}
 	}
-	// Unknown names fail with the sentinel, through both APIs.
+	// Unknown names fail with the sentinel.
 	if _, err := ParseLoadMethod("nope"); !errors.Is(err, ErrUnknownLoadMethod) {
 		t.Fatalf("ParseLoadMethod error = %v, want ErrUnknownLoadMethod", err)
 	}
+	// Parsing a wire name and applying the typed value matches applying
+	// the typed constant directly.
 	log := GenerateWorkload(Models(128)[4], 12, 200)
-	if _, err := ScaleLoad(log, "nope", 2, 128); !errors.Is(err, ErrUnknownLoadMethod) {
-		t.Fatalf("deprecated ScaleLoad error = %v, want ErrUnknownLoadMethod", err)
+	m, err := ParseLoadMethod("scale-runtime")
+	if err != nil {
+		t.Fatal(err)
 	}
-	// The deprecated wrapper and the typed form agree byte for byte.
-	old, err := ScaleLoad(log, "scale-runtime", 2, 128)
+	parsed, err := ScaleLoadWith(log, m, 2, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,14 +247,14 @@ func TestFacadeLoadMethodAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	var a, b bytes.Buffer
-	if err := WriteSWF(&a, old); err != nil {
+	if err := WriteSWF(&a, parsed); err != nil {
 		t.Fatal(err)
 	}
 	if err := WriteSWF(&b, typed); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
-		t.Fatal("ScaleLoad and ScaleLoadWith diverge")
+		t.Fatal("parsed and typed ScaleLoadWith diverge")
 	}
 }
 
@@ -272,22 +278,13 @@ func TestFacadeAnalyzeContextCancellation(t *testing.T) {
 	if _, err := AnalyzeContext(ctx, ds, Options{}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	// Background context matches plain Analyze exactly.
-	want, err := Analyze(ds, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	// A background context completes normally.
 	got, err := AnalyzeContext(context.Background(), ds, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want.Alienation != got.Alienation {
-		t.Fatalf("alienation %v != %v", want.Alienation, got.Alienation)
-	}
-	for i := range want.Points {
-		if want.Points[i] != got.Points[i] {
-			t.Fatalf("point %d differs", i)
-		}
+	if len(got.Points) != n {
+		t.Fatalf("points = %d, want %d", len(got.Points), n)
 	}
 }
 
@@ -302,7 +299,7 @@ func TestFacadeTypedDegenerateErrors(t *testing.T) {
 			{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3},
 		},
 	}
-	_, err := Analyze(ds, Options{})
+	_, err := AnalyzeContext(context.Background(), ds, Options{})
 	var deg *DegenerateInputError
 	if !errors.As(err, &deg) {
 		t.Fatalf("err = %v, want *DegenerateInputError", err)

@@ -1,14 +1,15 @@
 package coplot_test
 
 import (
+	"context"
 	"fmt"
 
 	"coplot"
 )
 
-// ExampleAnalyze maps five observations described by three variables and
-// reads the goodness of fit.
-func ExampleAnalyze() {
+// ExampleAnalyzeContext maps five observations described by three
+// variables and reads the goodness of fit.
+func ExampleAnalyzeContext() {
 	ds := &coplot.Dataset{
 		Observations: []string{"w1", "w2", "w3", "w4", "w5"},
 		Variables:    []string{"runtime", "parallelism", "gap"},
@@ -20,7 +21,7 @@ func ExampleAnalyze() {
 			{12, 3, 25},
 		},
 	}
-	res, err := coplot.Analyze(ds, coplot.Options{})
+	res, err := coplot.AnalyzeContext(context.Background(), ds, coplot.Options{})
 	if err != nil {
 		panic(err)
 	}

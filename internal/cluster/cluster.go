@@ -234,6 +234,17 @@ func (p *Peer) Put(key string, val any, size int64) []string {
 // only failed computations, which were never back-filled.
 func (p *Peer) Delete(key string) { p.local.Delete(key) }
 
+// Keys implements store.Lister when the local backend does, reporting
+// the locally resident keys only — the ring is never enumerated.
+// Layers that need a cluster-wide view (the corpus index) merge each
+// replica's local listing themselves.
+func (p *Peer) Keys() []string {
+	if l, ok := p.local.(store.Lister); ok {
+		return l.Keys()
+	}
+	return nil
+}
+
 // Len implements store.Backend, reporting the local backend's count.
 func (p *Peer) Len() int { return p.local.Len() }
 

@@ -270,6 +270,31 @@ func AnalyzeContext(ctx context.Context, ds *Dataset, opts Options) (*Result, er
 	}
 }
 
+// AnalyzeGaugedContext is AnalyzeContext followed by gauge
+// canonicalization: the fitted configuration is rescaled so the sum of
+// its squared pairwise distances equals that of the dissimilarities
+// (mds.ScaleToDissim) — the same normalization the streaming layer
+// applies to every accepted embedding. Non-metric MDS fixes only the
+// shape of a map, not its scale, so two maps whose inter-point
+// distances are to be compared numerically (the corpus matcher ranking
+// neighbors by map distance) must first be brought to this common
+// gauge. Arrows are scale-invariant and unaffected; only the point
+// coordinates change, by one uniform factor.
+func AnalyzeGaugedContext(ctx context.Context, ds *Dataset, opts Options) (*Result, error) {
+	res, err := AnalyzeContext(ctx, ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := res.config()
+	if mds.ScaleToDissim(cfg, res.Dissimilarities) {
+		for i := range res.Points {
+			res.Points[i].X = cfg.At(i, 0)
+			res.Points[i].Y = cfg.At(i, 1)
+		}
+	}
+	return res, nil
+}
+
 // analyzeOnce runs stages 1–4 without pruning.
 func analyzeOnce(ctx context.Context, ds *Dataset, opts Options) (*Result, error) {
 	z := Normalize(ds)

@@ -1,0 +1,332 @@
+package corpus
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+
+	"coplot/internal/machine"
+	"coplot/internal/par"
+	"coplot/internal/store"
+	"coplot/internal/workload"
+)
+
+// testEntry builds a valid synthetic entry whose variables are a pure
+// function of tag.
+func testEntry(name string, tag float64) *Entry {
+	vars := make([]float64, len(workload.DatasetVars))
+	for i := range vars {
+		vars[i] = tag + float64(i)
+	}
+	id := EntryID(name, machine.Machine{Procs: 128, Scheduler: 2, Allocator: 3},
+		[]byte(fmt.Sprintf("%s/%g", name, tag)))
+	return &Entry{ID: id, Name: name, Source: SourceUpload, Jobs: 100, Vars: vars}
+}
+
+func TestSeedEntriesDeterministic(t *testing.T) {
+	// The seed corpus is the paper's 15 observations, derived from fixed
+	// seeds: two derivations must agree entry for entry, including the
+	// content-addressed IDs that make cluster union trivial.
+	a, err := SeedEntries(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SeedEntries(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 15 || len(b) != 15 {
+		t.Fatalf("seed entries = %d, %d, want 15", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Name != b[i].Name {
+			t.Fatalf("entry %d differs: %s/%s vs %s/%s", i, a[i].Name, a[i].ID, b[i].Name, b[i].ID)
+		}
+		if a[i].Source != SourceSeed {
+			t.Fatalf("entry %s source = %q", a[i].Name, a[i].Source)
+		}
+		if len(a[i].Vars) != len(workload.DatasetVars) {
+			t.Fatalf("entry %s vars = %d", a[i].Name, len(a[i].Vars))
+		}
+		for j := range a[i].Vars {
+			av, bv := a[i].Vars[j], b[i].Vars[j]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				t.Fatalf("entry %s var %d: %v vs %v", a[i].Name, j, av, bv)
+			}
+		}
+	}
+}
+
+func TestSeedIdempotentAndCounted(t *testing.T) {
+	mem := store.NewMemory(1 << 20)
+	c := New(mem, mem)
+	added, err := c.Seed(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 15 {
+		t.Fatalf("first seed added %d, want 15", added)
+	}
+	again, err := c.Seed(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != 0 {
+		t.Fatalf("second seed added %d, want 0", again)
+	}
+	st := c.Stats()
+	if st.Entries != 15 || st.Seeded != 15 || st.Admits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCorpusRecoversFromDisk(t *testing.T) {
+	// The corpus persists through the durable tier: a second Corpus over
+	// the same disk directory recovers the index without re-seeding.
+	dir := t.TempDir()
+	disk, err := store.NewDisk(dir, EntryCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(disk, disk)
+	if _, err := c.Seed(200); err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("uploaded", 1)
+	if err := c.Admit(e); err != nil {
+		t.Fatal(err)
+	}
+
+	disk2, err := store.NewDisk(dir, EntryCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(disk2, disk2)
+	st := c2.Stats()
+	if st.Entries != 16 || st.Seeded != 15 {
+		t.Fatalf("recovered stats = %+v, want 16 entries / 15 seeded", st)
+	}
+	got, ok := c2.Get(e.ID)
+	if !ok {
+		t.Fatal("upload not recovered")
+	}
+	if got.Name != e.Name || got.Source != SourceUpload || got.Jobs != e.Jobs {
+		t.Fatalf("recovered entry = %+v", got)
+	}
+	added, err := c2.Seed(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Fatalf("re-seed over recovered corpus added %d, want 0", added)
+	}
+}
+
+func TestAdmitValidation(t *testing.T) {
+	mem := store.NewMemory(1 << 20)
+	c := New(mem, mem)
+	cases := []struct {
+		name  string
+		mutil func(*Entry)
+	}{
+		{"no id", func(e *Entry) { e.ID = "" }},
+		{"no name", func(e *Entry) { e.Name = "" }},
+		{"wrong arity", func(e *Entry) { e.Vars = e.Vars[:3] }},
+		{"infinite", func(e *Entry) { e.Vars[0] = math.Inf(1) }},
+		{"all NaN", func(e *Entry) {
+			for i := range e.Vars {
+				e.Vars[i] = math.NaN()
+			}
+		}},
+		{"bad source", func(e *Entry) { e.Source = "mystery" }},
+	}
+	for _, tc := range cases {
+		e := testEntry("x", 1)
+		tc.mutil(e)
+		if err := c.Admit(e); err == nil {
+			t.Errorf("%s: admitted", tc.name)
+		}
+	}
+	if st := c.Stats(); st.Rejects != uint64(len(cases)) || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Admission is idempotent by content-addressed ID.
+	e := testEntry("ok", 2)
+	if err := c.Admit(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Admit(e); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Admits != 1 {
+		t.Fatalf("stats after double admit = %+v", st)
+	}
+}
+
+func TestWireRoundTripNaN(t *testing.T) {
+	// NaN is not JSON-representable; the wire form carries it as null
+	// and restores it on decode.
+	e := testEntry("nan", 3)
+	e.Vars[2] = math.NaN()
+	data, err := EncodeEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("NaN")) {
+		t.Fatalf("NaN leaked into JSON: %s", data)
+	}
+	back, err := DecodeEntry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != e.ID || back.Name != e.Name || back.Source != e.Source || back.Jobs != e.Jobs {
+		t.Fatalf("round trip = %+v", back)
+	}
+	for i := range e.Vars {
+		if math.IsNaN(e.Vars[i]) != math.IsNaN(back.Vars[i]) {
+			t.Fatalf("var %d NaN-ness lost", i)
+		}
+		if !math.IsNaN(e.Vars[i]) && e.Vars[i] != back.Vars[i] {
+			t.Fatalf("var %d = %v, want %v", i, back.Vars[i], e.Vars[i])
+		}
+	}
+	// The public wire form drops the kind tag; the store form keeps it.
+	pub, err := json.Marshal(e.Wire(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(pub, []byte("kind")) {
+		t.Fatalf("public form carries kind: %s", pub)
+	}
+	if !bytes.Contains(data, []byte(WireKind)) {
+		t.Fatalf("store form misses kind: %s", data)
+	}
+	// A payload with the wrong kind is rejected, not misdecoded.
+	if _, err := DecodeEntry([]byte(`{"kind":"other","id":"x"}`)); err == nil {
+		t.Fatal("wrong kind decoded")
+	}
+}
+
+func TestMergeAndSortEntries(t *testing.T) {
+	a := testEntry("alpha", 1)
+	b := testEntry("beta", 2)
+	c := testEntry("alpha", 9) // same name, distinct content → distinct ID
+	got := Merge([]*Entry{b, a}, []*Entry{a, c, nil})
+	if len(got) != 3 {
+		t.Fatalf("merged = %d entries, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		prev, cur := got[i-1], got[i]
+		if prev.Name > cur.Name || (prev.Name == cur.Name && prev.ID > cur.ID) {
+			t.Fatalf("order broken at %d: %s/%s after %s/%s", i, cur.Name, cur.ID, prev.Name, prev.ID)
+		}
+	}
+}
+
+func TestMatchDeterministicAndRanked(t *testing.T) {
+	entries, err := SeedEntries(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortEntries(entries)
+	// Query = a seed entry's own variable vector: it must rank itself
+	// nearest, at (numerically) zero distance.
+	target := entries[4]
+	query := workload.Variables{Name: "query", Values: map[string]float64{}}
+	for i, code := range workload.DatasetVars {
+		query.Values[code] = target.Vars[i]
+	}
+	opts := MatchOptions{Seed: 7}
+	res, err := Match(context.Background(), entries, query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query != "query" || res.CorpusSize != len(entries) {
+		t.Fatalf("result header = %q/%d", res.Query, res.CorpusSize)
+	}
+	if len(res.Neighbors) != len(entries) {
+		t.Fatalf("neighbors = %d, want %d", len(res.Neighbors), len(entries))
+	}
+	if res.Neighbors[0].Name != target.Name {
+		t.Fatalf("nearest = %s (%v), want %s", res.Neighbors[0].Name, res.Neighbors[0].Distance, target.Name)
+	}
+	for i := 1; i < len(res.Neighbors); i++ {
+		if res.Neighbors[i].Distance < res.Neighbors[i-1].Distance {
+			t.Fatalf("ranking not sorted at %d", i)
+		}
+	}
+	if len(res.Points) != len(entries)+1 || res.Points[len(entries)].Name != "query" {
+		t.Fatalf("points = %d, last = %q", len(res.Points), res.Points[len(res.Points)-1].Name)
+	}
+
+	// Byte-identical across runs and worker budgets.
+	base, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []MatchOptions{opts, {Seed: 7, Par: par.NewBudget(4)}} {
+		again, err := Match(context.Background(), entries, query, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(base, data) {
+			t.Fatalf("match not deterministic under %+v", o)
+		}
+	}
+
+	// K truncates.
+	topK, err := Match(context.Background(), entries, query, MatchOptions{Seed: 7, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topK.Neighbors) != 3 || topK.Neighbors[0].Name != target.Name {
+		t.Fatalf("k=3 neighbors = %d, top = %s", len(topK.Neighbors), topK.Neighbors[0].Name)
+	}
+
+	// Too-small corpora are rejected.
+	if _, err := Match(context.Background(), entries[:1], query, opts); err == nil {
+		t.Fatal("matched against a 1-entry corpus")
+	}
+}
+
+func TestMatchTieBreakByName(t *testing.T) {
+	// Two entries with identical variable vectors land on the same map
+	// point: the ranking must break the tie by name, deterministically.
+	entries := []*Entry{
+		testEntry("zeta", 1),
+		testEntry("acme", 1), // same vars as zeta → same distance
+		testEntry("mid", 5),
+		testEntry("far", 20),
+	}
+	SortEntries(entries)
+	query := workload.Variables{Name: "q", Values: map[string]float64{}}
+	for i, code := range workload.DatasetVars {
+		query.Values[code] = 1 + float64(i) + 0.01
+	}
+	res, err := Match(context.Background(), entries, query, MatchOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acme, zeta int = -1, -1
+	for i, n := range res.Neighbors {
+		switch n.Name {
+		case "acme":
+			acme = i
+		case "zeta":
+			zeta = i
+		}
+	}
+	if acme == -1 || zeta == -1 {
+		t.Fatal("tie entries missing from ranking")
+	}
+	if res.Neighbors[acme].Distance == res.Neighbors[zeta].Distance && acme > zeta {
+		t.Fatalf("tie broken against name order: acme at %d, zeta at %d", acme, zeta)
+	}
+}

@@ -1,0 +1,109 @@
+package corpus
+
+// The durable and cross-replica wire form of a corpus entry. Entries
+// live in the same store backend as cached responses, so the serving
+// layer's codec delegates here for *Entry values: the payload is JSON
+// tagged with a "kind" field (legacy response artifacts have no such
+// field, which keeps old cache directories readable), and NaN
+// variables — which encoding/json cannot represent as numbers — travel
+// as nulls.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"coplot/internal/workload"
+)
+
+// WireKind tags an entry's JSON payload so a mixed-artifact store can
+// route decoding.
+const WireKind = "corpus-entry"
+
+// WireEntry is the JSON form of an Entry, shared by the durable store
+// payload, the replica-to-replica index exchange, and the public
+// /v1/corpus responses.
+type WireEntry struct {
+	// Kind is WireKind in store payloads (omitted on the public API).
+	Kind string `json:"kind,omitempty"`
+	// ID is the entry's content-addressed store key.
+	ID     string `json:"id"`
+	Name   string `json:"name"`   // Name mirrors Entry.Name.
+	Source string `json:"source"` // Source mirrors Entry.Source.
+	Jobs   int    `json:"jobs"`   // Jobs mirrors Entry.Jobs.
+	// Vars maps variable codes to values; null carries NaN (missing).
+	Vars map[string]*float64 `json:"vars"`
+}
+
+// Wire renders the entry's JSON-safe form. public drops the kind tag
+// for API responses.
+func (e *Entry) Wire(public bool) WireEntry {
+	w := WireEntry{ID: e.ID, Name: e.Name, Source: e.Source, Jobs: e.Jobs,
+		Vars: make(map[string]*float64, len(e.Vars))}
+	if !public {
+		w.Kind = WireKind
+	}
+	for i, code := range workload.DatasetVars {
+		if math.IsNaN(e.Vars[i]) {
+			w.Vars[code] = nil
+			continue
+		}
+		v := e.Vars[i]
+		w.Vars[code] = &v
+	}
+	return w
+}
+
+// Entry converts the wire form back; variables absent from the map
+// decode as NaN, exactly like nulls.
+func (w WireEntry) Entry() *Entry {
+	e := &Entry{ID: w.ID, Name: w.Name, Source: w.Source, Jobs: w.Jobs,
+		Vars: make([]float64, len(workload.DatasetVars))}
+	for i, code := range workload.DatasetVars {
+		if p, ok := w.Vars[code]; ok && p != nil {
+			e.Vars[i] = *p
+		} else {
+			e.Vars[i] = math.NaN()
+		}
+	}
+	return e
+}
+
+// EncodeEntry renders an entry's durable payload.
+func EncodeEntry(e *Entry) ([]byte, error) {
+	return json.Marshal(e.Wire(false))
+}
+
+// DecodeEntry reverses EncodeEntry.
+func DecodeEntry(data []byte) (*Entry, error) {
+	var w WireEntry
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, err
+	}
+	if w.Kind != WireKind {
+		return nil, fmt.Errorf("corpus: payload kind %q is not a corpus entry", w.Kind)
+	}
+	return w.Entry(), nil
+}
+
+// EntryCodec is the store.Codec for *Entry artifacts; the serving
+// layer's mixed-artifact codec delegates to it for corpus entries.
+type EntryCodec struct{}
+
+// Encode implements store.Codec.
+func (EntryCodec) Encode(v any) ([]byte, bool) {
+	e, ok := v.(*Entry)
+	if !ok {
+		return nil, false
+	}
+	data, err := EncodeEntry(e)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Decode implements store.Codec.
+func (EntryCodec) Decode(data []byte) (any, error) {
+	return DecodeEntry(data)
+}

@@ -8,15 +8,16 @@ import (
 
 // TestEnginePackagesFullyDocumented is the godoc-hygiene gate of the
 // infrastructure layers: every exported identifier in internal/engine,
-// internal/obs, internal/store and internal/cluster (types, funcs,
-// methods, consts, struct fields, interface methods) carries a doc
-// comment.
+// internal/obs, internal/store, internal/cluster and internal/corpus
+// (types, funcs, methods, consts, struct fields, interface methods)
+// carries a doc comment.
 func TestEnginePackagesFullyDocumented(t *testing.T) {
 	for _, dir := range []string{
 		filepath.Join("..", "engine"),
 		filepath.Join("..", "obs"),
 		filepath.Join("..", "store"),
 		filepath.Join("..", "cluster"),
+		filepath.Join("..", "corpus"),
 		".", // hold this package to its own bar
 	} {
 		violations, err := Check(dir, Full)

@@ -54,6 +54,30 @@ type Manifest struct {
 	// stream.drift events); nil when the run served no streams, so
 	// batch-CLI manifests are unchanged by the streaming layer.
 	Stream *StreamStats `json:"stream,omitempty"`
+	// Corpus snapshots the reference-corpus counters; nil outside the
+	// serving layer, so batch-CLI manifests are unchanged by it. Stamped
+	// by the producer (like Storage), not folded from the event stream.
+	Corpus *CorpusStats `json:"corpus,omitempty"`
+}
+
+// CorpusStats snapshots the workload-matching corpus surfaced on
+// /metrics. Entries, Seeded and the admit counters are deterministic
+// for a given request sequence; MatchMS is wall time (timing field).
+type CorpusStats struct {
+	// Entries is the replica's local corpus index size.
+	Entries int `json:"entries"`
+	// Seeded counts the built-in paper observations present.
+	Seeded int `json:"seeded"`
+	// Admits counts uploads accepted through POST /v1/corpus.
+	Admits uint64 `json:"admits"`
+	// Rejects counts uploads that failed admission validation.
+	Rejects uint64 `json:"rejects"`
+	// Matches counts completed /v1/match computations (cache hits
+	// excluded — they never reach the matcher).
+	Matches uint64 `json:"matches"`
+	// MatchMS is the cumulative match wall time in milliseconds
+	// (timing field).
+	MatchMS float64 `json:"match_ms"`
 }
 
 // StreamStats aggregates the streaming layer's event counters. Both
@@ -181,6 +205,11 @@ func (m *Manifest) Stable() *Manifest {
 	if m.Stream != nil {
 		st := *m.Stream
 		c.Stream = &st
+	}
+	if m.Corpus != nil {
+		cs := *m.Corpus
+		cs.MatchMS = 0
+		c.Corpus = &cs
 	}
 	if m.Failures != nil {
 		f := *m.Failures

@@ -1,0 +1,258 @@
+package service
+
+// The generated API reference. Every /v1 endpoint is described by a
+// static descriptor — options with their types and resolved defaults,
+// the error codes it can answer — and APIReference renders the whole
+// surface as the markdown served at docs/API.md. The descriptors are
+// data, not prose scattered across handlers, so the doc-drift test can
+// hold the committed file byte-identical to what this code generates:
+// adding an endpoint or an option without regenerating the reference
+// fails the suite.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// apiOption describes one query option of an endpoint.
+type apiOption struct {
+	Name    string
+	Type    string // "string", "int", "uint", "float"
+	Default string // resolved default ("" = required)
+	Doc     string
+}
+
+// apiEndpoint describes one endpoint of the /v1 surface.
+type apiEndpoint struct {
+	Method  string
+	Path    string
+	Name    string // the endpoint name error envelopes carry
+	Body    string // what the request body holds ("" = none)
+	Returns string
+	Errors  []string // machine error codes beyond the universal set
+	Options []apiOption
+	Doc     string
+}
+
+// machineOptions is the shared machine description triple.
+var machineOptions = []apiOption{
+	{"procs", "int", "128", "processors of the machine the log ran on"},
+	{"sched", "string", "easy", "scheduler: nqs, easy, or gang"},
+	{"alloc", "string", "unlimited", "allocation: pow2, limited, or unlimited"},
+}
+
+// apiEndpoints is the full public surface, in route order.
+var apiEndpoints = []apiEndpoint{
+	{
+		Method: "POST", Path: "/v1/analyze", Name: "analyze",
+		Body:    "CSV data matrix, or multipart SWF logs (≥3 parts)",
+		Returns: "the Co-plot report, byte-identical to cmd/coplot stdout",
+		Errors:  []string{"degenerate_input"},
+		Options: []apiOption{
+			{"prune", "float", "0", "drop arrows with max correlation below this"},
+			{"seed", "uint", "7", "multi-start solver seed"},
+			{"procs", "int", "128", "machine size for multipart SWF characterization"},
+			{"landmarks", "int", "server -landmarks", "landmark-MDS threshold (0 = solve exactly)"},
+			{"vars", "string", "(all)", "comma-separated Table-1 variable codes to keep"},
+		},
+		Doc: "Run the four-stage Co-plot pipeline over a data matrix or a set of workload logs.",
+	},
+	{
+		Method: "POST", Path: "/v1/variables", Name: "variables",
+		Body:    "SWF log",
+		Returns: "the Table-1 variable report, byte-identical to cmd/wstat stdout",
+		Options: append([]apiOption{
+			{"name", "string", "log", "observation label in the report"},
+		}, machineOptions...),
+		Doc: "Characterize one log as the paper's nine workload variables.",
+	},
+	{
+		Method: "POST", Path: "/v1/hurst", Name: "hurst",
+		Body:    "SWF log",
+		Returns: "the Hurst estimate report, byte-identical to cmd/hurst stdout",
+		Options: []apiOption{
+			{"name", "string", "log", "observation label in the report"},
+		},
+		Doc: "Estimate the Hurst parameter of the log's Table-3 series.",
+	},
+	{
+		Method: "POST", Path: "/v1/validate", Name: "validate",
+		Body:    "SWF log",
+		Returns: "the audit report (X-Coplot-Validate-Errors carries the error count)",
+		Options: append(append([]apiOption{
+			{"name", "string", "log", "observation label in the report"},
+		}, machineOptions...),
+			apiOption{"downtime-factor", "float", "0", "flag inter-arrival gaps this many times the median (0 = default)"},
+			apiOption{"top-user", "float", "0", "flag a user owning more than this fraction of jobs (0 = default)"},
+		),
+		Doc: "Audit a log for structural and statistical anomalies.",
+	},
+	{
+		Method: "POST", Path: "/v1/scale-load", Name: "scale-load",
+		Body:    "SWF log",
+		Returns: "the scaled log in SWF",
+		Options: []apiOption{
+			{"method", "string", "", "section-8 operator: one of the cmd/loadctl method names"},
+			{"factor", "float", "", "load scaling factor"},
+			{"procs", "int", "128", "parallelism bound for job-size scaling"},
+		},
+		Doc: "Apply one section-8 load-modification operator.",
+	},
+	{
+		Method: "POST", Path: "/v1/generate", Name: "generate",
+		Returns: "a synthetic SWF workload, byte-identical to cmd/wgen stdout",
+		Options: []apiOption{
+			{"model", "string", "", "model name (feitelson96, feitelson97, downey, jann, lublin, ...)"},
+			{"procs", "int", "128", "machine size the model targets"},
+			{"n", "int", "10000", "jobs to generate"},
+			{"seed", "uint", "1", "generator seed"},
+		},
+		Doc: "Draw a synthetic workload from a named model.",
+	},
+	{
+		Method: "POST", Path: "/v1/corpus", Name: "corpus",
+		Body:    "SWF log",
+		Returns: "201 and the admitted corpus entry (JSON)",
+		Options: append([]apiOption{
+			{"name", "string", "", "entry label in embeddings and neighbor lists"},
+		}, machineOptions...),
+		Doc: "Admit a workload to the reference corpus. The entry ID is a " +
+			"content hash of (name, machine, log bytes): re-admitting the same " +
+			"upload is idempotent on every replica.",
+	},
+	{
+		Method: "GET", Path: "/v1/corpus", Name: "corpus",
+		Returns: "the corpus index (JSON), cluster-merged and canonically ordered",
+		Doc:     "List the corpus: the 15 seeded paper observations plus every upload.",
+	},
+	{
+		Method: "GET", Path: "/v1/corpus/{id}", Name: "corpus",
+		Returns: "one corpus entry (JSON)",
+		Errors:  []string{"not_found"},
+		Doc:     "Fetch one corpus entry by ID.",
+	},
+	{
+		Method: "DELETE", Path: "/v1/corpus/{id}", Name: "corpus",
+		Returns: `{"id":..., "deleted":true}`,
+		Errors:  []string{"not_found"},
+		Doc:     "Remove a corpus entry, cluster-wide (the delete is broadcast to every replica).",
+	},
+	{
+		Method: "POST", Path: "/v1/match", Name: "match",
+		Body:    "SWF log (the query trace)",
+		Returns: "the ranked neighbor list plus the joint embedding (JSON)",
+		Errors:  []string{"degenerate_input"},
+		Options: append([]apiOption{
+			{"name", "string", "query", "query label in the joint embedding"},
+			{"seed", "uint", "7", "multi-start solver seed"},
+			{"landmarks", "int", "server -landmarks", "landmark-MDS threshold (0 = solve exactly)"},
+			{"k", "int", "0 (all)", "truncate the neighbor list to the k nearest"},
+		}, machineOptions...),
+		Doc: "Match a workload trace against the corpus: embed the query jointly " +
+			"with every entry, canonicalize the map to the dissimilarity gauge, and " +
+			"rank entries by map distance with per-variable z-score deltas. " +
+			"Deterministic: byte-identical across runs, worker counts, and replicas.",
+	},
+	{
+		Method: "POST", Path: "/v1/stream/{id}/append", Name: "stream-append",
+		Body:    "SWF chunk",
+		Returns: "the stream's new snapshot (JSON)",
+		Errors:  []string{"conflict"},
+		Options: append(append([]apiOption{
+			{"obs", "string", "log", "observation the chunk folds into"},
+			{"seed", "uint", "7", "embedding solver seed (pinned at stream creation)"},
+		}, machineOptions...),
+			apiOption{"drift-pos", "float", "server -drift-pos", "positional drift threshold"},
+			apiOption{"drift-angle", "float", "server -drift-angle", "arrow drift threshold (radians)"},
+			apiOption{"landmarks", "int", "server -landmarks", "landmark-MDS threshold"},
+		),
+		Doc: "Fold a chunk into a live stream, creating it on first use; " +
+			"options are pinned at creation and later appends must not change them (409 conflict).",
+	},
+	{
+		Method: "GET", Path: "/v1/stream/{id}", Name: "stream",
+		Returns: "the stream's latest snapshot (JSON)",
+		Errors:  []string{"not_found"},
+		Doc:     "Fetch a live stream's latest embedding.",
+	},
+	{
+		Method: "GET", Path: "/v1/stream/{id}/watch", Name: "stream-watch",
+		Returns: "Server-Sent Events: snapshot and drift events",
+		Errors:  []string{"not_found"},
+		Doc:     "Subscribe to a stream's snapshots as they are published.",
+	},
+	{
+		Method: "DELETE", Path: "/v1/stream/{id}", Name: "stream",
+		Returns: "204",
+		Errors:  []string{"not_found"},
+		Doc:     "Drop a stream and free its slot.",
+	},
+	{
+		Method: "GET", Path: "/v1/streams", Name: "streams",
+		Returns: "the registered stream ids, sorted (JSON)",
+		Doc:     "List live streams.",
+	},
+}
+
+// apiErrorCodes is the full machine-code vocabulary of the error
+// envelope, with the status each code rides on.
+var apiErrorCodes = []struct {
+	Code   string
+	Status int
+	Doc    string
+}{
+	{CodeBadRequest, 400, "malformed body, bad option value, or an unknown query parameter (named in the message)"},
+	{CodeDegenerateInput, 400, "the input admits no meaningful non-metric fit (e.g. a constant matrix)"},
+	{CodeNotFound, 404, "no such corpus entry or stream"},
+	{CodeConflict, 409, "stream options changed after creation, or a stream/observation limit was hit"},
+	{CodeTooLarge, 413, "request body over the per-request byte limit"},
+	{CodeOverloaded, 429, "admission semaphore full; retry after the Retry-After delay"},
+	{CodeInternal, 500, "a panic while computing; the process keeps serving"},
+	{CodeCancelled, 503, "the client went away mid-compute"},
+	{CodeTimeout, 504, "the request exceeded the server's -request-timeout"},
+}
+
+// APIReference renders the endpoint reference markdown committed at
+// docs/API.md.
+func APIReference() string {
+	var b strings.Builder
+	b.WriteString("# coplotd /v1 API reference\n\n")
+	b.WriteString("Generated from the endpoint descriptors in " +
+		"`internal/service/apidoc.go` — edit those and regenerate with\n" +
+		"`COPLOT_WRITE_API_DOCS=1 go test ./internal/service/ -run TestAPIReference`.\n" +
+		"A drift test keeps this file byte-identical to the generator.\n\n")
+	b.WriteString("Every non-2xx answer is a structured envelope\n" +
+		"`{\"error\":{\"code\",\"endpoint\",\"message\"}}`; success bodies of the\n" +
+		"CLI-mirroring endpoints stay byte-identical to the matching CLI's\n" +
+		"stdout. Cacheable responses carry `X-Coplot-Cache` (hit/miss) and\n" +
+		"`X-Coplot-Key` (the content-hash cache key). `pkg/coplotclient` is\n" +
+		"the typed Go client for this surface.\n\n")
+	b.WriteString("## Endpoints\n")
+	for _, e := range apiEndpoints {
+		fmt.Fprintf(&b, "\n### %s %s\n\n%s\n\n", e.Method, e.Path, e.Doc)
+		if e.Body != "" {
+			fmt.Fprintf(&b, "- **Body:** %s\n", e.Body)
+		}
+		fmt.Fprintf(&b, "- **Returns:** %s\n", e.Returns)
+		fmt.Fprintf(&b, "- **Error endpoint name:** `%s`", e.Name)
+		if len(e.Errors) > 0 {
+			fmt.Fprintf(&b, "; extra codes: `%s`", strings.Join(e.Errors, "`, `"))
+		}
+		b.WriteString("\n")
+		if len(e.Options) > 0 {
+			b.WriteString("\n| option | type | default | meaning |\n|---|---|---|---|\n")
+			for _, o := range e.Options {
+				def := o.Default
+				if def == "" {
+					def = "**required**"
+				}
+				fmt.Fprintf(&b, "| `%s` | %s | %s | %s |\n", o.Name, o.Type, def, o.Doc)
+			}
+		}
+	}
+	b.WriteString("\n## Error codes\n\n| code | status | meaning |\n|---|---|---|\n")
+	for _, c := range apiErrorCodes {
+		fmt.Fprintf(&b, "| `%s` | %d | %s |\n", c.Code, c.Status, c.Doc)
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// apiDocPath locates docs/API.md relative to this package.
+const apiDocPath = "../../docs/API.md"
+
+// TestAPIReferenceCurrent holds the committed endpoint reference
+// byte-identical to the generator: descriptor edits without a
+// regenerated docs/API.md fail here. Regenerate with
+// COPLOT_WRITE_API_DOCS=1.
+func TestAPIReferenceCurrent(t *testing.T) {
+	want := APIReference()
+	if os.Getenv("COPLOT_WRITE_API_DOCS") != "" {
+		if err := os.MkdirAll(filepath.Dir(apiDocPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiDocPath, []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", apiDocPath, len(want))
+		return
+	}
+	got, err := os.ReadFile(apiDocPath)
+	if err != nil {
+		t.Fatalf("%v — regenerate with COPLOT_WRITE_API_DOCS=1 go test ./internal/service/ -run TestAPIReference", err)
+	}
+	if string(got) != want {
+		t.Fatalf("docs/API.md is stale — regenerate with COPLOT_WRITE_API_DOCS=1 go test ./internal/service/ -run TestAPIReference")
+	}
+}
+
+// TestAPIReferenceCoversRoutes cross-checks the descriptor table
+// against the live mux: every described route must resolve to a
+// handler, so a renamed or removed endpoint cannot keep a stale entry.
+func TestAPIReferenceCoversRoutes(t *testing.T) {
+	svc := mustNew(t, Config{Jobs: 1, CorpusJobs: -1})
+	for _, e := range apiEndpoints {
+		// Fill path parameters with a syntactically valid id.
+		path := strings.ReplaceAll(e.Path, "{id}", "probe")
+		r := httptest.NewRequest(e.Method, path, nil)
+		_, pattern := svc.mux.Handler(r)
+		if pattern == "" {
+			t.Errorf("%s %s: no handler registered", e.Method, e.Path)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 package service
 
-// The endpoint handlers. Each parses its options into a canonical
-// form, derives the content-hash cache key, and returns a compute
+// The endpoint handlers. Each parses its options through the shared
+// RequestOptions decoder into a canonical form, derives the
+// content-hash cache key from exactly that form, and returns a compute
 // closure that renders the exact bytes the matching CLI writes to
 // stdout — through the shared helpers in input.go and render.go, so
 // the identity holds by construction.
@@ -15,7 +16,6 @@ import (
 	"mime"
 	"mime/multipart"
 	"net/http"
-	"net/url"
 	"strconv"
 	"strings"
 
@@ -27,76 +27,6 @@ import (
 	"coplot/internal/validate"
 	"coplot/internal/workload"
 )
-
-// qStr reads a string option with a default.
-func qStr(q url.Values, key, def string) string {
-	if v := q.Get(key); v != "" {
-		return v
-	}
-	return def
-}
-
-// qInt reads an integer option with a default.
-func qInt(q url.Values, key string, def int) (int, error) {
-	v := q.Get(key)
-	if v == "" {
-		return def, nil
-	}
-	n, err := strconv.Atoi(v)
-	if err != nil {
-		return 0, badRequest(fmt.Errorf("option %s: %v", key, err))
-	}
-	return n, nil
-}
-
-// qUint reads an unsigned option (seeds) with a default.
-func qUint(q url.Values, key string, def uint64) (uint64, error) {
-	v := q.Get(key)
-	if v == "" {
-		return def, nil
-	}
-	n, err := strconv.ParseUint(v, 10, 64)
-	if err != nil {
-		return 0, badRequest(fmt.Errorf("option %s: %v", key, err))
-	}
-	return n, nil
-}
-
-// qFloat reads a float option with a default.
-func qFloat(q url.Values, key string, def float64) (float64, error) {
-	v := q.Get(key)
-	if v == "" {
-		return def, nil
-	}
-	f, err := strconv.ParseFloat(v, 64)
-	if err != nil {
-		return 0, badRequest(fmt.Errorf("option %s: %v", key, err))
-	}
-	return f, nil
-}
-
-// machineFromQuery parses the shared machine options (procs, sched,
-// alloc) with the CLI defaults: a 128-processor EASY system with
-// unlimited allocation, named "cli" so reports match the CLIs byte for
-// byte.
-func machineFromQuery(q url.Values) (procs int, canon []string, m coplot.Machine, err error) {
-	procs, err = qInt(q, "procs", 128)
-	if err != nil {
-		return 0, nil, coplot.Machine{}, err
-	}
-	sched := qStr(q, "sched", "easy")
-	alloc := qStr(q, "alloc", "unlimited")
-	m, merr := ParseMachine("cli", procs, sched, alloc)
-	if merr != nil {
-		return 0, nil, coplot.Machine{}, badRequest(merr)
-	}
-	canon = []string{
-		fmt.Sprintf("procs=%d", procs),
-		"sched=" + sched,
-		"alloc=" + alloc,
-	}
-	return procs, canon, m, nil
-}
 
 // parseLogBody parses a request body as one SWF log.
 func parseLogBody(body []byte) (*swf.Log, error) {
@@ -119,34 +49,19 @@ type swfPart struct {
 // default), vars, procs, landmarks (default Config.Landmarks). The
 // body is the exact cmd/coplot report.
 func (s *Service) analyze(r *http.Request, body []byte) (string, func(context.Context) (*response, error), error) {
-	q := r.URL.Query()
-	prune, err := qFloat(q, "prune", 0)
-	if err != nil {
-		return "", nil, err
-	}
-	seed, err := qUint(q, "seed", 7)
-	if err != nil {
-		return "", nil, err
-	}
-	procs, err := qInt(q, "procs", 128)
-	if err != nil {
-		return "", nil, err
-	}
-	landmarks, err := qInt(q, "landmarks", s.cfg.Landmarks)
-	if err != nil {
-		return "", nil, err
-	}
-	vars := qStr(q, "vars", "")
+	o := newRequestOptions(r)
+	prune := o.Float("prune", 0)
+	seed := o.Uint("seed", 7)
+	procs := o.Int("procs", 128)
 	// The resolved landmark count is part of the canonical options —
 	// the server default participates in the key, so two replicas with
 	// different -landmarks defaults never alias each other's entries.
-	canon := []string{
-		fmt.Sprintf("prune=%g", prune),
-		fmt.Sprintf("seed=%d", seed),
-		fmt.Sprintf("procs=%d", procs),
-		fmt.Sprintf("landmarks=%d", landmarks),
-		"vars=" + vars,
+	landmarks := o.Int("landmarks", s.cfg.Landmarks)
+	vars := o.Str("vars", "")
+	if err := o.Err(); err != nil {
+		return "", nil, err
 	}
+	canon := o.Canonical()
 
 	mt, params, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	if strings.HasPrefix(mt, "multipart/") {
@@ -251,7 +166,7 @@ func (s *Service) analyzeDataset(ctx context.Context, ds *core.Dataset, vars str
 		// Degenerate input is the caller's data, not a server fault.
 		var deg *mds.DegenerateInputError
 		if errors.As(err, &deg) {
-			return nil, badRequest(err)
+			return nil, degenerate(err)
 		}
 		return nil, err
 	}
@@ -262,13 +177,13 @@ func (s *Service) analyzeDataset(ctx context.Context, ds *core.Dataset, vars str
 // log in the body, rendered exactly as cmd/wstat prints them. Options:
 // name (the report label, default "log"), procs, sched, alloc.
 func (s *Service) variables(r *http.Request, body []byte) (string, func(context.Context) (*response, error), error) {
-	q := r.URL.Query()
-	name := qStr(q, "name", "log")
-	_, canon, m, err := machineFromQuery(q)
-	if err != nil {
+	o := newRequestOptions(r)
+	name := o.Str("name", "log")
+	m, _ := o.Machine()
+	if err := o.Err(); err != nil {
 		return "", nil, err
 	}
-	key := cacheKey("variables", append(canon, "name="+name), body)
+	key := cacheKey("variables", o.Canonical(), body)
 	run := func(ctx context.Context) (*response, error) {
 		log, err := parseLogBody(body)
 		if err != nil {
@@ -288,8 +203,12 @@ func (s *Service) variables(r *http.Request, body []byte) (string, func(context.
 // prints them. Options: name (default "log"). The estimator fan-out
 // draws from the service-wide worker budget.
 func (s *Service) hurst(r *http.Request, body []byte) (string, func(context.Context) (*response, error), error) {
-	name := qStr(r.URL.Query(), "name", "log")
-	key := cacheKey("hurst", []string{"name=" + name}, body)
+	o := newRequestOptions(r)
+	name := o.Str("name", "log")
+	if err := o.Err(); err != nil {
+		return "", nil, err
+	}
+	key := cacheKey("hurst", o.Canonical(), body)
 	run := func(ctx context.Context) (*response, error) {
 		log, err := parseLogBody(body)
 		if err != nil {
@@ -309,26 +228,15 @@ func (s *Service) hurst(r *http.Request, body []byte) (string, func(context.Cont
 // X-Coplot-Validate-Errors header carries the error-severity count.
 // Options: name, procs, sched, alloc, downtime-factor, top-user.
 func (s *Service) validate(r *http.Request, body []byte) (string, func(context.Context) (*response, error), error) {
-	q := r.URL.Query()
-	name := qStr(q, "name", "log")
-	_, canon, m, err := machineFromQuery(q)
-	if err != nil {
+	o := newRequestOptions(r)
+	name := o.Str("name", "log")
+	m, _ := o.Machine()
+	downtime := o.Float("downtime-factor", 0)
+	topUser := o.Float("top-user", 0)
+	if err := o.Err(); err != nil {
 		return "", nil, err
 	}
-	downtime, err := qFloat(q, "downtime-factor", 0)
-	if err != nil {
-		return "", nil, err
-	}
-	topUser, err := qFloat(q, "top-user", 0)
-	if err != nil {
-		return "", nil, err
-	}
-	canon = append(canon,
-		"name="+name,
-		fmt.Sprintf("downtime-factor=%g", downtime),
-		fmt.Sprintf("top-user=%g", topUser),
-	)
-	key := cacheKey("validate", canon, body)
+	key := cacheKey("validate", o.Canonical(), body)
 	run := func(ctx context.Context) (*response, error) {
 		log, err := parseLogBody(body)
 		if err != nil {
@@ -349,32 +257,22 @@ func (s *Service) validate(r *http.Request, body []byte) (string, func(context.C
 // log in SWF. Options: method (required; a coplot.LoadMethod wire
 // name), factor (required), procs.
 func (s *Service) scaleLoad(r *http.Request, body []byte) (string, func(context.Context) (*response, error), error) {
-	q := r.URL.Query()
-	methodName := q.Get("method")
-	if methodName == "" {
-		return "", nil, badRequest(fmt.Errorf("option method is required"))
+	o := newRequestOptions(r)
+	methodName := o.RequiredStr("method")
+	factor := o.RequiredFloat("factor")
+	maxProcs := o.Int("procs", 128)
+	var method coplot.LoadMethod
+	if methodName != "" {
+		var err error
+		method, err = coplot.ParseLoadMethod(methodName)
+		if err != nil {
+			o.fail(badRequest(err))
+		}
 	}
-	method, err := coplot.ParseLoadMethod(methodName)
-	if err != nil {
-		return "", nil, badRequest(err)
-	}
-	if q.Get("factor") == "" {
-		return "", nil, badRequest(fmt.Errorf("option factor is required"))
-	}
-	factor, err := qFloat(q, "factor", 0)
-	if err != nil {
+	if err := o.Err(); err != nil {
 		return "", nil, err
 	}
-	maxProcs, err := qInt(q, "procs", 128)
-	if err != nil {
-		return "", nil, err
-	}
-	canon := []string{
-		"method=" + method.String(),
-		fmt.Sprintf("factor=%g", factor),
-		fmt.Sprintf("procs=%d", maxProcs),
-	}
-	key := cacheKey("scale-load", canon, body)
+	key := cacheKey("scale-load", o.Canonical(), body)
 	run := func(ctx context.Context) (*response, error) {
 		log, err := parseLogBody(body)
 		if err != nil {
@@ -398,30 +296,15 @@ func (s *Service) scaleLoad(r *http.Request, body []byte) (string, func(context.
 // Options: model (required; ModelByName names), procs, n, seed —
 // matching the wgen flags and defaults.
 func (s *Service) generate(r *http.Request, body []byte) (string, func(context.Context) (*response, error), error) {
-	q := r.URL.Query()
-	model := q.Get("model")
-	if model == "" {
-		return "", nil, badRequest(fmt.Errorf("option model is required"))
-	}
-	procs, err := qInt(q, "procs", 128)
-	if err != nil {
+	o := newRequestOptions(r)
+	model := o.RequiredStr("model")
+	procs := o.Int("procs", 128)
+	n := o.Int("n", 10000)
+	seed := o.Uint("seed", 1)
+	if err := o.Err(); err != nil {
 		return "", nil, err
 	}
-	n, err := qInt(q, "n", 10000)
-	if err != nil {
-		return "", nil, err
-	}
-	seed, err := qUint(q, "seed", 1)
-	if err != nil {
-		return "", nil, err
-	}
-	canon := []string{
-		"model=" + model,
-		fmt.Sprintf("procs=%d", procs),
-		fmt.Sprintf("n=%d", n),
-		fmt.Sprintf("seed=%d", seed),
-	}
-	key := cacheKey("generate", canon)
+	key := cacheKey("generate", o.Canonical())
 	run := func(ctx context.Context) (*response, error) {
 		gen, err := ModelByName(model, procs)
 		if err != nil {

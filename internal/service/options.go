@@ -1,0 +1,184 @@
+package service
+
+// RequestOptions is the one typed query-option decoder every /v1
+// endpoint parses through. It replaces the per-handler ad-hoc parsing
+// with three shared behaviors:
+//
+//   - typed accessors (Str/Int/Uint/Float and their Required forms)
+//     with defaults, recording the first parse failure instead of
+//     forcing error plumbing through every call site;
+//   - a canonical options list, appended in accessor call order with
+//     one stable format per type, which is the exact option slice the
+//     response cache key is derived from — resolved defaults included,
+//     so two servers configured differently never alias each other's
+//     cache entries;
+//   - strict unknown-parameter rejection: any query parameter no
+//     accessor consumed fails the request 400 with the offending name,
+//     instead of being silently ignored (a misspelled "landmark="
+//     used to silently analyze with the default).
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+
+	"coplot/internal/machine"
+)
+
+// RequestOptions decodes one request's query options. Zero value is
+// not usable; build it with newRequestOptions.
+type RequestOptions struct {
+	q     url.Values
+	known map[string]bool
+	canon []string
+	err   error
+}
+
+// newRequestOptions starts decoding a request's query string.
+func newRequestOptions(r *http.Request) *RequestOptions {
+	return &RequestOptions{q: r.URL.Query(), known: map[string]bool{}}
+}
+
+// fail records the first error; later accessors still run (their
+// canonical entries don't matter once the request is failing).
+func (o *RequestOptions) fail(err error) {
+	if o.err == nil {
+		o.err = err
+	}
+}
+
+// resolve marks key as known and returns its raw value.
+func (o *RequestOptions) resolve(key string) string {
+	o.known[key] = true
+	return o.q.Get(key)
+}
+
+// Str reads a string option, recording "key=value" (the resolved
+// value, default included) in the canonical options.
+func (o *RequestOptions) Str(key, def string) string {
+	v := o.resolve(key)
+	if v == "" {
+		v = def
+	}
+	o.canon = append(o.canon, key+"="+v)
+	return v
+}
+
+// RequiredStr is Str without a default: an absent option fails the
+// request 400.
+func (o *RequestOptions) RequiredStr(key string) string {
+	v := o.resolve(key)
+	if v == "" {
+		o.fail(badRequest(fmt.Errorf("option %q is required", key)))
+	}
+	o.canon = append(o.canon, key+"="+v)
+	return v
+}
+
+// Int reads an integer option.
+func (o *RequestOptions) Int(key string, def int) int {
+	v := o.resolve(key)
+	n := def
+	if v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil {
+			o.fail(badRequest(fmt.Errorf("option %s: %v", key, err)))
+		} else {
+			n = parsed
+		}
+	}
+	o.canon = append(o.canon, fmt.Sprintf("%s=%d", key, n))
+	return n
+}
+
+// Uint reads an unsigned option (seeds).
+func (o *RequestOptions) Uint(key string, def uint64) uint64 {
+	v := o.resolve(key)
+	n := def
+	if v != "" {
+		parsed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			o.fail(badRequest(fmt.Errorf("option %s: %v", key, err)))
+		} else {
+			n = parsed
+		}
+	}
+	o.canon = append(o.canon, fmt.Sprintf("%s=%d", key, n))
+	return n
+}
+
+// Float reads a float option.
+func (o *RequestOptions) Float(key string, def float64) float64 {
+	v := o.resolve(key)
+	f := def
+	if v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			o.fail(badRequest(fmt.Errorf("option %s: %v", key, err)))
+		} else {
+			f = parsed
+		}
+	}
+	o.canon = append(o.canon, fmt.Sprintf("%s=%g", key, f))
+	return f
+}
+
+// RequiredFloat is Float without a default.
+func (o *RequestOptions) RequiredFloat(key string) float64 {
+	if o.q.Get(key) == "" {
+		o.known[key] = true
+		o.fail(badRequest(fmt.Errorf("option %q is required", key)))
+		o.canon = append(o.canon, key+"=")
+		return 0
+	}
+	return o.Float(key, 0)
+}
+
+// Allow marks keys as known without reading them, for parameters a
+// handler consumes outside the decoder (the stream endpoints' "obs").
+func (o *RequestOptions) Allow(keys ...string) {
+	for _, k := range keys {
+		o.known[k] = true
+	}
+}
+
+// Machine reads the shared machine options (procs, sched, alloc) with
+// the CLI defaults — a 128-processor EASY system with unlimited
+// allocation, named "cli" so reports match the CLIs byte for byte.
+func (o *RequestOptions) Machine() (machine.Machine, int) {
+	procs := o.Int("procs", 128)
+	sched := o.Str("sched", "easy")
+	alloc := o.Str("alloc", "unlimited")
+	m, err := ParseMachine("cli", procs, sched, alloc)
+	if err != nil {
+		o.fail(badRequest(err))
+	}
+	return m, procs
+}
+
+// Canonical returns the resolved options in accessor call order — the
+// slice the cache key is derived from.
+func (o *RequestOptions) Canonical() []string { return o.canon }
+
+// Err finishes decoding: the first parse failure, or an
+// unknown-parameter rejection when the query carries a key no accessor
+// consumed (the lexicographically first unknown name, so the error is
+// deterministic).
+func (o *RequestOptions) Err() error {
+	if o.err != nil {
+		return o.err
+	}
+	var unknown []string
+	for k := range o.q {
+		if !o.known[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return badRequest(fmt.Errorf("unknown option %q", unknown[0]))
+	}
+	return nil
+}

@@ -3,7 +3,6 @@ package service
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -12,6 +11,7 @@ import (
 	"time"
 
 	"coplot/internal/cluster"
+	"coplot/internal/corpus"
 	"coplot/internal/engine"
 	"coplot/internal/obs"
 	"coplot/internal/par"
@@ -104,6 +104,11 @@ type Config struct {
 	// "landmarks" options override it, and the resolved value is part
 	// of every analyze cache key.
 	Landmarks int
+	// CorpusJobs is the generated log length of the 15 seed corpus
+	// observations (0 = corpus.DefaultSeedJobs; negative = start with
+	// an empty corpus). Replicas of one cluster must agree on it, so
+	// their seed entries carry identical content-addressed IDs.
+	CorpusJobs int
 }
 
 // Service is the HTTP serving layer: deterministic, cacheable analysis
@@ -121,7 +126,9 @@ type Service struct {
 	sem     chan struct{}
 	mux     *http.ServeMux
 	streams *stream.Set
-	peers   int // remote replicas in the cluster ring (0 = single-replica)
+	corpus  *corpus.Corpus
+	peers   int      // remote replicas in the cluster ring (0 = single-replica)
+	peerURL []string // the other replicas' base URLs, for index merges
 
 	// testHook, when set, runs inside each request's compute step
 	// before the real work; tests use it to block, fail or panic a
@@ -146,6 +153,7 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	local := backend
 	if len(cfg.Peers) > 0 {
 		peer, err := cluster.New(cluster.Config{
 			Self:    cfg.Self,
@@ -166,6 +174,11 @@ func New(cfg Config) (*Service, error) {
 		s.mux.Handle("GET /internal/v1/artifact/{key}", h)
 		s.mux.Handle("PUT /internal/v1/artifact/{key}", h)
 		s.peers = len(peer.Ring().Members()) - 1
+		for _, p := range cfg.Peers {
+			if p != cfg.Self {
+				s.peerURL = append(s.peerURL, p)
+			}
+		}
 		backend = peer
 	}
 	s.backend = backend
@@ -201,6 +214,27 @@ func New(cfg Config) (*Service, error) {
 	s.mux.HandleFunc("GET /v1/stream/{id}", s.streamGet)
 	s.mux.HandleFunc("DELETE /v1/stream/{id}", s.streamDelete)
 	s.mux.HandleFunc("GET /v1/streams", s.streamList)
+
+	// Corpus endpoints: the index recovers from the LOCAL tier (what
+	// is resident here), while uploads write through the ring so they
+	// reach their owner replica. Seeds go local-only — every replica
+	// regenerates them identically, so there is nothing to distribute
+	// and a slow peer can never stall startup.
+	s.corpus = corpus.New(local, backend)
+	if cfg.CorpusJobs >= 0 {
+		if _, err := s.corpus.Seed(cfg.CorpusJobs); err != nil {
+			return nil, err
+		}
+	}
+	s.mux.HandleFunc("POST /v1/corpus", s.corpusAdmit)
+	s.mux.HandleFunc("GET /v1/corpus", s.corpusList)
+	s.mux.HandleFunc("GET /v1/corpus/{id}", s.corpusGet)
+	s.mux.HandleFunc("DELETE /v1/corpus/{id}", s.corpusDelete)
+	s.mux.Handle("POST /v1/match", s.endpoint("match", s.match))
+	if len(cfg.Peers) > 0 {
+		s.mux.HandleFunc("GET /internal/v1/corpus", s.corpusIndex)
+		s.mux.HandleFunc("DELETE /internal/v1/corpus/{id}", s.corpusPeerDelete)
+	}
 	return s, nil
 }
 
@@ -272,12 +306,20 @@ type wireResponse struct {
 	Extra       map[string]string `json:"extra,omitempty"`
 }
 
-// responseCodec persists *response artifacts in the durable cache
-// tier; any other value stays memory-only.
+// responseCodec persists the serving layer's artifacts in the durable
+// cache tier: *response values (cached endpoint answers) and
+// *corpus.Entry values (corpus members), routed on decode by the
+// payload's "kind" tag — corpus entries carry corpus.WireKind, response
+// payloads (including every legacy cache directory written before the
+// corpus existed) have no such field. Any other value stays
+// memory-only.
 type responseCodec struct{}
 
 // Encode implements store.Codec.
 func (responseCodec) Encode(v any) ([]byte, bool) {
+	if _, ok := v.(*corpus.Entry); ok {
+		return corpus.EntryCodec{}.Encode(v)
+	}
 	resp, ok := v.(*response)
 	if !ok {
 		return nil, false
@@ -291,6 +333,15 @@ func (responseCodec) Encode(v any) ([]byte, bool) {
 
 // Decode implements store.Codec.
 func (responseCodec) Decode(data []byte) (any, error) {
+	var kind struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &kind); err != nil {
+		return nil, err
+	}
+	if kind.Kind == corpus.WireKind {
+		return corpus.EntryCodec{}.Decode(data)
+	}
 	var w wireResponse
 	if err := json.Unmarshal(data, &w); err != nil {
 		return nil, err
@@ -312,8 +363,7 @@ func (s *Service) endpoint(name string, h handlerFunc) http.Handler {
 		select {
 		case s.sem <- struct{}{}:
 		default:
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "server at capacity", http.StatusTooManyRequests)
+			overloaded(w, name)
 			return
 		}
 		defer func() {
@@ -330,7 +380,7 @@ func (s *Service) endpoint(name string, h handlerFunc) http.Handler {
 		}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody()))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			s.fail(w, name, classifyBody(err))
 			return
 		}
 		key, run, err := h(r, body)
@@ -392,49 +442,6 @@ func (s *Service) endpoint(name string, h handlerFunc) http.Handler {
 	})
 }
 
-// statusError pins an HTTP status to an error. badRequest wraps it in
-// engine.Permanent so the retry classification sees input failures as
-// deterministic.
-type statusError struct {
-	code int
-	err  error
-}
-
-// Error implements error.
-func (e *statusError) Error() string { return e.err.Error() }
-
-// Unwrap exposes the inner error to errors.Is/As.
-func (e *statusError) Unwrap() error { return e.err }
-
-// badRequest marks err as a deterministic input failure: answered 400,
-// never retried.
-func badRequest(err error) error {
-	return engine.Permanent(&statusError{code: http.StatusBadRequest, err: err})
-}
-
-// fail writes err as the HTTP error response for endpoint.
-func (s *Service) fail(w http.ResponseWriter, endpoint string, err error) {
-	code := http.StatusInternalServerError
-	msg := err.Error()
-	var se *statusError
-	var pe *engine.PanicError
-	switch {
-	case errors.As(err, &se):
-		code = se.code
-		msg = se.err.Error()
-	case errors.As(err, &pe):
-		// Contained: the one request fails, the stack stays server-side.
-		msg = fmt.Sprintf("internal panic while computing %s", endpoint)
-	case errors.Is(err, context.DeadlineExceeded):
-		code = http.StatusGatewayTimeout
-		msg = fmt.Sprintf("%s: deadline exceeded", endpoint)
-	case errors.Is(err, context.Canceled):
-		code = http.StatusServiceUnavailable
-		msg = fmt.Sprintf("%s: request cancelled", endpoint)
-	}
-	http.Error(w, msg, code)
-}
-
 // healthz answers liveness probes with the service's vitals.
 func (s *Service) healthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
@@ -448,6 +455,14 @@ func (s *Service) healthz(w http.ResponseWriter, r *http.Request) {
 // file, and tests all read this one form.
 func (s *Service) Manifest(info obs.RunInfo) *obs.Manifest {
 	m := s.metrics.Manifest(info)
+	if s.corpus != nil {
+		cs := s.corpus.Stats()
+		m.Corpus = &obs.CorpusStats{
+			Entries: cs.Entries, Seeded: cs.Seeded,
+			Admits: cs.Admits, Rejects: cs.Rejects, Matches: cs.Matches,
+			MatchMS: float64(cs.MatchNS) / float64(time.Millisecond),
+		}
+	}
 	if sp, ok := s.backend.(store.StatsProvider); ok {
 		for _, ts := range sp.Stats() {
 			m.Storage = append(m.Storage, obs.StorageTier{

@@ -556,7 +556,7 @@ func TestCachePersistsAcrossRestart(t *testing.T) {
 	dir := t.TempDir()
 	const path = "/v1/generate?model=lublin&procs=128&n=400&seed=5"
 
-	svc1 := mustNew(t, Config{Jobs: 1, CacheDir: dir})
+	svc1 := mustNew(t, Config{Jobs: 1, CacheDir: dir, CorpusJobs: -1})
 	ts1 := httptest.NewServer(svc1)
 	resp1, body1 := post(t, ts1, path, nil)
 	ts1.Close()
@@ -568,7 +568,7 @@ func TestCachePersistsAcrossRestart(t *testing.T) {
 	}
 
 	// "Restart": a fresh Service, fresh engine store, same directory.
-	svc2 := mustNew(t, Config{Jobs: 1, CacheDir: dir})
+	svc2 := mustNew(t, Config{Jobs: 1, CacheDir: dir, CorpusJobs: -1})
 	ts2 := httptest.NewServer(svc2)
 	defer ts2.Close()
 	resp2, body2 := post(t, ts2, path, nil)

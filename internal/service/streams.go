@@ -32,35 +32,16 @@ func readBody(w http.ResponseWriter, r *http.Request, max int64) ([]byte, error)
 var streamOptionKeys = []string{"seed", "procs", "sched", "alloc", "drift-pos", "drift-angle", "landmarks"}
 
 // streamOptions resolves the create-time options of an append request
-// against the service defaults, returning the stream configuration and
-// the canonical (url-encoded) option string pinned in Config.Tag.
-func (s *Service) streamOptions(q url.Values) (stream.Config, string, error) {
-	seed, err := qUint(q, "seed", 7)
-	if err != nil {
-		return stream.Config{}, "", err
-	}
-	procs, err := qInt(q, "procs", 128)
-	if err != nil {
-		return stream.Config{}, "", err
-	}
-	sched := qStr(q, "sched", "easy")
-	alloc := qStr(q, "alloc", "unlimited")
-	m, merr := ParseMachine("cli", procs, sched, alloc)
-	if merr != nil {
-		return stream.Config{}, "", badRequest(merr)
-	}
-	driftPos, err := qFloat(q, "drift-pos", s.streamDriftPos())
-	if err != nil {
-		return stream.Config{}, "", err
-	}
-	driftAngle, err := qFloat(q, "drift-angle", s.streamDriftAngle())
-	if err != nil {
-		return stream.Config{}, "", err
-	}
-	landmarks, err := qInt(q, "landmarks", s.cfg.Landmarks)
-	if err != nil {
-		return stream.Config{}, "", err
-	}
+// against the service defaults, returning the stream configuration
+// with the canonical (url-encoded) option string pinned in Config.Tag.
+func (s *Service) streamOptions(o *RequestOptions) stream.Config {
+	seed := o.Uint("seed", 7)
+	m, procs := o.Machine()
+	sched := o.Str("sched", "easy")
+	alloc := o.Str("alloc", "unlimited")
+	driftPos := o.Float("drift-pos", s.streamDriftPos())
+	driftAngle := o.Float("drift-angle", s.streamDriftAngle())
+	landmarks := o.Int("landmarks", s.cfg.Landmarks)
 	canon := url.Values{
 		"seed":        {strconv.FormatUint(seed, 10)},
 		"procs":       {strconv.Itoa(procs)},
@@ -70,7 +51,7 @@ func (s *Service) streamOptions(q url.Values) (stream.Config, string, error) {
 		"drift-angle": {fmt.Sprintf("%g", driftAngle)},
 		"landmarks":   {strconv.Itoa(landmarks)},
 	}
-	cfg := stream.Config{
+	return stream.Config{
 		Machine:    m,
 		Seed:       seed,
 		Par:        s.budget,
@@ -80,7 +61,6 @@ func (s *Service) streamOptions(q url.Values) (stream.Config, string, error) {
 		Sink:       s.sink,
 		Tag:        canon.Encode(),
 	}
-	return cfg, cfg.Tag, nil
 }
 
 // streamDriftPos is the service-wide positional drift default.
@@ -112,20 +92,17 @@ func checkStreamOptions(q url.Values, tag string) error {
 			continue
 		}
 		if got, want := q.Get(k), pinned.Get(k); got != want {
-			return &statusError{
-				code: http.StatusConflict,
-				err:  fmt.Errorf("stream option %s=%s conflicts with the stream's %s=%s", k, got, k, want),
-			}
+			return conflict(fmt.Errorf("stream option %s=%s conflicts with the stream's %s=%s", k, got, k, want))
 		}
 	}
 	return nil
 }
 
 // writeStreamJSON answers with v as JSON.
-func writeStreamJSON(w http.ResponseWriter, code int, v any) {
+func writeStreamJSON(w http.ResponseWriter, endpoint string, code int, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, CodeInternal, endpoint, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -142,33 +119,34 @@ func (s *Service) streamAppend(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.sem <- struct{}{}:
 	default:
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "server at capacity", http.StatusTooManyRequests)
+		overloaded(w, "stream-append")
 		return
 	}
 	defer func() { <-s.sem }()
 
 	id := r.PathValue("id")
 	q := r.URL.Query()
-	obsName := qStr(q, "obs", "log")
-	body, err := readBody(w, r, s.maxBody())
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-
-	cfg, _, err := s.streamOptions(q)
-	if err != nil {
+	o := newRequestOptions(r)
+	obsName := o.Str("obs", "log")
+	cfg := s.streamOptions(o)
+	if err := o.Err(); err != nil {
 		s.fail(w, "stream-append", err)
 		return
 	}
+	body, err := readBody(w, r, s.maxBody())
+	if err != nil {
+		s.fail(w, "stream-append", classifyBody(err))
+		return
+	}
+
 	st, created, err := s.streams.GetOrCreate(id, cfg)
 	if err != nil {
-		code := http.StatusBadRequest
 		if errors.Is(err, stream.ErrTooManyStreams) {
-			code = http.StatusConflict
+			err = conflict(err)
+		} else {
+			err = badRequest(err)
 		}
-		http.Error(w, err.Error(), code)
+		s.fail(w, "stream-append", err)
 		return
 	}
 	if !created {
@@ -180,39 +158,48 @@ func (s *Service) streamAppend(w http.ResponseWriter, r *http.Request) {
 
 	snap, err := st.Append(r.Context(), obsName, body)
 	if err != nil {
-		code := http.StatusBadRequest
 		if errors.Is(err, stream.ErrTooManyObservations) || errors.Is(err, stream.ErrTooManyJobs) {
-			code = http.StatusConflict
+			err = conflict(err)
+		} else {
+			err = badRequest(err)
 		}
-		http.Error(w, err.Error(), code)
+		s.fail(w, "stream-append", err)
 		return
 	}
 	w.Header().Set("X-Coplot-Stream-Version", strconv.FormatUint(snap.Version, 10))
-	writeStreamJSON(w, http.StatusOK, snap)
+	writeStreamJSON(w, "stream-append", http.StatusOK, snap)
 }
 
 // streamGet maps GET /v1/stream/{id}: the latest snapshot.
 func (s *Service) streamGet(w http.ResponseWriter, r *http.Request) {
+	if err := newRequestOptions(r).Err(); err != nil {
+		s.fail(w, "stream", err)
+		return
+	}
 	st := s.streams.Get(r.PathValue("id"))
 	if st == nil {
-		http.Error(w, "no such stream", http.StatusNotFound)
+		s.fail(w, "stream", notFound("no such stream"))
 		return
 	}
 	snap := st.Latest()
 	if snap == nil {
-		http.Error(w, "stream has no snapshot yet", http.StatusNotFound)
+		s.fail(w, "stream", notFound("stream has no snapshot yet"))
 		return
 	}
 	w.Header().Set("X-Coplot-Stream-Version", strconv.FormatUint(snap.Version, 10))
-	writeStreamJSON(w, http.StatusOK, snap)
+	writeStreamJSON(w, "stream", http.StatusOK, snap)
 }
 
 // streamDelete maps DELETE /v1/stream/{id}. Watchers of a deleted
 // stream keep their subscriptions; they stop receiving new versions
 // once every appender reference is gone.
 func (s *Service) streamDelete(w http.ResponseWriter, r *http.Request) {
+	if err := newRequestOptions(r).Err(); err != nil {
+		s.fail(w, "stream", err)
+		return
+	}
 	if !s.streams.Delete(r.PathValue("id")) {
-		http.Error(w, "no such stream", http.StatusNotFound)
+		s.fail(w, "stream", notFound("no such stream"))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -220,7 +207,11 @@ func (s *Service) streamDelete(w http.ResponseWriter, r *http.Request) {
 
 // streamList maps GET /v1/streams: the registered stream ids, sorted.
 func (s *Service) streamList(w http.ResponseWriter, r *http.Request) {
-	writeStreamJSON(w, http.StatusOK, map[string]any{"streams": s.streams.List()})
+	if err := newRequestOptions(r).Err(); err != nil {
+		s.fail(w, "streams", err)
+		return
+	}
+	writeStreamJSON(w, "streams", http.StatusOK, map[string]any{"streams": s.streams.List()})
 }
 
 // streamWatch maps GET /v1/stream/{id}/watch: a Server-Sent Events
@@ -233,12 +224,12 @@ func (s *Service) streamList(w http.ResponseWriter, r *http.Request) {
 func (s *Service) streamWatch(w http.ResponseWriter, r *http.Request) {
 	st := s.streams.Get(r.PathValue("id"))
 	if st == nil {
-		http.Error(w, "no such stream", http.StatusNotFound)
+		s.fail(w, "stream-watch", notFound("no such stream"))
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		http.Error(w, "streaming unsupported by this connection", http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, CodeInternal, "stream-watch", "streaming unsupported by this connection")
 		return
 	}
 	ch, cancel := st.Subscribe()

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -255,6 +256,18 @@ func (d *Disk) Bytes() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.bytes
+}
+
+// Keys implements Lister: the resident cache keys, sorted.
+func (d *Disk) Keys() []string {
+	d.mu.Lock()
+	out := make([]string, 0, len(d.sizes))
+	for k := range d.sizes {
+		out = append(out, k)
+	}
+	d.mu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // Stats implements StatsProvider.

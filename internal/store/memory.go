@@ -2,6 +2,7 @@ package store
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -123,6 +124,18 @@ func (m *Memory) Bytes() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.bytes
+}
+
+// Keys implements Lister: the resident cache keys, sorted.
+func (m *Memory) Keys() []string {
+	m.mu.Lock()
+	out := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		out = append(out, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // Stats implements StatsProvider.

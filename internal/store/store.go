@@ -91,6 +91,15 @@ type TierStats struct {
 	Bytes int64 `json:"bytes"`
 }
 
+// Lister is implemented by backends that can enumerate their resident
+// keys. Layers that keep a durable secondary index inside the store —
+// the corpus recovering its entries after a restart — use it to find
+// their artifacts by key prefix without a separate manifest file.
+type Lister interface {
+	// Keys returns every resident key, sorted, as a fresh slice.
+	Keys() []string
+}
+
 // Codec translates artifacts to durable bytes and back, so a byte-
 // oriented tier can hold typed values. Encode reports false for values
 // the codec does not handle — the durable tier skips those instead of

@@ -53,6 +53,9 @@ func (t *Tiered) Bytes() int64 { return t.disk.Bytes() }
 // SetLimit implements Limiter, capping the memory tier.
 func (t *Tiered) SetLimit(n int64) { t.mem.SetLimit(n) }
 
+// Keys implements Lister, reporting the authoritative disk tier.
+func (t *Tiered) Keys() []string { return t.disk.Keys() }
+
 // Stats implements StatsProvider: the memory tier first, then disk.
 func (t *Tiered) Stats() []TierStats {
 	return append(t.mem.Stats(), t.disk.Stats()...)
